@@ -1,0 +1,190 @@
+//! Convergence and holding time measurement (Theorem 2.1).
+//!
+//! A configuration is *valid* when every agent's estimate lies in a band
+//! around `log2 n` (the paper's §4.1 synchronized-population band is
+//! `[0.5·log n, 40(k+1)²·log n]`; experiments may use tighter bands).
+//! The convergence time is the first snapshot at which the run is valid;
+//! the holding time is how long validity then persists.
+
+use pp_sim::RunResult;
+
+/// An estimate band `[lo, hi]` defining valid configurations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Lower edge (inclusive).
+    pub lo: f64,
+    /// Upper edge (inclusive).
+    pub hi: f64,
+}
+
+impl Band {
+    /// A band of `[lo_factor·log2 n, hi_factor·log2 n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo_factor < hi_factor`.
+    pub fn around_log_n(n: usize, lo_factor: f64, hi_factor: f64) -> Band {
+        assert!(
+            lo_factor > 0.0 && lo_factor < hi_factor,
+            "need 0 < lo_factor < hi_factor"
+        );
+        let log_n = (n.max(2) as f64).log2();
+        Band {
+            lo: lo_factor * log_n,
+            hi: hi_factor * log_n,
+        }
+    }
+
+    /// Whether a whole snapshot (its min and max estimates) lies in the band.
+    pub fn contains_summary(&self, min: f64, max: f64) -> bool {
+        min >= self.lo && max <= self.hi
+    }
+}
+
+/// The first parallel time at which every agent's estimate is in `band`
+/// (and the population reports estimates at all); `None` if never.
+pub fn convergence_time(run: &RunResult, band: Band) -> Option<f64> {
+    run.snapshots.iter().find_map(|s| {
+        let e = s.estimates.as_ref()?;
+        (e.without_estimate == 0 && band.contains_summary(e.min, e.max))
+            .then_some(s.parallel_time)
+    })
+}
+
+/// How long validity persists from convergence: the time from convergence
+/// to the first subsequent invalid snapshot.
+///
+/// Returns `None` if the run never converges; returns the remaining horizon
+/// (right-censored, flagged by `censored: true`) when validity never breaks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoldingTime {
+    /// Parallel time of convergence.
+    pub converged_at: f64,
+    /// Parallel time validity held.
+    pub held_for: f64,
+    /// True when the run ended while still valid (the holding time is a
+    /// lower bound).
+    pub censored: bool,
+}
+
+/// Measures the holding time of a run against `band`.
+pub fn holding_time(run: &RunResult, band: Band) -> Option<HoldingTime> {
+    let converged_at = convergence_time(run, band)?;
+    let mut last_valid = converged_at;
+    for s in &run.snapshots {
+        if s.parallel_time < converged_at {
+            continue;
+        }
+        match &s.estimates {
+            Some(e) if e.without_estimate == 0 && band.contains_summary(e.min, e.max) => {
+                last_valid = s.parallel_time;
+            }
+            _ => {
+                return Some(HoldingTime {
+                    converged_at,
+                    held_for: s.parallel_time - converged_at,
+                    censored: false,
+                });
+            }
+        }
+    }
+    Some(HoldingTime {
+        converged_at,
+        held_for: last_valid - converged_at,
+        censored: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_sim::{EstimateSummary, Snapshot};
+
+    fn snap(t: f64, min: f64, max: f64) -> Snapshot {
+        Snapshot {
+            parallel_time: t,
+            interactions: 0,
+            n: 100,
+            estimates: Some(EstimateSummary {
+                min,
+                median: (min + max) / 2.0,
+                max,
+                mean: (min + max) / 2.0,
+                without_estimate: 0,
+            }),
+            memory: None,
+        }
+    }
+
+    fn run(snaps: Vec<Snapshot>) -> RunResult {
+        RunResult {
+            seed: 0,
+            snapshots: snaps,
+            ticks: vec![],
+            final_n: 100,
+        }
+    }
+
+    #[test]
+    fn band_around_log_n() {
+        let b = Band::around_log_n(1024, 0.5, 4.0);
+        assert_eq!(b.lo, 5.0);
+        assert_eq!(b.hi, 40.0);
+        assert!(b.contains_summary(5.0, 40.0));
+        assert!(!b.contains_summary(4.9, 10.0));
+    }
+
+    #[test]
+    fn convergence_finds_first_valid_snapshot() {
+        let b = Band { lo: 5.0, hi: 20.0 };
+        let r = run(vec![snap(0.0, 1.0, 1.0), snap(1.0, 2.0, 30.0), snap(2.0, 6.0, 12.0)]);
+        assert_eq!(convergence_time(&r, b), Some(2.0));
+    }
+
+    #[test]
+    fn convergence_none_when_never_valid() {
+        let b = Band { lo: 5.0, hi: 20.0 };
+        let r = run(vec![snap(0.0, 1.0, 1.0)]);
+        assert_eq!(convergence_time(&r, b), None);
+    }
+
+    #[test]
+    fn holding_measures_until_violation() {
+        let b = Band { lo: 5.0, hi: 20.0 };
+        let r = run(vec![
+            snap(0.0, 1.0, 1.0),
+            snap(1.0, 6.0, 10.0),
+            snap(2.0, 6.0, 10.0),
+            snap(3.0, 2.0, 10.0), // breaks
+        ]);
+        let h = holding_time(&r, b).unwrap();
+        assert_eq!(h.converged_at, 1.0);
+        assert_eq!(h.held_for, 2.0);
+        assert!(!h.censored);
+    }
+
+    #[test]
+    fn holding_censored_at_horizon() {
+        let b = Band { lo: 5.0, hi: 20.0 };
+        let r = run(vec![snap(0.0, 6.0, 10.0), snap(5.0, 7.0, 10.0)]);
+        let h = holding_time(&r, b).unwrap();
+        assert_eq!(h.converged_at, 0.0);
+        assert_eq!(h.held_for, 5.0);
+        assert!(h.censored);
+    }
+
+    #[test]
+    fn agents_without_estimates_are_invalid() {
+        let b = Band { lo: 1.0, hi: 20.0 };
+        let mut s = snap(0.0, 5.0, 6.0);
+        s.estimates.as_mut().unwrap().without_estimate = 3;
+        let r = run(vec![s, snap(1.0, 5.0, 6.0)]);
+        assert_eq!(convergence_time(&r, b), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo_factor")]
+    fn band_factors_validated() {
+        let _ = Band::around_log_n(100, 2.0, 1.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Minimal CSV export (std-only) for plot-ready experiment data.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Escapes a CSV cell per RFC 4180 (quotes cells containing separators).
+fn escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Writes a header and rows to a CSV file, creating parent directories.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating directories or writing the file.
+///
+/// # Examples
+///
+/// ```no_run
+/// pp_analysis::write_csv(
+///     "results/fig2.csv",
+///     &["time", "min", "median", "max"],
+///     &[vec!["0".into(), "1".into(), "1".into(), "1".into()]],
+/// )?;
+/// # std::io::Result::Ok(())
+/// ```
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(
+        w,
+        "{}",
+        headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+    )?;
+    for row in rows {
+        writeln!(
+            w,
+            "{}",
+            row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        )?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_escapes() {
+        let dir = std::env::temp_dir().join("pp_analysis_csv_test");
+        let path = dir.join("out.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[
+                vec!["1".into(), "plain".into()],
+                vec!["2".into(), "has,comma".into()],
+                vec!["3".into(), "has\"quote".into()],
+            ],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "1,plain");
+        assert_eq!(lines[2], "2,\"has,comma\"");
+        assert_eq!(lines[3], "3,\"has\"\"quote\"");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

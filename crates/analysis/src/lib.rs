@@ -1,0 +1,40 @@
+//! # pp-analysis — analysis toolkit for population protocol experiments
+//!
+//! Everything between raw simulation output and the paper's figures:
+//!
+//! * [`stats`] — descriptive statistics (nearest-rank quantiles matching
+//!   the simulator's histogram convention).
+//! * [`series`] — pooling estimate series across independent runs the way
+//!   the paper's §5 does ("minimum, median, and maximum values of all 96
+//!   estimates").
+//! * [`convergence`] — convergence and holding time against an estimate
+//!   band (Theorem 2.1).
+//! * [`clock_analysis`] — burst/overlap decomposition of phase-clock tick
+//!   logs (Theorem 2.2).
+//! * [`relative_error`] — relative deviation from `log2 n` (Fig. 3).
+//! * [`memory`] — per-agent bit footprints (Theorem 2.1's space bound).
+//! * [`table`] / [`csv`] / [`sparkline`](mod@sparkline) — output: ASCII tables, plot-ready
+//!   CSV, and terminal sparklines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock_analysis;
+pub mod convergence;
+pub mod csv;
+pub mod memory;
+pub mod relative_error;
+pub mod series;
+pub mod sparkline;
+pub mod stats;
+pub mod table;
+
+pub use clock_analysis::{Burst, ClockDecomposition, ClockVerdict};
+pub use convergence::{convergence_time, holding_time, Band, HoldingTime};
+pub use csv::write_csv;
+pub use memory::{memory_profile, theorem_bound_bits, MemoryProfile};
+pub use relative_error::{relative_deviation, RelativeDeviation};
+pub use series::{PooledPoint, PooledSeries};
+pub use sparkline::{render_band, sparkline};
+pub use stats::{mean, median, quantile, std_dev, Summary};
+pub use table::Table;

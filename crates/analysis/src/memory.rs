@@ -1,0 +1,109 @@
+//! Memory-usage series (Theorem 2.1's space bound).
+//!
+//! Theorem 2.1: the protocol needs `O(log s + log log n)` bits per agent
+//! w.h.p., where `s` is the largest value initially stored. The experiment
+//! records per-snapshot [`MemorySummary`](pp_sim::MemorySummary) values;
+//! this module reduces them to the quantities the space experiment (E7)
+//! reports: the steady-state footprint and its worst case over time.
+
+use pp_sim::RunResult;
+
+/// Reduced memory statistics of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryProfile {
+    /// Largest per-agent footprint observed at any snapshot, in bits.
+    pub peak_bits: u32,
+    /// Mean of the per-snapshot maxima after the warmup, in bits.
+    pub steady_max_bits: f64,
+    /// Mean of the per-snapshot means after the warmup, in bits.
+    pub steady_mean_bits: f64,
+}
+
+/// Profiles the memory series of a run, skipping snapshots before `warmup`.
+///
+/// Returns `None` when no snapshot in the window carries memory data.
+pub fn memory_profile(run: &RunResult, warmup: f64) -> Option<MemoryProfile> {
+    let mut peak = 0u32;
+    let mut steady_max = Vec::new();
+    let mut steady_mean = Vec::new();
+    for s in &run.snapshots {
+        let Some(m) = &s.memory else { continue };
+        peak = peak.max(m.max_bits);
+        if s.parallel_time >= warmup {
+            steady_max.push(f64::from(m.max_bits));
+            steady_mean.push(m.mean_bits);
+        }
+    }
+    if steady_max.is_empty() {
+        return None;
+    }
+    Some(MemoryProfile {
+        peak_bits: peak,
+        steady_max_bits: crate::stats::mean(&steady_max).expect("nonempty"),
+        steady_mean_bits: crate::stats::mean(&steady_mean).expect("nonempty"),
+    })
+}
+
+/// The Theorem 2.1 reference curve: `c·(log2 s + log2 log2 n)` bits.
+///
+/// Used to overlay the measured footprint against the asymptotic shape.
+pub fn theorem_bound_bits(s: u64, n: usize, c: f64) -> f64 {
+    let log_s = (s.max(2) as f64).log2();
+    let loglog_n = (n.max(4) as f64).log2().log2();
+    c * (log_s + loglog_n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_sim::{MemorySummary, Snapshot};
+
+    fn run(mem: &[(f64, u32, f64)]) -> RunResult {
+        RunResult {
+            seed: 0,
+            snapshots: mem
+                .iter()
+                .map(|&(t, max_bits, mean_bits)| Snapshot {
+                    parallel_time: t,
+                    interactions: 0,
+                    n: 10,
+                    estimates: None,
+                    memory: Some(MemorySummary {
+                        max_bits,
+                        mean_bits,
+                    }),
+                })
+                .collect(),
+            ticks: vec![],
+            final_n: 10,
+        }
+    }
+
+    #[test]
+    fn profile_separates_peak_and_steady() {
+        let r = run(&[(0.0, 100, 90.0), (10.0, 20, 15.0), (20.0, 24, 17.0)]);
+        let p = memory_profile(&r, 5.0).unwrap();
+        assert_eq!(p.peak_bits, 100, "peak includes the warmup spike");
+        assert_eq!(p.steady_max_bits, 22.0);
+        assert_eq!(p.steady_mean_bits, 16.0);
+    }
+
+    #[test]
+    fn no_memory_data_is_none() {
+        let r = RunResult {
+            seed: 0,
+            snapshots: vec![],
+            ticks: vec![],
+            final_n: 0,
+        };
+        assert_eq!(memory_profile(&r, 0.0), None);
+    }
+
+    #[test]
+    fn bound_grows_doubly_logarithmically_in_n() {
+        let small = theorem_bound_bits(16, 1 << 10, 1.0);
+        let large = theorem_bound_bits(16, 1 << 20, 1.0);
+        assert!(large > small);
+        assert!(large - small < 1.1, "log log growth is slow");
+    }
+}

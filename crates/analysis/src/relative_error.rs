@@ -1,0 +1,119 @@
+//! Relative deviation of estimates from `log2 n` (the paper's Fig. 3).
+//!
+//! Fig. 3 plots, per population size, the minimum, median and maximum of
+//! `estimate / log2 n` over the converged portion of the runs. Values
+//! cluster near 1 for large `n` and deviate (upward) for small `n` — the
+//! maximum of `k·n` GRVs overshoots `log2 n` by `log2 k + O(1)`, which is
+//! relatively enormous when `log2 n` is small.
+
+use crate::series::PooledSeries;
+use crate::stats::Summary;
+use pp_sim::RunResult;
+
+/// Pooled relative deviation of the estimates from `log2 n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelativeDeviation {
+    /// Population size the runs used.
+    pub n: usize,
+    /// Minimum of estimate / log2 n over the window.
+    pub min: f64,
+    /// Median of the per-snapshot medians / log2 n.
+    pub median: f64,
+    /// Maximum of estimate / log2 n.
+    pub max: f64,
+}
+
+/// Computes the pooled relative deviation over snapshots in
+/// `[warmup, horizon]`.
+///
+/// Returns `None` when no snapshot in the window carries estimates.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (log2 n would be degenerate) or `runs` is empty.
+pub fn relative_deviation(
+    runs: &[RunResult],
+    n: usize,
+    warmup: f64,
+) -> Option<RelativeDeviation> {
+    assert!(n >= 2, "population must have at least 2 agents");
+    let log_n = (n as f64).log2();
+    let pooled = PooledSeries::pool(runs);
+    let mut mins = Vec::new();
+    let mut medians = Vec::new();
+    let mut maxes = Vec::new();
+    for p in pooled.window(warmup, f64::INFINITY) {
+        mins.push(p.min / log_n);
+        medians.push(p.median / log_n);
+        maxes.push(p.max / log_n);
+    }
+    if medians.is_empty() {
+        return None;
+    }
+    Some(RelativeDeviation {
+        n,
+        min: Summary::of(&mins).expect("nonempty").min,
+        median: Summary::of(&medians).expect("nonempty").median,
+        max: Summary::of(&maxes).expect("nonempty").max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_sim::{EstimateSummary, Snapshot};
+
+    fn run(points: &[(f64, f64, f64, f64)]) -> RunResult {
+        RunResult {
+            seed: 0,
+            snapshots: points
+                .iter()
+                .map(|&(t, min, med, max)| Snapshot {
+                    parallel_time: t,
+                    interactions: 0,
+                    n: 16,
+                    estimates: Some(EstimateSummary {
+                        min,
+                        median: med,
+                        max,
+                        mean: med,
+                        without_estimate: 0,
+                    }),
+                    memory: None,
+                })
+                .collect(),
+            ticks: vec![],
+            final_n: 16,
+        }
+    }
+
+    #[test]
+    fn deviation_normalizes_by_log_n() {
+        // n = 16 ⇒ log2 n = 4; estimates pinned at 8 ⇒ deviation 2.
+        let r = run(&[(0.0, 8.0, 8.0, 8.0), (1.0, 8.0, 8.0, 8.0)]);
+        let d = relative_deviation(&[r], 16, 0.0).unwrap();
+        assert_eq!(d.min, 2.0);
+        assert_eq!(d.median, 2.0);
+        assert_eq!(d.max, 2.0);
+    }
+
+    #[test]
+    fn warmup_excludes_early_snapshots() {
+        let r = run(&[(0.0, 100.0, 100.0, 100.0), (10.0, 4.0, 4.0, 4.0)]);
+        let d = relative_deviation(&[r], 16, 5.0).unwrap();
+        assert_eq!(d.max, 1.0, "the t=0 outlier is excluded by warmup");
+    }
+
+    #[test]
+    fn empty_window_is_none() {
+        let r = run(&[(0.0, 4.0, 4.0, 4.0)]);
+        assert_eq!(relative_deviation(&[r], 16, 100.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_population_rejected() {
+        let r = run(&[(0.0, 4.0, 4.0, 4.0)]);
+        let _ = relative_deviation(&[r], 1, 0.0);
+    }
+}

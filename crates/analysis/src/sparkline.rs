@@ -1,0 +1,126 @@
+//! Terminal rendering of experiment series.
+//!
+//! The paper's figures are line plots; the benchmark binaries reproduce the
+//! underlying series as CSV and render a quick visual check in the terminal
+//! using block characters — enough to see the shape (convergence, the
+//! Fig. 4 drop, oscillation bands) without a plotting stack.
+
+/// Renders a series as a one-line sparkline using eight block levels.
+///
+/// Empty input renders as an empty string; a constant series renders at
+/// mid-height.
+///
+/// # Examples
+///
+/// ```
+/// let s = pp_analysis::sparkline(&[0.0, 0.5, 1.0]);
+/// assert_eq!(s.chars().count(), 3);
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            if span <= f64::EPSILON {
+                LEVELS[3]
+            } else {
+                let t = ((v - min) / span * 7.0).round() as usize;
+                LEVELS[t.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `width` points by chunk-averaging.
+///
+/// # Examples
+///
+/// ```
+/// let d = pp_analysis::sparkline::downsample(&[1.0, 3.0, 5.0, 7.0], 2);
+/// assert_eq!(d, vec![2.0, 6.0]);
+/// ```
+pub fn downsample(values: &[f64], width: usize) -> Vec<f64> {
+    if width == 0 || values.is_empty() {
+        return Vec::new();
+    }
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    let chunk = values.len().div_ceil(width);
+    values
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Sparkline width used by [`render_band`].
+const BAND_WIDTH: usize = 100;
+
+/// Renders labeled min/median/max sparklines (downsampled to terminal
+/// width) with a numeric range legend — the terminal stand-in for one
+/// panel of the paper's figures.
+pub fn render_band(label: &str, times: &[f64], min: &[f64], median: &[f64], max: &[f64]) -> String {
+    let span = |xs: &[f64]| -> (f64, f64) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (lo, hi)
+    };
+    let mut out = String::new();
+    if let (Some(&t0), Some(&t1)) = (times.first(), times.last()) {
+        out.push_str(&format!("{label}  (t = {t0:.0} … {t1:.0})\n"));
+    } else {
+        out.push_str(&format!("{label}  (empty)\n"));
+    }
+    for (name, series) in [("max", max), ("med", median), ("min", min)] {
+        let (lo, hi) = if series.is_empty() {
+            (0.0, 0.0)
+        } else {
+            span(series)
+        };
+        out.push_str(&format!(
+            "  {name} [{lo:7.2}, {hi:7.2}] {}\n",
+            sparkline(&downsample(series, BAND_WIDTH))
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_is_empty_line() {
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn constant_series_is_flat() {
+        let s = sparkline(&[2.0, 2.0, 2.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert!(chars.iter().all(|&c| c == chars[0]));
+    }
+
+    #[test]
+    fn monotone_series_uses_extremes() {
+        let s: Vec<char> = sparkline(&[0.0, 1.0]).chars().collect();
+        assert_eq!(s[0], '▁');
+        assert_eq!(s[1], '█');
+    }
+
+    #[test]
+    fn render_band_contains_all_rows() {
+        let out = render_band("test", &[0.0, 1.0], &[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]);
+        assert!(out.contains("max"));
+        assert!(out.contains("med"));
+        assert!(out.contains("min"));
+        assert!(out.contains("test"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Descriptive statistics over `f64` samples.
+
+/// Mean of a sample; `None` when empty.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation; `None` when empty.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+/// The `q`-quantile by the nearest-rank method (matching the histogram's
+/// convention); `None` when empty.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any sample is NaN.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    Some(sorted[rank])
+}
+
+/// Median (0.5-quantile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Five-number summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest sample.
+    pub min: f64,
+    /// Nearest-rank median.
+    pub median: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarizes a sample; `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in xs {
+            assert!(!x.is_nan(), "NaN sample");
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Some(Summary {
+            min,
+            median: median(xs).expect("nonempty"),
+            max,
+            mean: mean(xs).expect("nonempty"),
+            count: xs.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_samples_yield_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(std_dev(&[]), None);
+        assert_eq!(Summary::of(&[]), None);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn quantiles_hit_extremes() {
+        let xs = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(9.0));
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[4.0, 4.0, 4.0]), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_validates_q() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    proptest! {
+        /// The summary brackets every sample and the mean.
+        #[test]
+        fn summary_brackets_sample(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s = Summary::of(&xs).unwrap();
+            for &x in &xs {
+                prop_assert!(s.min <= x && x <= s.max);
+            }
+            prop_assert!(s.min <= s.mean && s.mean <= s.max);
+            prop_assert!(s.min <= s.median && s.median <= s.max);
+        }
+
+        /// Median matches a naive sort-and-index implementation.
+        #[test]
+        fn median_matches_naive(xs in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+            let mut sorted = xs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let naive = sorted[((sorted.len() - 1) as f64 * 0.5).round() as usize];
+            prop_assert_eq!(median(&xs), Some(naive));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Fixed-width ASCII tables for the benchmark binaries.
+
+use std::fmt::Write as _;
+
+/// A simple right-padded ASCII table.
+///
+/// # Examples
+///
+/// ```
+/// use pp_analysis::Table;
+///
+/// let mut t = Table::new(vec!["n", "estimate"]);
+/// t.row(vec!["1000".into(), "10.2".into()]);
+/// let s = t.render();
+/// assert!(s.contains("n"));
+/// assert!(s.contains("1000"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Table {
+        Table {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator line under the header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let sep = if i + 1 == cols { "\n" } else { "  " };
+            let _ = write!(out, "{h:>width$}{sep}", width = widths[i]);
+        }
+        for (i, w) in widths.iter().enumerate() {
+            let sep = if i + 1 == cols { "\n" } else { "  " };
+            let _ = write!(out, "{}{sep}", "-".repeat(*w));
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let sep = if i + 1 == cols { "\n" } else { "  " };
+                let _ = write!(out, "{cell:>width$}{sep}", width = widths[i]);
+            }
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long_header"]);
+        t.row(vec!["12345".into(), "x".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[1].len());
+        assert_eq!(lines[1].len(), lines[2].len());
+        assert!(lines[1].chars().all(|c| c == '-' || c == ' '));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(vec!["a"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Criterion bench: geometric sampling (the protocol's randomness primitive).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pp_model::grv;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_grv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grv");
+    g.bench_function("geometric", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| black_box(grv::geometric(&mut rng)));
+    });
+    g.bench_function("grv_max_k16", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| black_box(grv::grv_max(16, &mut rng)));
+    });
+    g.bench_function("grv_max_k2", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| black_box(grv::grv_max(2, &mut rng)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_grv);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: per-interaction cost of every protocol in the workspace.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dsc_core::{DscConfig, SimplifiedDynamicSizeCounting, SyntheticDsc};
+use pp_protocols::{Chvp, De22Counting, Detection, MaxEpidemic, ModMClock, StaticGrvCounting};
+use pp_sim::Simulator;
+
+const BATCH: u64 = 10_000;
+const N: usize = 1_000;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_step");
+    g.throughput(Throughput::Elements(BATCH));
+
+    macro_rules! bench_proto {
+        ($name:literal, $proto:expr) => {
+            g.bench_function($name, |b| {
+                let mut sim = Simulator::with_seed($proto, N, 1);
+                sim.run_parallel_time(20.0);
+                b.iter(|| sim.step_n(BATCH));
+            });
+        };
+    }
+
+    bench_proto!("dsc_full", pp_bench::paper_protocol());
+    bench_proto!(
+        "dsc_simplified",
+        SimplifiedDynamicSizeCounting::new(DscConfig::empirical())
+    );
+    bench_proto!("dsc_synthetic", SyntheticDsc::new(DscConfig::empirical()));
+    bench_proto!("max_epidemic", MaxEpidemic::new());
+    bench_proto!("chvp", Chvp::new());
+    bench_proto!("detection", Detection::new(1_000));
+    bench_proto!("static_grv", StaticGrvCounting::new(16));
+    bench_proto!("de22", De22Counting::new());
+    bench_proto!("modm_clock", ModMClock::for_population(N, 8));
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

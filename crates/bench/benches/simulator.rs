@@ -1,0 +1,46 @@
+//! Criterion bench: simulator throughput (E12).
+//!
+//! Measures interactions per second for the paper's protocol at several
+//! population sizes, with and without the incremental estimate tracker —
+//! the quantity that determines how long a full-scale (n = 10^6,
+//! 5000 parallel time) figure reproduction takes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pp_sim::Simulator;
+
+const BATCH: u64 = 10_000;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dsc_interactions");
+    g.throughput(Throughput::Elements(BATCH));
+    for n in [1_000usize, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::new("plain", n), &n, |b, &n| {
+            let mut sim = Simulator::with_seed(pp_bench::paper_protocol(), n, 1);
+            sim.run_parallel_time(50.0); // warm into steady state
+            b.iter(|| sim.step_n(BATCH));
+        });
+        g.bench_with_input(BenchmarkId::new("tracked", n), &n, |b, &n| {
+            let mut sim = Simulator::tracked(pp_bench::paper_protocol(), n, 1);
+            sim.run_parallel_time(50.0);
+            b.iter(|| sim.step_n(BATCH));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("count_sim_interactions");
+    g.throughput(Throughput::Elements(BATCH));
+    for n in [100_000u64, 10_000_000] {
+        g.bench_with_input(BenchmarkId::new("infection", n), &n, |b, &n| {
+            let mut sim = pp_sim::CountSimulator::from_counts(
+                pp_protocols::Infection::new(),
+                vec![n / 2, n / 2],
+                1,
+            );
+            b.iter(|| sim.step_n(BATCH));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

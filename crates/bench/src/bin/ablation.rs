@@ -1,0 +1,5 @@
+//! Binary wrapper for the `ablation` experiment (see `pp_bench::experiments::ablation`).
+fn main() {
+    let scale = pp_bench::Scale::from_args();
+    pp_bench::experiments::ablation::run(&scale);
+}

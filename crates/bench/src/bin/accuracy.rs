@@ -1,0 +1,5 @@
+//! Binary wrapper for the `accuracy` experiment (see `pp_bench::experiments::accuracy`).
+fn main() {
+    let scale = pp_bench::Scale::from_args();
+    pp_bench::experiments::accuracy::run(&scale);
+}

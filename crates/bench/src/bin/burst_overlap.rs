@@ -1,0 +1,5 @@
+//! Binary wrapper for the `burst_overlap` experiment (see `pp_bench::experiments::burst_overlap`).
+fn main() {
+    let scale = pp_bench::Scale::from_args();
+    pp_bench::experiments::burst_overlap::run(&scale);
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `compare` experiment (see `pp_bench::experiments::compare`).
+fn main() {
+    let scale = pp_bench::Scale::from_args();
+    pp_bench::experiments::compare::run(&scale);
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `convergence` experiment (see `pp_bench::experiments::convergence`).
+fn main() {
+    let scale = pp_bench::Scale::from_args();
+    pp_bench::experiments::convergence::run(&scale);
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `fig2` experiment (see `pp_bench::experiments::fig2`).
+fn main() {
+    let scale = pp_bench::Scale::from_args();
+    pp_bench::experiments::fig2::run(&scale);
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `fig3` experiment (see `pp_bench::experiments::fig3`).
+fn main() {
+    let scale = pp_bench::Scale::from_args();
+    pp_bench::experiments::fig3::run(&scale);
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `fig4` experiment (see `pp_bench::experiments::fig4`).
+fn main() {
+    let scale = pp_bench::Scale::from_args();
+    pp_bench::experiments::fig4::run(&scale);
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `holding` experiment (see `pp_bench::experiments::holding`).
+fn main() {
+    let scale = pp_bench::Scale::from_args();
+    pp_bench::experiments::holding::run(&scale);
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `lemmas` experiment (see `pp_bench::experiments::lemmas`).
+fn main() {
+    let scale = pp_bench::Scale::from_args();
+    pp_bench::experiments::lemmas::run(&scale);
+}

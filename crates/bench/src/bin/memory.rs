@@ -1,0 +1,5 @@
+//! Binary wrapper for the `memory` experiment (see `pp_bench::experiments::memory`).
+fn main() {
+    let scale = pp_bench::Scale::from_args();
+    pp_bench::experiments::memory::run(&scale);
+}

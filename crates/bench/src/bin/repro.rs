@@ -1,0 +1,21 @@
+//! Runs the complete reproduction suite (E1–E13) in sequence.
+//!
+//! Quick scale by default; pass `--full` for the paper's scale (n up to
+//! 10^6, 96 runs — expect hours).
+fn main() {
+    let scale = pp_bench::Scale::from_args();
+    let t0 = std::time::Instant::now();
+    pp_bench::experiments::fig2::run(&scale);
+    pp_bench::experiments::fig3::run(&scale);
+    pp_bench::experiments::fig4::run(&scale);
+    pp_bench::experiments::fig5::run(&scale);
+    pp_bench::experiments::convergence::run(&scale);
+    pp_bench::experiments::holding::run(&scale);
+    pp_bench::experiments::memory::run(&scale);
+    pp_bench::experiments::burst_overlap::run(&scale);
+    pp_bench::experiments::compare::run(&scale);
+    pp_bench::experiments::ablation::run(&scale);
+    pp_bench::experiments::lemmas::run(&scale);
+    pp_bench::experiments::accuracy::run(&scale);
+    println!("full suite finished in {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,227 @@
+//! E10: ablations of the protocol's design choices.
+//!
+//! Each variant runs the same converge-then-crash scenario; measured are
+//! convergence time, stability (band violations between convergence and
+//! the crash), and whether the estimate adapts after the crash.
+//!
+//! Variants and what they probe:
+//!
+//! * **Algorithm 1 (simplified)** — no trailing estimate, no backup GRVs,
+//!   single geometric per reset: the paper's own motivation for the
+//!   additions; expect unstable phase lengths (a round that resamples only
+//!   small GRVs collapses its phases, losing synchronization).
+//! * **k ∈ {1, 4, 16}** — sample count per reset: smaller k gives noisier
+//!   (and lower) estimates; `k = 16` is the paper's §5 choice.
+//! * **τ′ = ∞ (backup disabled)** — removes lines 7–10: recovery from
+//!   some adverse configurations relies on backup GRVs; the crash scenario
+//!   should still work (resets dominate here), showing backup is about
+//!   worst-case guarantees, not the common path.
+//! * **τ triples** — scaled thresholds change round length (and hence
+//!   adaptation latency) proportionally.
+
+use crate::{f2, log2n, Scale};
+use dsc_core::{DscConfig, DynamicSizeCounting, SimplifiedDynamicSizeCounting};
+use pp_analysis::{convergence_time, mean, write_csv, Band, PooledSeries, Table};
+use pp_model::SizeEstimator;
+use pp_sim::{AdversarySchedule, PopulationEvent};
+
+struct Measured {
+    convergence: f64,
+    violations: usize,
+    post_crash: Option<f64>,
+}
+
+fn measure<P>(scale: &Scale, protocol: P, n: usize, crash_at: f64, survivors: usize, horizon: f64) -> Measured
+where
+    P: SizeEstimator + Clone + Send + Sync,
+    P::State: Clone + Send + Sync,
+{
+    let schedule = AdversarySchedule::new().at(crash_at, PopulationEvent::ResizeTo(survivors));
+    let runs = crate::run_many_protocol(scale, protocol, n, horizon, 5.0, schedule);
+    let band = Band::around_log_n(n, 0.4, 6.0);
+    let conv: Vec<f64> = runs
+        .iter()
+        .filter_map(|r| convergence_time(r, band))
+        .collect();
+    let convergence = mean(&conv).unwrap_or(f64::NAN);
+    // Violations: snapshots between convergence and crash outside the band.
+    let mut violations = 0usize;
+    for r in &runs {
+        let Some(c) = convergence_time(r, band) else {
+            continue;
+        };
+        for s in &r.snapshots {
+            if s.parallel_time <= c || s.parallel_time >= crash_at {
+                continue;
+            }
+            match &s.estimates {
+                Some(e) if band.contains_summary(e.min, e.max) => {}
+                _ => violations += 1,
+            }
+        }
+    }
+    // Post-crash adaptation: median at the horizon.
+    let pooled = PooledSeries::pool(&runs);
+    let post_crash = pooled.points.last().map(|p| p.median);
+    Measured {
+        convergence,
+        violations,
+        post_crash,
+    }
+}
+
+/// Runs E10 and writes `ablation.csv`.
+pub fn run(scale: &Scale) {
+    let n = if scale.full { 8_192 } else { 2_048 };
+    let survivors = 64;
+    let crash_at = 800.0;
+    let horizon = 2_500.0;
+    println!(
+        "== Ablations (n = {n} → {survivors} at t = {crash_at}, {} runs) ==",
+        scale.runs
+    );
+    println!(
+        "   references: log2(n) = {}, log2(survivors) = {}",
+        f2(log2n(n)),
+        f2(log2n(survivors))
+    );
+
+    let base = DscConfig::empirical();
+    let variants: Vec<(&str, Box<dyn Fn() -> Measured>)> = vec![
+        (
+            "full (6,4,2) k=16",
+            Box::new({
+                let scale = scale.clone();
+                move || measure(&scale, DynamicSizeCounting::new(base), n, crash_at, survivors, horizon)
+            }),
+        ),
+        (
+            "Algorithm 1 (simplified)",
+            Box::new({
+                let scale = scale.clone();
+                move || {
+                    measure(
+                        &scale,
+                        SimplifiedDynamicSizeCounting::new(base),
+                        n,
+                        crash_at,
+                        survivors,
+                        horizon,
+                    )
+                }
+            }),
+        ),
+        (
+            "k=1",
+            Box::new({
+                let scale = scale.clone();
+                move || {
+                    measure(
+                        &scale,
+                        DynamicSizeCounting::new(base.with_k(1)),
+                        n,
+                        crash_at,
+                        survivors,
+                        horizon,
+                    )
+                }
+            }),
+        ),
+        (
+            "k=4",
+            Box::new({
+                let scale = scale.clone();
+                move || {
+                    measure(
+                        &scale,
+                        DynamicSizeCounting::new(base.with_k(4)),
+                        n,
+                        crash_at,
+                        survivors,
+                        horizon,
+                    )
+                }
+            }),
+        ),
+        (
+            "backup disabled",
+            Box::new({
+                let scale = scale.clone();
+                move || {
+                    measure(
+                        &scale,
+                        DynamicSizeCounting::new(base.with_tau_prime(u64::MAX / 1_000_000)),
+                        n,
+                        crash_at,
+                        survivors,
+                        horizon,
+                    )
+                }
+            }),
+        ),
+        (
+            "taus (12,8,4)",
+            Box::new({
+                let scale = scale.clone();
+                move || {
+                    measure(
+                        &scale,
+                        DynamicSizeCounting::new(base.with_taus(12, 8, 4)),
+                        n,
+                        crash_at,
+                        survivors,
+                        horizon,
+                    )
+                }
+            }),
+        ),
+        (
+            "taus (3,2,1)",
+            Box::new({
+                let scale = scale.clone();
+                move || {
+                    measure(
+                        &scale,
+                        DynamicSizeCounting::new(base.with_taus(3, 2, 1)),
+                        n,
+                        crash_at,
+                        survivors,
+                        horizon,
+                    )
+                }
+            }),
+        ),
+    ];
+
+    let mut table = Table::new(vec![
+        "variant",
+        "conv. time",
+        "violations",
+        "median after crash",
+    ]);
+    let mut rows = Vec::new();
+    for (name, f) in variants {
+        let m = f();
+        let post = m.post_crash.map(f2).unwrap_or_else(|| "-".into());
+        table.row(vec![
+            name.to_string(),
+            f2(m.convergence),
+            m.violations.to_string(),
+            post.clone(),
+        ]);
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", m.convergence),
+            m.violations.to_string(),
+            post,
+        ]);
+    }
+    table.print();
+    write_csv(
+        &scale.out_path("ablation.csv"),
+        &["variant", "convergence_time", "violations", "median_after_crash"],
+        &rows,
+    )
+    .expect("write ablation.csv");
+    println!();
+}

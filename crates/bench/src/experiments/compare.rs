@@ -1,0 +1,119 @@
+//! E9: baseline comparison under a population crash.
+//!
+//! All four counters run the same scenario — converge on `n` agents, then
+//! the adversary removes all but a handful at `t_crash` — and the table
+//! reports the median estimate before and after.
+//!
+//! Expected qualitative outcome (the paper's §1.2/§6 claims):
+//!
+//! * **DSC (the paper)** — adapts: estimate drops to the new `Θ(log n')`.
+//! * **Doty–Eftekhari 2022** — adapts as well (it solves the same
+//!   problem), with more memory (see E7).
+//! * **static max-GRV** — stuck: the estimate is a maximum and never
+//!   decreases.
+//! * **BKR 2019** — whatever it output before the crash stays frozen
+//!   (single leader; if the leader is among the removed, nothing can ever
+//!   restart — and even with a surviving leader the protocol has already
+//!   halted with a stale count).
+
+use crate::{f2, log2n, Scale};
+use pp_analysis::{write_csv, PooledSeries, Table};
+use pp_model::SizeEstimator;
+use pp_protocols::{BkrCounting, De22Counting, StaticGrvCounting};
+use pp_sim::{AdversarySchedule, PopulationEvent};
+
+struct Outcome {
+    name: &'static str,
+    before: Option<f64>,
+    after: Option<f64>,
+}
+
+fn run_one<P>(scale: &Scale, name: &'static str, protocol: P, n: usize, crash_at: f64, survivors: usize, horizon: f64) -> Outcome
+where
+    P: SizeEstimator + Clone + Send + Sync,
+    P::State: Clone + Send + Sync,
+{
+    let schedule = AdversarySchedule::new().at(crash_at, PopulationEvent::ResizeTo(survivors));
+    let runs = crate::run_many_protocol(scale, protocol, n, horizon, 10.0, schedule);
+    let pooled = PooledSeries::pool(&runs);
+    let before = pooled
+        .window(crash_at - 100.0, crash_at)
+        .last()
+        .map(|p| p.median);
+    let after = pooled.points.last().map(|p| p.median);
+    Outcome {
+        name,
+        before,
+        after,
+    }
+}
+
+/// Runs E9 and writes `compare.csv`.
+pub fn run(scale: &Scale) {
+    let n = if scale.full { 16_384 } else { 1_024 };
+    let survivors = 32;
+    let crash_at = 900.0;
+    let horizon = 2_500.0;
+    println!(
+        "== Baseline comparison: n = {n} → {survivors} at t = {crash_at} ({} runs) ==",
+        scale.runs
+    );
+    println!(
+        "   references: log2(n) = {}, log2(survivors) = {}",
+        f2(log2n(n)),
+        f2(log2n(survivors))
+    );
+
+    let outcomes = vec![
+        run_one(scale, "DSC (paper)", crate::paper_protocol(), n, crash_at, survivors, horizon),
+        run_one(scale, "Doty-Eftekhari 2022", De22Counting::new(), n, crash_at, survivors, horizon),
+        run_one(scale, "static max-GRV", StaticGrvCounting::new(16), n, crash_at, survivors, horizon),
+        run_one(
+            scale,
+            "BKR 2019 (leader)",
+            BkrCounting::new().with_round_factor(8),
+            n,
+            crash_at,
+            survivors,
+            horizon,
+        ),
+    ];
+
+    let mut table = Table::new(vec!["protocol", "median before", "median after", "adapts?"]);
+    let mut rows = Vec::new();
+    for o in &outcomes {
+        let fmt = |x: Option<f64>| x.map(f2).unwrap_or_else(|| "-".into());
+        // "Adapts" = the estimate covered at least 40% of the gap from its
+        // pre-crash level towards the new log2(survivors) level (a
+        // direction-and-magnitude test robust to each protocol's own
+        // constant-factor offset).
+        let adapts = match (o.before, o.after) {
+            (Some(b), Some(a)) => {
+                let target = log2n(survivors);
+                if b <= target + 2.0 {
+                    "n/a".to_string()
+                } else if (b - a) >= 0.4 * (b - target) {
+                    "yes".to_string()
+                } else {
+                    "NO".to_string()
+                }
+            }
+            _ => "no output".to_string(),
+        };
+        table.row(vec![o.name.to_string(), fmt(o.before), fmt(o.after), adapts.clone()]);
+        rows.push(vec![
+            o.name.to_string(),
+            fmt(o.before),
+            fmt(o.after),
+            adapts,
+        ]);
+    }
+    table.print();
+    write_csv(
+        &scale.out_path("compare.csv"),
+        &["protocol", "median_before", "median_after", "adapts"],
+        &rows,
+    )
+    .expect("write compare.csv");
+    println!();
+}

@@ -1,0 +1,95 @@
+//! E5 / Theorem 2.1 (convergence): `O(log n̂ + log n)` convergence time.
+//!
+//! Two sweeps:
+//!
+//! 1. **initial-estimate sweep** — fixed n, initial estimate n̂ with
+//!    `log n̂ ∈ {15, 30, 60, 120, 240}`: convergence time should grow
+//!    *linearly* in `log n̂` (the countdown runs at `τ1·log n̂`), the
+//!    paper's trade-off against Doty–Eftekhari (whose convergence is
+//!    `log log n̂ + log n` — faster under exponential over-estimates,
+//!    at a much larger memory cost).
+//! 2. **population sweep** — fresh init, n ∈ {2^7 … 2^13}: convergence
+//!    time should grow like `log n` (slope ≈ constant per doubling).
+
+use crate::{f2, log2n, Scale};
+use pp_analysis::{convergence_time, mean, write_csv, Band, Table};
+use pp_sim::AdversarySchedule;
+use std::sync::Arc;
+
+/// Runs E5 and writes `convergence_nhat.csv` / `convergence_n.csv`.
+pub fn run(scale: &Scale) {
+    println!("== Theorem 2.1: convergence time ({} runs/point) ==", scale.runs);
+
+    // Band: the steady estimate is ≈ log2(k·n) = log2 n + 4; use a generous
+    // constant-factor band (validity per §4.1 is far wider still).
+    let band_for = |n: usize| Band::around_log_n(n, 0.5, 4.0);
+
+    // Sweep 1: initial estimate.
+    let n = if scale.full { 100_000 } else { 2_000 };
+    // All sweep values lie *outside* the validity band (otherwise the
+    // convergence time is trivially zero — an over-estimate inside the
+    // band is already a valid configuration).
+    let estimates: &[u64] = if scale.full {
+        &[60, 120, 240, 480, 960]
+    } else {
+        &[60, 120, 240]
+    };
+    println!("-- convergence vs initial estimate (n = {n}) --");
+    let mut table = Table::new(vec!["log n-hat", "mean conv. time", "per unit"]);
+    let mut rows = Vec::new();
+    let protocol = crate::paper_protocol();
+    for &e0 in estimates {
+        let horizon = 40.0 * e0 as f64 + 500.0;
+        let init = Arc::new(move |_i: usize| protocol.state_with_estimate(e0));
+        let runs = crate::run_many(scale, n, horizon, 5.0, AdversarySchedule::new(), Some(init));
+        let times: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| convergence_time(r, band_for(n)))
+            .collect();
+        let mean_t = mean(&times).unwrap_or(f64::NAN);
+        table.row(vec![
+            e0.to_string(),
+            f2(mean_t),
+            f2(mean_t / e0 as f64),
+        ]);
+        rows.push(vec![e0.to_string(), format!("{mean_t}"), times.len().to_string()]);
+    }
+    table.print();
+    write_csv(
+        &scale.out_path("convergence_nhat.csv"),
+        &["log_nhat", "mean_convergence_time", "converged_runs"],
+        &rows,
+    )
+    .expect("write convergence_nhat.csv");
+
+    // Sweep 2: population size.
+    let exps: &[u32] = if scale.full { &[7, 9, 11, 13, 15, 17] } else { &[7, 9, 11, 13] };
+    println!("-- convergence vs population size (fresh init) --");
+    let mut table = Table::new(vec!["n", "log2 n", "mean conv. time", "per log n"]);
+    let mut rows = Vec::new();
+    for &exp in exps {
+        let n = 1usize << exp;
+        let horizon = 500.0 + 10.0 * exp as f64;
+        let runs = crate::run_many(scale, n, horizon, 1.0, AdversarySchedule::new(), None);
+        let times: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| convergence_time(r, band_for(n)))
+            .collect();
+        let mean_t = mean(&times).unwrap_or(f64::NAN);
+        table.row(vec![
+            format!("2^{exp}"),
+            f2(log2n(n)),
+            f2(mean_t),
+            f2(mean_t / log2n(n)),
+        ]);
+        rows.push(vec![n.to_string(), format!("{mean_t}"), times.len().to_string()]);
+    }
+    table.print();
+    write_csv(
+        &scale.out_path("convergence_n.csv"),
+        &["n", "mean_convergence_time", "converged_runs"],
+        &rows,
+    )
+    .expect("write convergence_n.csv");
+    println!();
+}

@@ -1,0 +1,64 @@
+//! E1 / Figure 2: size estimate over time in a fresh system.
+//!
+//! Paper setup: n = 10^6 agents, initially "empty" (every agent in the
+//! fresh joined state), 5000 parallel time, 96 runs; plotted are the
+//! minimum, median, and maximum of all estimates per snapshot, against the
+//! reference line `log2 n`.
+//!
+//! Expected shape (paper Fig. 2): a fast ramp from 1 to ≈ `log2(k·n)`
+//! within tens of parallel time, then a long, flat band with small
+//! oscillation — the holding phase. With k = 16 the estimates settle a
+//! few units *above* `log2 n` (the maximum of k·n GRVs concentrates around
+//! `log2(k·n) ≈ log2 n + 4`), matching the paper's plot where the band
+//! sits slightly above the reference line.
+
+use crate::{f2, log2n, Scale};
+use pp_analysis::{render_band, write_csv, PooledSeries, Table};
+use pp_sim::AdversarySchedule;
+
+/// Runs E1 and writes `fig2.csv`.
+pub fn run(scale: &Scale) {
+    let (n, horizon) = if scale.full { (1_000_000, 5_000.0) } else { (20_000, 1_500.0) };
+    let snapshot_every = if scale.full { 5.0 } else { 1.0 };
+    println!("== Fig. 2: estimate of log n over time (n = {n}, {} runs) ==", scale.runs);
+
+    let runs = crate::run_many(scale, n, horizon, snapshot_every, AdversarySchedule::new(), None);
+    let pooled = PooledSeries::pool(&runs);
+
+    let times: Vec<f64> = pooled.points.iter().map(|p| p.parallel_time).collect();
+    let mins: Vec<f64> = pooled.points.iter().map(|p| p.min).collect();
+    let medians: Vec<f64> = pooled.points.iter().map(|p| p.median).collect();
+    let maxes: Vec<f64> = pooled.points.iter().map(|p| p.max).collect();
+    print!(
+        "{}",
+        render_band(
+            &format!("estimate of log n   [reference log2(n) = {}]", f2(log2n(n))),
+            &times,
+            &mins,
+            &medians,
+            &maxes
+        )
+    );
+
+    let mut table = Table::new(vec!["t", "min", "median", "max"]);
+    let count = pooled.points.len();
+    for i in (0..=10).map(|k| (count - 1) * k / 10) {
+        let p = &pooled.points[i];
+        table.row(vec![
+            format!("{:.0}", p.parallel_time),
+            f2(p.min),
+            f2(p.median),
+            f2(p.max),
+        ]);
+    }
+    table.print();
+
+    let path = scale.out_path("fig2.csv");
+    write_csv(
+        &path,
+        &["parallel_time", "min", "median", "max", "runs"],
+        &pooled.csv_rows(),
+    )
+    .expect("write fig2.csv");
+    println!("wrote {path}\n");
+}

@@ -1,0 +1,51 @@
+//! E2 / Figure 3: relative deviation from `log2 n` across population sizes.
+//!
+//! Paper setup: n = 10^1, 10^2, …, 10^6; per n the min/median/max of
+//! `estimate / log2 n` over converged runs.
+//!
+//! Expected shape (paper Fig. 3): the maximum deviation starts large
+//! (≈ 4–5× at n = 10) and falls towards ≈ 1 as n grows; the median
+//! approaches 1 from above; the minimum sits slightly below/at 1. Small
+//! populations overshoot because the max of k·n GRVs exceeds `log2 n` by
+//! `log2 k + O(1)`, which is huge relative to `log2 10`.
+
+use crate::{f2, log2n, Scale};
+use pp_analysis::{relative_deviation, write_csv, Table};
+use pp_sim::AdversarySchedule;
+
+/// Runs E2 and writes `fig3.csv`.
+pub fn run(scale: &Scale) {
+    let max_exp = if scale.full { 6 } else { 4 };
+    let horizon = if scale.full { 5_000.0 } else { 1_000.0 };
+    let warmup = horizon / 2.0;
+    println!(
+        "== Fig. 3: relative deviation from log n (n = 10^1..10^{max_exp}, {} runs) ==",
+        scale.runs
+    );
+
+    let mut table = Table::new(vec!["n", "log2(n)", "min", "median", "max"]);
+    let mut rows = Vec::new();
+    for exp in 1..=max_exp {
+        let n = 10usize.pow(exp);
+        let runs = crate::run_many(scale, n, horizon, 5.0, AdversarySchedule::new(), None);
+        let dev = relative_deviation(&runs, n, warmup).expect("estimates in window");
+        table.row(vec![
+            format!("10^{exp}"),
+            f2(log2n(n)),
+            f2(dev.min),
+            f2(dev.median),
+            f2(dev.max),
+        ]);
+        rows.push(vec![
+            n.to_string(),
+            format!("{}", dev.min),
+            format!("{}", dev.median),
+            format!("{}", dev.max),
+        ]);
+    }
+    table.print();
+
+    let path = scale.out_path("fig3.csv");
+    write_csv(&path, &["n", "min", "median", "max"], &rows).expect("write fig3.csv");
+    println!("wrote {path}\n");
+}

@@ -1,0 +1,75 @@
+//! E3 / Figure 4: adaptation to a population crash.
+//!
+//! Paper setup: n ∈ {10^3, 10^4, 10^5, 10^6}; at parallel time 1350 the
+//! adversary removes all but 500 agents; 5000 parallel time horizon.
+//!
+//! Expected shape (paper Fig. 4): estimates converge to ≈ `log2(k·n)`,
+//! stay flat until t = 1350, then drop within a few rounds towards
+//! ≈ `log2(k·500) ≈ 13`, with wider min/max bands after the crash (the
+//! decimated population deviates more — the paper notes this matches its
+//! Fig. 3 findings). The drop is bigger, hence more visible, for larger n.
+
+use crate::{f2, log2n, Scale};
+use pp_analysis::{render_band, write_csv, PooledSeries};
+use pp_sim::{AdversarySchedule, PopulationEvent};
+
+/// The paper's crash time and survivor count.
+const CRASH_AT: f64 = 1_350.0;
+const SURVIVORS: usize = 500;
+
+/// Runs E3 and writes `fig4_nE.csv` per population size.
+pub fn run(scale: &Scale) {
+    let exps: &[u32] = if scale.full { &[3, 4, 5, 6] } else { &[3, 4] };
+    let horizon = if scale.full { 5_000.0 } else { 3_000.0 };
+    println!(
+        "== Fig. 4: all but {SURVIVORS} agents removed at t = {CRASH_AT} ({} runs) ==",
+        scale.runs
+    );
+
+    for &exp in exps {
+        let n = 10usize.pow(exp);
+        let schedule =
+            AdversarySchedule::new().at(CRASH_AT, PopulationEvent::ResizeTo(SURVIVORS));
+        let runs = crate::run_many(scale, n, horizon, 5.0, schedule, None);
+        let pooled = PooledSeries::pool(&runs);
+
+        let times: Vec<f64> = pooled.points.iter().map(|p| p.parallel_time).collect();
+        let mins: Vec<f64> = pooled.points.iter().map(|p| p.min).collect();
+        let medians: Vec<f64> = pooled.points.iter().map(|p| p.median).collect();
+        let maxes: Vec<f64> = pooled.points.iter().map(|p| p.max).collect();
+        print!(
+            "{}",
+            render_band(
+                &format!(
+                    "n = 10^{exp}  [log2(n) = {}, post-crash log2({SURVIVORS}) = {}]",
+                    f2(log2n(n)),
+                    f2(log2n(SURVIVORS))
+                ),
+                &times,
+                &mins,
+                &medians,
+                &maxes
+            )
+        );
+
+        // Quantify the drop: median estimate just before the crash vs at the end.
+        let before = pooled
+            .window(CRASH_AT - 200.0, CRASH_AT)
+            .last()
+            .map(|p| p.median);
+        let after = pooled.points.last().map(|p| p.median);
+        if let (Some(b), Some(a)) = (before, after) {
+            println!("  median before crash: {}  after: {}  (drop {})", f2(b), f2(a), f2(b - a));
+        }
+
+        let path = scale.out_path(&format!("fig4_n1e{exp}.csv"));
+        write_csv(
+            &path,
+            &["parallel_time", "min", "median", "max", "runs"],
+            &pooled.csv_rows(),
+        )
+        .expect("write fig4 csv");
+        println!("  wrote {path}");
+    }
+    println!();
+}

@@ -1,0 +1,82 @@
+//! E4 / Figure 5 (appendix): recovery from an initial over-estimate of 60.
+//!
+//! Paper setup: every agent starts with `max = lastMax = 60`
+//! (`time = τ1·60`), n = 10^1 … 10^6, 5000 parallel time.
+//!
+//! Expected shape (paper Fig. 5): the estimate stays pinned at 60 for a
+//! time proportional to the over-estimate (the countdown must elapse before
+//! the population forgets it — the `O(log n̂)` term of Theorem 2.1), then
+//! drops to the usual ≈ `log2(k·n)` band. For small populations the descent
+//! dominates the plot ("for small population sizes the initial estimate
+//! indeed dominates the convergence time"); for large n the drop happens
+//! comparatively early and the long flat band follows.
+
+use crate::{f2, log2n, Scale};
+use pp_analysis::{render_band, write_csv, PooledSeries};
+use pp_sim::AdversarySchedule;
+use std::sync::Arc;
+
+/// The appendix's initial estimate.
+const INITIAL_ESTIMATE: u64 = 60;
+
+/// Runs E4 and writes `fig5_nE.csv` per population size.
+pub fn run(scale: &Scale) {
+    let exps: &[u32] = if scale.full { &[1, 2, 3, 4, 5, 6] } else { &[1, 2, 3, 4] };
+    let horizon = 5_000.0; // the descent structure needs the paper's horizon
+    println!(
+        "== Fig. 5: initial estimate {INITIAL_ESTIMATE} (n = 10^1..10^{}, {} runs) ==",
+        exps.last().unwrap(),
+        scale.runs
+    );
+
+    let protocol = crate::paper_protocol();
+    for &exp in exps {
+        let n = 10usize.pow(exp);
+        let init = Arc::new(move |_i: usize| protocol.state_with_estimate(INITIAL_ESTIMATE));
+        let runs = crate::run_many(
+            scale,
+            n,
+            horizon,
+            5.0,
+            AdversarySchedule::new(),
+            Some(init),
+        );
+        let pooled = PooledSeries::pool(&runs);
+
+        let times: Vec<f64> = pooled.points.iter().map(|p| p.parallel_time).collect();
+        let mins: Vec<f64> = pooled.points.iter().map(|p| p.min).collect();
+        let medians: Vec<f64> = pooled.points.iter().map(|p| p.median).collect();
+        let maxes: Vec<f64> = pooled.points.iter().map(|p| p.max).collect();
+        print!(
+            "{}",
+            render_band(
+                &format!("n = 10^{exp}  [log2(n) = {}]", f2(log2n(n))),
+                &times,
+                &mins,
+                &medians,
+                &maxes
+            )
+        );
+
+        // First time the median leaves the initial estimate: the forget time.
+        let forgotten = pooled
+            .points
+            .iter()
+            .find(|p| p.median < INITIAL_ESTIMATE as f64 * 0.9)
+            .map(|p| p.parallel_time);
+        match forgotten {
+            Some(t) => println!("  initial estimate forgotten at t ≈ {}", f2(t)),
+            None => println!("  initial estimate never forgotten within the horizon"),
+        }
+
+        let path = scale.out_path(&format!("fig5_n1e{exp}.csv"));
+        write_csv(
+            &path,
+            &["parallel_time", "min", "median", "max", "runs"],
+            &pooled.csv_rows(),
+        )
+        .expect("write fig5 csv");
+        println!("  wrote {path}");
+    }
+    println!();
+}

@@ -1,0 +1,74 @@
+//! E6 / Theorem 2.1 (holding): validity persists for polynomial time.
+//!
+//! With the paper's `k = 16` the theoretical holding time is `Ω(n^15)` —
+//! unobservably long. The experiment therefore reports what *is*
+//! observable: over long horizons at small n, the fraction of runs whose
+//! validity never breaks (right-censored holding times). Any observed
+//! break would be a counterexample signal; the expected outcome is 100%
+//! censoring, i.e. every run holds for the entire horizon.
+
+use crate::{f2, Scale};
+use pp_analysis::{holding_time, write_csv, Band, Table};
+use pp_sim::AdversarySchedule;
+
+/// Runs E6 and writes `holding.csv`.
+pub fn run(scale: &Scale) {
+    let ns: &[usize] = if scale.full { &[64, 256, 1024] } else { &[64, 256] };
+    let horizon = if scale.full { 100_000.0 } else { 20_000.0 };
+    println!(
+        "== Theorem 2.1: holding time (horizon {horizon} parallel time, {} runs) ==",
+        scale.runs
+    );
+
+    let mut table = Table::new(vec![
+        "n",
+        "converged",
+        "held to horizon",
+        "min held (pt)",
+        "breaks",
+    ]);
+    let mut rows = Vec::new();
+    for &n in ns {
+        // The §4.1 validity band (generous; see convergence.rs for the
+        // tighter convergence band).
+        let band = Band::around_log_n(n, 0.5, 10.0);
+        let runs = crate::run_many(scale, n, horizon, 10.0, AdversarySchedule::new(), None);
+        let mut converged = 0usize;
+        let mut censored = 0usize;
+        let mut breaks = 0usize;
+        let mut min_held = f64::INFINITY;
+        for r in &runs {
+            if let Some(h) = holding_time(r, band) {
+                converged += 1;
+                min_held = min_held.min(h.held_for);
+                if h.censored {
+                    censored += 1;
+                } else {
+                    breaks += 1;
+                }
+            }
+        }
+        table.row(vec![
+            n.to_string(),
+            format!("{converged}/{}", runs.len()),
+            format!("{censored}/{converged}"),
+            f2(min_held),
+            breaks.to_string(),
+        ]);
+        rows.push(vec![
+            n.to_string(),
+            converged.to_string(),
+            censored.to_string(),
+            breaks.to_string(),
+            format!("{min_held}"),
+        ]);
+    }
+    table.print();
+    write_csv(
+        &scale.out_path("holding.csv"),
+        &["n", "converged", "held_to_horizon", "breaks", "min_held"],
+        &rows,
+    )
+    .expect("write holding.csv");
+    println!();
+}

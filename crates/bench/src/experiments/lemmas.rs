@@ -1,0 +1,166 @@
+//! E11: substrate validation against the paper's lemmas.
+//!
+//! * **Lemma 4.1** — the maximum of `k·n` GRVs lies in
+//!   `[0.5·log2 n, 2(k+1)·log2 n]` with probability `1 − O(n^{-k})`.
+//! * **Lemma 4.2** — an epidemic finishes within `4(k+1)·n·log n`
+//!   interactions with probability `1 − O(n^{-k})`.
+//! * **Lemma 4.3** — CHVP's maximum drops by `Δ` within
+//!   `7n(Δ + k log n)` interactions w.h.p.
+//! * **Lemma 4.4** — CHVP's minimum is at least `m − 12(Δ + k log n)`
+//!   after `7n(Δ + k log n)` interactions w.h.p.
+//!
+//! Each row reports the observed statistic and the lemma's bound; the
+//! observed violation count should be zero at these scales.
+
+use crate::{f2, log2n, Scale};
+use pp_model::grv;
+use pp_protocols::{BoundedChvp, Infection};
+use pp_sim::CountSimulator;
+use pp_analysis::{write_csv, Table};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runs E11 and writes `lemmas.csv`.
+pub fn run(scale: &Scale) {
+    println!("== Substrate validation: Lemmas 4.1–4.4 ==");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let trials = if scale.full { 500 } else { 100 };
+
+    // Lemma 4.1.
+    println!("-- Lemma 4.1: max of k·n GRVs in [0.5 log n, 2(k+1) log n] --");
+    let mut table = Table::new(vec!["n", "k", "observed min", "observed max", "bound lo", "bound hi", "violations"]);
+    let mut rng = SmallRng::seed_from_u64(scale.seed);
+    for exp in [8u32, 12, 16] {
+        let n = 1u64 << exp;
+        let k = 2u32;
+        let lo = 0.5 * log2n(n as usize);
+        let hi = 2.0 * (k as f64 + 1.0) * log2n(n as usize);
+        let mut omin = f64::INFINITY;
+        let mut omax: f64 = 0.0;
+        let mut violations = 0;
+        for _ in 0..trials {
+            let m = f64::from(grv::grv_max(k * n as u32, &mut rng));
+            omin = omin.min(m);
+            omax = omax.max(m);
+            if m < lo || m > hi {
+                violations += 1;
+            }
+        }
+        table.row(vec![
+            format!("2^{exp}"),
+            k.to_string(),
+            f2(omin),
+            f2(omax),
+            f2(lo),
+            f2(hi),
+            violations.to_string(),
+        ]);
+        rows.push(vec![
+            "lemma4.1".into(),
+            n.to_string(),
+            f2(omin),
+            f2(omax),
+            violations.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Lemma 4.2: epidemic completion time on the count simulator.
+    println!("-- Lemma 4.2: epidemic completes within 4(k+1)·log n parallel time (k = 1) --");
+    let mut table = Table::new(vec!["n", "mean completion (pt)", "bound (pt)", "violations"]);
+    let reps = if scale.full { 20 } else { 5 };
+    for exp in [10u32, 14, 18] {
+        let n = 1u64 << exp;
+        let bound = 4.0 * 2.0 * log2n(n as usize);
+        let mut total = 0.0;
+        let mut violations = 0;
+        for rep in 0..reps {
+            let mut sim = CountSimulator::from_counts(
+                Infection::new(),
+                vec![n - 1, 1],
+                scale.seed ^ (u64::from(exp) << 32) ^ rep,
+            );
+            // Step until complete, tracking parallel time.
+            while sim.count(1) < n {
+                sim.step_n(n / 10 + 1);
+                if sim.parallel_time() > 10.0 * bound {
+                    break;
+                }
+            }
+            if sim.parallel_time() > bound {
+                violations += 1;
+            }
+            total += sim.parallel_time();
+        }
+        table.row(vec![
+            format!("2^{exp}"),
+            f2(total / reps as f64),
+            f2(bound),
+            violations.to_string(),
+        ]);
+        rows.push(vec![
+            "lemma4.2".into(),
+            n.to_string(),
+            f2(total / reps as f64),
+            f2(bound),
+            violations.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Lemmas 4.3 / 4.4 on bounded CHVP.
+    println!("-- Lemmas 4.3/4.4: CHVP max-drop and min-catch-up windows (k = 2) --");
+    let mut table = Table::new(vec![
+        "n",
+        "max after budget",
+        "4.3 target (<=)",
+        "min after budget",
+        "4.4 bound (>=)",
+    ]);
+    let k = 2.0;
+    for exp in [10u32, 14] {
+        let n = 1u64 << exp;
+        let m = 400u32;
+        let delta = 60.0;
+        let window = delta + k * log2n(n as usize);
+        let budget = (7.0 * n as f64 * window) as u64;
+        // 4.3: all start at m; after the budget the max dropped by ≥ Δ.
+        let mut counts = vec![0u64; m as usize + 1];
+        counts[m as usize] = n;
+        let mut sim = CountSimulator::from_counts(BoundedChvp::new(m), counts, scale.seed + 7);
+        sim.step_n(budget);
+        let max_after = sim.max_occupied().unwrap() as f64;
+        // 4.4: one agent at m, the rest at 0; after the budget the min is
+        // within 12(Δ + k log n) of m.
+        let mut counts = vec![0u64; m as usize + 1];
+        counts[0] = n - 1;
+        counts[m as usize] = 1;
+        let mut sim = CountSimulator::from_counts(BoundedChvp::new(m), counts, scale.seed + 8);
+        sim.step_n(budget);
+        let min_after = sim.min_occupied().unwrap() as f64;
+        let bound_44 = f64::from(m) - 12.0 * window;
+        table.row(vec![
+            format!("2^{exp}"),
+            f2(max_after),
+            f2(f64::from(m) - delta),
+            f2(min_after),
+            f2(bound_44),
+        ]);
+        rows.push(vec![
+            "lemma4.3/4.4".into(),
+            n.to_string(),
+            f2(max_after),
+            f2(min_after),
+            f2(bound_44),
+        ]);
+    }
+    table.print();
+
+    write_csv(
+        &scale.out_path("lemmas.csv"),
+        &["lemma", "n", "a", "b", "c"],
+        &rows,
+    )
+    .expect("write lemmas.csv");
+    println!();
+}

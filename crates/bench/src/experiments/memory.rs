@@ -1,0 +1,147 @@
+//! E7 / Theorem 2.1 (space): bits per agent.
+//!
+//! Two claims to check:
+//!
+//! 1. **shape in n** — after convergence, the paper's protocol stores
+//!    `O(log log n)`-bit values (four counters of magnitude `O(log n)`),
+//!    while the Doty–Eftekhari baseline stores a *list* of `Θ(log n)`
+//!    timers: its footprint grows like `log n · log log n`, visibly
+//!    steeper. The crossover claimed in the paper's §2.2 ("once our
+//!    protocol is converged it requires an optimal O(log log n) bits …
+//!    improving upon \[22\]") should be visible at every n.
+//! 2. **shape in s** — the transient footprint scales with `log s` for an
+//!    initial over-estimate `s` (the `O(log s)` term), and collapses back
+//!    after convergence.
+
+use crate::{f2, Scale};
+use pp_analysis::{memory_profile, theorem_bound_bits, write_csv, Table};
+use pp_model::SizeEstimator;
+use pp_protocols::De22Counting;
+use pp_sim::runner::run_seed;
+use pp_sim::{Experiment, RunResult};
+use std::sync::Arc;
+
+fn run_memory<P>(scale: &Scale, protocol: P, n: usize, horizon: f64) -> Vec<RunResult>
+where
+    P: SizeEstimator + Clone + Send + Sync,
+    P::State: pp_model::MemoryFootprint + Clone + Send + Sync,
+{
+    pp_sim::parallel_map(scale.runs.min(8), scale.threads, move |run| {
+        Experiment::new(protocol.clone(), n)
+            .seed(run_seed(scale.seed, run))
+            .horizon(horizon)
+            .snapshot_every(10.0)
+            .run_with_memory()
+    })
+}
+
+/// Runs E7 and writes `memory_n.csv` / `memory_s.csv`.
+pub fn run(scale: &Scale) {
+    println!("== Theorem 2.1: memory in bits per agent ==");
+    let exps: &[u32] = if scale.full { &[8, 10, 12, 14, 16] } else { &[8, 10, 12] };
+    let horizon = if scale.full { 1_000.0 } else { 400.0 };
+
+    println!("-- steady-state footprint vs n (DSC vs Doty–Eftekhari 2022) --");
+    let mut table = Table::new(vec![
+        "n",
+        "DSC max bits",
+        "DSC mean bits",
+        "DE22 max bits",
+        "DE22 mean bits",
+        "c(log s+loglog n)",
+    ]);
+    let mut rows = Vec::new();
+    for &exp in exps {
+        let n = 1usize << exp;
+        let warmup = horizon / 2.0;
+        let dsc_runs = run_memory(scale, crate::paper_protocol(), n, horizon);
+        let de_runs = run_memory(scale, De22Counting::new(), n, horizon);
+        let dsc: Vec<_> = dsc_runs
+            .iter()
+            .filter_map(|r| memory_profile(r, warmup))
+            .collect();
+        let de: Vec<_> = de_runs
+            .iter()
+            .filter_map(|r| memory_profile(r, warmup))
+            .collect();
+        let avg = |xs: &[f64]| pp_analysis::mean(xs).unwrap_or(f64::NAN);
+        let dsc_max = avg(&dsc.iter().map(|p| p.steady_max_bits).collect::<Vec<_>>());
+        let dsc_mean = avg(&dsc.iter().map(|p| p.steady_mean_bits).collect::<Vec<_>>());
+        let de_max = avg(&de.iter().map(|p| p.steady_max_bits).collect::<Vec<_>>());
+        let de_mean = avg(&de.iter().map(|p| p.steady_mean_bits).collect::<Vec<_>>());
+        // Reference shape: the steady state has s = Θ(log n).
+        let bound = theorem_bound_bits((exp as u64) * 8, n, 4.0);
+        table.row(vec![
+            format!("2^{exp}"),
+            f2(dsc_max),
+            f2(dsc_mean),
+            f2(de_max),
+            f2(de_mean),
+            f2(bound),
+        ]);
+        rows.push(vec![
+            n.to_string(),
+            format!("{dsc_max}"),
+            format!("{dsc_mean}"),
+            format!("{de_max}"),
+            format!("{de_mean}"),
+        ]);
+    }
+    table.print();
+    write_csv(
+        &scale.out_path("memory_n.csv"),
+        &["n", "dsc_max_bits", "dsc_mean_bits", "de22_max_bits", "de22_mean_bits"],
+        &rows,
+    )
+    .expect("write memory_n.csv");
+
+    // Sweep 2: initial over-estimate s. Forgetting an over-estimate takes
+    // ≈ 2 rounds of ≈ 15·τ1·s parallel time each (the countdown decays
+    // slightly slower than one per parallel time), so the horizon scales
+    // with s and "steady" starts well past the forget point.
+    println!("-- transient footprint vs initial estimate s (n = 256) --");
+    let n = 256usize;
+    let estimates: &[u64] = if scale.full {
+        &[60, 600, 6_000, 60_000]
+    } else {
+        &[60, 600, 6_000]
+    };
+    let mut table = Table::new(vec!["s", "peak bits", "steady max bits"]);
+    let mut rows = Vec::new();
+    let protocol = crate::paper_protocol();
+    for &s in estimates {
+        let horizon = 40.0 * s as f64 + 600.0;
+        let runs: Vec<RunResult> =
+            pp_sim::parallel_map(scale.runs.min(8), scale.threads, move |run| {
+                Experiment::new(protocol, n)
+                    .seed(run_seed(scale.seed ^ s, run))
+                    .horizon(horizon)
+                    .snapshot_every(10.0)
+                    .init(pp_sim::InitMode::FromFn(Box::new({
+                        let f = Arc::new(move |_i: usize| protocol.state_with_estimate(s));
+                        move |i| f(i)
+                    })))
+                    .run_with_memory()
+            });
+        let profiles: Vec<_> = runs
+            .iter()
+            .filter_map(|r| memory_profile(r, horizon * 0.9))
+            .collect();
+        let peak =
+            pp_analysis::mean(&profiles.iter().map(|p| f64::from(p.peak_bits)).collect::<Vec<_>>())
+                .unwrap_or(f64::NAN);
+        let steady =
+            pp_analysis::mean(&profiles.iter().map(|p| p.steady_max_bits).collect::<Vec<_>>())
+                .unwrap_or(f64::NAN);
+        table.row(vec![s.to_string(), f2(peak), f2(steady)]);
+        rows.push(vec![s.to_string(), format!("{peak}"), format!("{steady}")]);
+    }
+    table.print();
+    write_csv(
+        &scale.out_path("memory_s.csv"),
+        &["s", "peak_bits", "steady_max_bits"],
+        &rows,
+    )
+    .expect("write memory_s.csv");
+    println!();
+}

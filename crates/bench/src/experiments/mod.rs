@@ -1,0 +1,17 @@
+//! Experiment implementations (DESIGN.md §4, E1–E11).
+//!
+//! Each module exposes `run(scale: &Scale)`; the binaries in `src/bin` are
+//! thin wrappers and `repro` chains all of them.
+
+pub mod ablation;
+pub mod accuracy;
+pub mod burst_overlap;
+pub mod compare;
+pub mod convergence;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod holding;
+pub mod lemmas;
+pub mod memory;

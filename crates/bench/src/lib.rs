@@ -1,0 +1,197 @@
+//! # pp-bench — the benchmark harness
+//!
+//! One experiment module per figure of the paper plus the theorem-validation
+//! and ablation experiments of DESIGN.md §4 (E1–E11). Each binary in
+//! `src/bin` is a thin wrapper; `repro` runs everything.
+//!
+//! Every experiment supports two scales:
+//!
+//! * **quick** (default) — laptop scale: minutes for the full suite, with
+//!   reduced `n`, runs, and horizons;
+//! * **full** (`--full`) — the paper's scale (`n` up to 10^6, 96 runs,
+//!   5000 parallel time); expect hours.
+//!
+//! Results are printed as tables/sparklines and written as plot-ready CSV
+//! under `results/` (override with `--out <dir>`).
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+use dsc_core::{DscConfig, DynamicSizeCounting};
+use pp_sim::runner::run_seed;
+use pp_sim::{AdversarySchedule, Experiment, InitMode, RunResult};
+
+/// Scale and output settings shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Paper scale when true; laptop scale otherwise.
+    pub full: bool,
+    /// Independent runs per data point (the paper uses 96).
+    pub runs: usize,
+    /// Master seed; per-run seeds derive from it.
+    pub seed: u64,
+    /// Worker threads (0 = machine parallelism).
+    pub threads: usize,
+    /// Output directory for CSV files.
+    pub out_dir: String,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            full: false,
+            runs: 16,
+            seed: 0xD5C0_2024,
+            threads: 0,
+            out_dir: "results".into(),
+        }
+    }
+}
+
+impl Scale {
+    /// Parses command-line arguments (`--full`, `--runs N`, `--seed S`,
+    /// `--threads T`, `--out DIR`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Scale {
+        let mut scale = Scale::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match arg.as_str() {
+                "--full" => {
+                    scale.full = true;
+                    scale.runs = 96;
+                }
+                "--runs" => scale.runs = value("--runs").parse().expect("--runs takes a number"),
+                "--seed" => scale.seed = value("--seed").parse().expect("--seed takes a number"),
+                "--threads" => {
+                    scale.threads = value("--threads").parse().expect("--threads takes a number")
+                }
+                "--out" => scale.out_dir = value("--out"),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--full] [--runs N] [--seed S] [--threads T] [--out DIR]"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        scale
+    }
+
+    /// Output path under the results directory.
+    pub fn out_path(&self, file: &str) -> String {
+        format!("{}/{}", self.out_dir, file)
+    }
+}
+
+/// The protocol under test with the paper's empirical configuration.
+pub fn paper_protocol() -> DynamicSizeCounting {
+    DynamicSizeCounting::new(DscConfig::empirical())
+}
+
+/// Runs `scale.runs` independent DSC experiments in parallel.
+///
+/// `init` builds the initial state per agent index (None = fresh);
+/// `schedule` is cloned into every run.
+pub fn run_many(
+    scale: &Scale,
+    n: usize,
+    horizon: f64,
+    snapshot_every: f64,
+    schedule: AdversarySchedule,
+    init: Option<std::sync::Arc<dyn Fn(usize) -> dsc_core::DscState + Send + Sync>>,
+) -> Vec<RunResult> {
+    let protocol = paper_protocol();
+    pp_sim::parallel_map(scale.runs, scale.threads, move |run| {
+        let mut exp = Experiment::new(protocol, n)
+            .seed(run_seed(scale.seed, run))
+            .horizon(horizon)
+            .snapshot_every(snapshot_every)
+            .schedule(schedule.clone());
+        if let Some(f) = &init {
+            let f = std::sync::Arc::clone(f);
+            exp = exp.init(InitMode::FromFn(Box::new(move |i| f(i))));
+        }
+        exp.run()
+    })
+}
+
+/// Runs `scale.runs` experiments of an arbitrary estimator protocol.
+pub fn run_many_protocol<P>(
+    scale: &Scale,
+    protocol: P,
+    n: usize,
+    horizon: f64,
+    snapshot_every: f64,
+    schedule: AdversarySchedule,
+) -> Vec<RunResult>
+where
+    P: pp_model::SizeEstimator + Clone + Send + Sync,
+    P::State: Clone + Send + Sync,
+{
+    pp_sim::parallel_map(scale.runs, scale.threads, move |run| {
+        Experiment::new(protocol.clone(), n)
+            .seed(run_seed(scale.seed, run))
+            .horizon(horizon)
+            .snapshot_every(snapshot_every)
+            .schedule(schedule.clone())
+            .run()
+    })
+}
+
+/// Formats a float with two decimals for tables.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// `log2(n)` as the reference the figures annotate.
+pub fn log2n(n: usize) -> f64 {
+    (n.max(2) as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_model::Protocol;
+
+    #[test]
+    fn default_scale_is_quick() {
+        let s = Scale::default();
+        assert!(!s.full);
+        assert_eq!(s.runs, 16);
+    }
+
+    #[test]
+    fn out_path_joins_dir() {
+        let s = Scale::default();
+        assert_eq!(s.out_path("fig2.csv"), "results/fig2.csv");
+    }
+
+    #[test]
+    fn run_many_produces_runs_with_distinct_seeds() {
+        let scale = Scale {
+            runs: 3,
+            ..Scale::default()
+        };
+        let runs = run_many(&scale, 64, 5.0, 1.0, AdversarySchedule::new(), None);
+        assert_eq!(runs.len(), 3);
+        assert_ne!(runs[0].seed, runs[1].seed);
+        assert_eq!(runs[0].snapshots.len(), 6);
+    }
+
+    #[test]
+    fn paper_protocol_uses_empirical_config() {
+        let p = paper_protocol();
+        assert_eq!(p.config().tau1, 6);
+        assert_eq!(p.initial_state().max, 1);
+    }
+}

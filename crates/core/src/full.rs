@@ -1,0 +1,515 @@
+//! Algorithm 2: `DynamicSizeCounting(u, v)` — the paper's protocol.
+//!
+//! A line-by-line transcription; each numbered block below names the lines
+//! of Algorithm 2 it implements, and the unit tests pin every line against
+//! hand-computed interactions.
+//!
+//! ```text
+//!  2  if u.time ≤ 0                                        ⊲ wrap-around
+//!  3     or (u ∈ I_reset and v ∈ I_exchange)               ⊲ reset → exchange
+//!  4     or (u ∉ I_exchange and u.max ≠ v.max) then        ⊲ hold → exchange
+//!  5      grv ← 20(k+1)·GRV(k)
+//!  6      (u.time, u.interactions, u.max, u.lastMax)
+//!             ← (τ1·max{u.max, grv}, 0, grv, u.max)
+//!  7  if u.interactions > τ′·max{u.max, u.lastMax}         ⊲ backup GRV
+//!  8      (u.interactions, grv) ← (0, GRV(k))
+//!  9      if grv > u.max                     ⊲ reset if larger than overestimated max
+//! 10          (u.time, u.max) ← (τ1·20(k+1)·grv, 20(k+1)·grv)
+//! 11  if u, v ∈ I_exchange and u.max < v.max               ⊲ exchange maximum
+//! 12      (u.time, u.max, u.lastMax) ← (τ1·v.max, v.max, v.lastMax)
+//! 13  if u.max = v.max and (u × v) ∉ (I_exchange × I_reset) ⊲ exchange last maximum
+//! 14      u.lastMax ← max{u.lastMax, v.lastMax}
+//! 15  (u.time, u.interactions) ← (max{u.time, v.time} − 1, u.interactions + 1)  ⊲ CHVP
+//! ```
+//!
+//! The `20(k+1)` factor is [`DscConfig::overestimate`] (`1` in the
+//! empirical configuration, `20(k+1)` in the theory configuration — see
+//! `config` for why). A *reset* — lines 5–6 or a successful backup at
+//! lines 9–10 — is the clock signal of Theorem 2.2 and increments the
+//! instrumentation tick counter.
+
+use crate::config::DscConfig;
+use crate::phase::Phase;
+use crate::state::DscState;
+use pp_model::{grv, Protocol, SizeEstimator, TickProtocol};
+use rand::Rng;
+
+/// The paper's uniform, loosely-stabilizing dynamic size counting protocol
+/// (Algorithm 2), which doubles as a uniform phase clock (Theorem 2.2).
+///
+/// # Examples
+///
+/// ```
+/// use dsc_core::{DscConfig, DynamicSizeCounting};
+/// use pp_model::{Protocol, SizeEstimator};
+///
+/// let p = DynamicSizeCounting::new(DscConfig::empirical());
+/// let mut u = p.initial_state();
+/// let mut v = p.initial_state();
+/// p.interact(&mut u, &mut v, &mut rand::rng());
+/// assert!(p.estimate_log2(&u).is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicSizeCounting {
+    config: DscConfig,
+}
+
+impl DynamicSizeCounting {
+    /// Creates the protocol with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration violates `τ1 > τ2 > τ3 ≥ 1` (see
+    /// [`DscConfig::validate`]).
+    pub fn new(config: DscConfig) -> Self {
+        config.validate().expect("invalid DSC configuration");
+        DynamicSizeCounting { config }
+    }
+
+    /// The protocol's configuration.
+    pub fn config(&self) -> &DscConfig {
+        &self.config
+    }
+
+    /// The phase of `state` (paper Fig. 1).
+    pub fn phase(&self, state: &DscState) -> Phase {
+        Phase::of(&self.config, state)
+    }
+
+    /// The state of an agent initialized with a given (descaled) estimate:
+    /// `max = lastMax = estimate`, `time = τ1·estimate` — the paper's
+    /// Fig. 5 setup ("populations initialized with an estimate of 60").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `estimate == 0`.
+    pub fn state_with_estimate(&self, estimate: u64) -> DscState {
+        assert!(estimate >= 1, "an initial estimate must be at least 1");
+        let scaled = estimate * self.config.overestimate;
+        DscState {
+            max: scaled,
+            last_max: scaled,
+            time: (self.config.tau1 * scaled) as i64,
+            interactions: 0,
+            ticks: 0,
+        }
+    }
+
+    /// The descaled estimate `max{max, lastMax} / overestimate`, rounded —
+    /// the quantity the paper's §5 reports ("the reported estimate of an
+    /// agent u is max{u.max, u.lastMax} without the overestimation
+    /// applied").
+    pub fn reported_estimate(&self, state: &DscState) -> u64 {
+        let ovr = self.config.overestimate;
+        (state.effective_max() + ovr / 2) / ovr
+    }
+}
+
+impl Protocol for DynamicSizeCounting {
+    type State = DscState;
+
+    /// Newly added agents start with `max = lastMax = 1`, `time = τ1`,
+    /// `interactions = 0` (paper §3).
+    fn initial_state(&self) -> DscState {
+        DscState {
+            max: 1,
+            last_max: 1,
+            time: self.config.tau1 as i64,
+            interactions: 0,
+            ticks: 0,
+        }
+    }
+
+    fn interact(&self, u: &mut DscState, v: &mut DscState, rng: &mut dyn Rng) {
+        let c = &self.config;
+        let tau1 = c.tau1 as i64;
+
+        // Lines 2–6: wrap-around / reset→exchange / hold→exchange.
+        if u.time <= 0
+            || (self.phase(u) == Phase::Reset && self.phase(v) == Phase::Exchange)
+            || (self.phase(u) != Phase::Exchange && u.max != v.max)
+        {
+            let grv = c.overestimate * u64::from(grv::grv_max(c.k, rng));
+            // Tuple assignment: every right-hand side reads the *old* state.
+            u.time = tau1 * u.max.max(grv) as i64;
+            u.interactions = 0;
+            u.last_max = u.max;
+            u.max = grv;
+            u.ticks += 1; // reset ⇒ clock signal (Theorem 2.2)
+        }
+
+        // Lines 7–10: backup GRV generation.
+        if u.interactions > c.tau_prime * u.max.max(u.last_max) {
+            u.interactions = 0;
+            let grv = u64::from(grv::grv_max(c.k, rng));
+            // Only adopt when larger than the (overestimated) maximum, to
+            // preserve synchronization (paper §3).
+            if grv > u.max {
+                u.time = tau1 * (c.overestimate * grv) as i64;
+                u.max = c.overestimate * grv;
+                u.ticks += 1; // sets max, time, interactions ⇒ also a reset
+            }
+        }
+
+        // Lines 11–12: exchange the maximum (both in the exchange phase).
+        if self.phase(u) == Phase::Exchange && self.phase(v) == Phase::Exchange && u.max < v.max
+        {
+            u.time = tau1 * v.max as i64;
+            u.max = v.max;
+            u.last_max = v.last_max;
+        }
+
+        // Lines 13–14: exchange the trailing maximum — except from an
+        // exchange-phase u towards a reset-phase v, which would leak the
+        // previous round's value into the fresh one.
+        if u.max == v.max && !(self.phase(u) == Phase::Exchange && self.phase(v) == Phase::Reset)
+        {
+            u.last_max = u.last_max.max(v.last_max);
+        }
+
+        // Line 15: CHVP time synchronization + interaction counting.
+        u.time = u.time.max(v.time) - 1;
+        u.interactions += 1;
+    }
+}
+
+impl SizeEstimator for DynamicSizeCounting {
+    fn estimate_log2(&self, state: &DscState) -> Option<f64> {
+        Some(state.effective_max() as f64 / self.config.overestimate as f64)
+    }
+
+    fn estimate_bucket(&self, state: &DscState) -> Option<u32> {
+        Some(self.reported_estimate(state) as u32)
+    }
+}
+
+impl TickProtocol for DynamicSizeCounting {
+    fn tick_count(&self, state: &DscState) -> u64 {
+        state.ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn proto() -> DynamicSizeCounting {
+        DynamicSizeCounting::new(DscConfig::empirical())
+    }
+
+    fn state(max: u64, last_max: u64, time: i64, interactions: u64) -> DscState {
+        DscState {
+            max,
+            last_max,
+            time,
+            interactions,
+            ticks: 0,
+        }
+    }
+
+    #[test]
+    fn initial_state_matches_paper() {
+        let p = proto();
+        let s = p.initial_state();
+        assert_eq!((s.max, s.last_max), (1, 1));
+        assert_eq!(s.time, 6); // τ1 · 1
+        assert_eq!(s.interactions, 0);
+    }
+
+    /// Line 2: `time ≤ 0` forces a reset (wrap-around).
+    #[test]
+    fn line_2_wraparound_resets() {
+        let p = proto();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut u = state(9, 9, 0, 500);
+        let mut v = state(9, 9, 30, 0);
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(u.ticks, 1, "wrap-around is a reset");
+        assert_eq!(u.last_max, 9, "lastMax takes the old max");
+        assert!(u.max >= 1, "max is a fresh GRV");
+        // Line 6 set time = τ1·max{old max, grv}; line 15 then applied CHVP
+        // against v.time = 30 < τ1·9 ⇒ time = τ1·max{9, grv} − 1.
+        assert_eq!(u.time, 6 * u.max.max(9) as i64 - 1);
+        assert_eq!(u.interactions, 1, "zeroed by reset, then line 15's +1");
+    }
+
+    /// Line 3: a reset-phase agent meeting an exchange-phase agent resets.
+    #[test]
+    fn line_3_reset_meets_exchange_resets() {
+        let p = proto();
+        let mut rng = SmallRng::seed_from_u64(2);
+        // u: estimate 10, time 5 ⇒ reset phase (< τ3·10 = 20).
+        let mut u = state(10, 10, 5, 3);
+        // v: estimate 10, time 55 ⇒ exchange phase (≥ τ2·10 = 40).
+        let mut v = state(10, 10, 55, 0);
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(u.ticks, 1);
+        assert_eq!(u.last_max, 10);
+    }
+
+    /// Line 3 negative: reset-phase meeting hold-phase does NOT reset.
+    #[test]
+    fn reset_meets_hold_no_reset() {
+        let p = proto();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut u = state(10, 10, 5, 3);
+        let mut v = state(10, 10, 25, 0); // hold: 20 ≤ 25 < 40
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(u.ticks, 0);
+        assert_eq!(u.time, 24, "just CHVP: max(5, 25) − 1");
+        assert_eq!(u.interactions, 4);
+    }
+
+    /// Line 4: outside the exchange phase, differing maxima force a reset.
+    #[test]
+    fn line_4_hold_with_differing_max_resets() {
+        let p = proto();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut u = state(10, 10, 25, 3); // hold phase
+        let mut v = state(11, 11, 25, 0);
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(u.ticks, 1, "hold → exchange reset");
+    }
+
+    /// Line 4 negative: in the exchange phase differing maxima do NOT
+    /// reset — they are handled by the exchange rule (lines 11–12).
+    #[test]
+    fn exchange_with_differing_max_adopts_instead() {
+        let p = proto();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut u = state(10, 2, 45, 3); // exchange: 45 ≥ 40
+        let mut v = state(12, 7, 50, 0); // exchange: 50 ≥ 48
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(u.ticks, 0, "no reset in exchange phase");
+        assert_eq!(u.max, 12, "adopted the larger max");
+        assert_eq!(u.last_max, 7, "adopted v's lastMax with it");
+        // Line 12 set time = τ1·12 = 72; line 15: max(72, 50) − 1.
+        assert_eq!(u.time, 71);
+    }
+
+    /// Lines 7–8: the interaction counter triggers a backup GRV and zeroes.
+    #[test]
+    fn line_7_backup_triggers_on_interaction_count() {
+        let p = proto();
+        // τ′·max{max, lastMax} = 20·10 = 200.
+        let mut u = state(10, 10, 45, 201);
+        let mut v = state(10, 10, 45, 0);
+        // Find a seed whose GRV(16) is ≤ 10 so only the counter resets.
+        let mut rng = SmallRng::seed_from_u64(0);
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(
+            u.interactions, 1,
+            "backup zeroed the counter; line 15 added one"
+        );
+    }
+
+    /// Lines 9–10: a backup GRV larger than the current max resets max and
+    /// time (scaled by the overestimation factor).
+    #[test]
+    fn line_9_10_backup_adopts_larger_grv() {
+        // Overestimation 5 to observe the scaling; τ1 = 6.
+        let cfg = DscConfig::empirical().with_overestimate(5);
+        let p = DynamicSizeCounting::new(cfg);
+        // Tiny max so any GRV(16) exceeds it.
+        let mut u = state(1, 1, 45, 21); // τ′·1 = 20 < 21 triggers
+        let mut v = state(1, 1, 45, 0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        p.interact(&mut u, &mut v, &mut rng);
+        assert!(u.ticks >= 1, "backup adoption is a reset");
+        assert_eq!(u.max % 5, 0, "max carries the overestimation factor");
+        let grv = u.max / 5;
+        assert!(grv > 1);
+        // time = τ1·5·grv − 1 after line 15 (v.time = 45 is smaller).
+        assert_eq!(u.time, 6 * 5 * grv as i64 - 1);
+    }
+
+    /// Lines 13–14: equal maxima merge trailing estimates…
+    #[test]
+    fn line_13_lastmax_merges() {
+        let p = proto();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut u = state(10, 3, 45, 0); // exchange
+        let mut v = state(10, 8, 45, 0); // exchange
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(u.last_max, 8);
+        assert_eq!(v.last_max, 8, "responder is untouched (one-way)");
+    }
+
+    /// …except from exchange-u towards reset-v (the excluded pair).
+    #[test]
+    fn line_13_exclusion_exchange_to_reset() {
+        let p = proto();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut u = state(10, 3, 45, 0); // exchange (≥ 40)
+        let mut v = state(10, 8, 5, 0); // reset (< 20)
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(u.last_max, 3, "must not adopt a reset-phase lastMax");
+    }
+
+    /// Line 15: CHVP and the interaction counter always run.
+    #[test]
+    fn line_15_chvp_applies() {
+        let p = proto();
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut u = state(10, 10, 30, 5);
+        let mut v = state(10, 10, 38, 2);
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(u.time, 37, "max(30, 38) − 1");
+        assert_eq!(u.interactions, 6);
+        assert_eq!(v.time, 38, "one-way: v untouched");
+    }
+
+    #[test]
+    fn reported_estimate_descales() {
+        let cfg = DscConfig::empirical().with_overestimate(340);
+        let p = DynamicSizeCounting::new(cfg);
+        let s = state(340 * 20, 340 * 18, 100, 0);
+        assert_eq!(p.reported_estimate(&s), 20);
+        assert_eq!(p.estimate_bucket(&s), Some(20));
+        assert!((p.estimate_log2(&s).unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_with_estimate_matches_fig5_setup() {
+        let p = proto();
+        let s = p.state_with_estimate(60);
+        assert_eq!((s.max, s.last_max), (60, 60));
+        assert_eq!(s.time, 360); // τ1·60
+        assert_eq!(p.reported_estimate(&s), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_initial_estimate_rejected() {
+        let _ = proto().state_with_estimate(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DSC configuration")]
+    fn invalid_config_rejected() {
+        let mut cfg = DscConfig::empirical();
+        cfg.tau1 = 1;
+        let _ = DynamicSizeCounting::new(cfg);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_state() -> impl Strategy<Value = DscState> {
+            (
+                1u64..1_000,
+                0u64..1_000,
+                -100i64..10_000,
+                0u64..100_000,
+                0u64..5,
+            )
+                .prop_map(|(max, last_max, time, interactions, ticks)| DscState {
+                    max,
+                    last_max,
+                    time,
+                    interactions,
+                    ticks,
+                })
+        }
+
+        proptest! {
+            /// Algorithm 2 is one-way: the responder is never mutated.
+            #[test]
+            fn responder_is_never_mutated(u in arb_state(), v in arb_state(), seed: u64) {
+                let p = proto();
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut uu = u;
+                let mut vv = v;
+                p.interact(&mut uu, &mut vv, &mut rng);
+                prop_assert_eq!(vv, v);
+            }
+
+            /// Structural invariants of one interaction, from ANY state:
+            /// max stays positive; the interaction counter becomes old+1 or
+            /// 1 (after a zeroing); at most one reset fires; lastMax takes
+            /// the old max on reset; CHVP never lets time fall below
+            /// v.time − 1.
+            #[test]
+            fn transition_invariants(u in arb_state(), v in arb_state(), seed: u64) {
+                let p = proto();
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let old = u;
+                let mut uu = u;
+                let mut vv = v;
+                p.interact(&mut uu, &mut vv, &mut rng);
+
+                prop_assert!(uu.max >= 1, "max must stay positive");
+                prop_assert!(
+                    uu.interactions == old.interactions + 1 || uu.interactions == 1,
+                    "counter must be old+1 or a zeroed 1, got {} from {}",
+                    uu.interactions,
+                    old.interactions
+                );
+                prop_assert!(
+                    uu.ticks == old.ticks || uu.ticks == old.ticks + 1,
+                    "at most one reset per interaction"
+                );
+                prop_assert!(
+                    uu.time >= vv.time - 1,
+                    "CHVP lower bound violated: {} < {} - 1",
+                    uu.time,
+                    vv.time
+                );
+                if uu.ticks == old.ticks + 1 && uu.interactions == 1 && uu.last_max == old.max {
+                    // A lines-5–6 reset: time was rewound relative to the
+                    // larger of the old max and the fresh GRV.
+                    prop_assert!(
+                        uu.time >= p.config().tau1 as i64 * old.max.max(uu.max) as i64 - 1
+                    );
+                }
+            }
+
+            /// Within a round (no reset), the maximum never decreases —
+            /// exchange only adopts larger values.
+            #[test]
+            fn max_monotone_without_reset(u in arb_state(), v in arb_state(), seed: u64) {
+                let p = proto();
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let old = u;
+                let mut uu = u;
+                let mut vv = v;
+                p.interact(&mut uu, &mut vv, &mut rng);
+                if uu.ticks == old.ticks {
+                    prop_assert!(uu.max >= old.max, "max shrank without a reset");
+                }
+            }
+
+            /// The reported estimate is exactly the descaled effective max,
+            /// whatever the overestimation factor.
+            #[test]
+            fn reported_estimate_descale_roundtrip(
+                est in 1u64..500,
+                trailing in 0u64..500,
+                ovr in 1u64..400,
+            ) {
+                let p = DynamicSizeCounting::new(
+                    DscConfig::empirical().with_overestimate(ovr),
+                );
+                let s = DscState {
+                    max: est * ovr,
+                    last_max: trailing * ovr,
+                    time: 1,
+                    interactions: 0,
+                    ticks: 0,
+                };
+                prop_assert_eq!(p.reported_estimate(&s), est.max(trailing));
+            }
+
+            /// Phase classification is consistent between the protocol's
+            /// helper and the raw Phase::of.
+            #[test]
+            fn phase_helper_matches_phase_of(u in arb_state()) {
+                let p = proto();
+                prop_assert_eq!(p.phase(&u), Phase::of(p.config(), &u));
+            }
+        }
+    }
+}

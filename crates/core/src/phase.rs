@@ -1,0 +1,136 @@
+//! The three-phase clock face: exchange, hold, reset.
+//!
+//! The paper divides each agent's `time` into intervals relative to its
+//! current estimate (§3):
+//!
+//! ```text
+//! I_exchange = { v : time ≥ τ2·max }
+//! I_hold     = { v : τ2·max > time ≥ τ3·max }
+//! I_reset    = { v : τ3·max > time ≥ 0 }
+//! ```
+//!
+//! using `max{max, lastMax}` as the estimate (§4.1). In the **exchange**
+//! phase agents spread the maximum GRV epidemically; the **hold** phase
+//! separates exchange from reset so that a fresh arrival cannot be bounced
+//! straight back into a reset; in the **reset** phase agents launch the
+//! next round — any contact with an exchange-phase agent resets them.
+
+use crate::config::DscConfig;
+use crate::state::DscState;
+use std::fmt;
+
+/// The phase an agent currently occupies (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Spreading the maximum; entered by every reset.
+    Exchange,
+    /// Separator between exchange and reset.
+    Hold,
+    /// Waiting to launch (or be launched into) the next round. Also covers
+    /// the transient `time < 0` state, which the next interaction wraps.
+    Reset,
+}
+
+impl Phase {
+    /// The phase of `state` under `config`.
+    pub fn of(config: &DscConfig, state: &DscState) -> Phase {
+        let e = state.effective_max() as i64;
+        if state.time >= config.tau2 as i64 * e {
+            Phase::Exchange
+        } else if state.time >= config.tau3 as i64 * e {
+            Phase::Hold
+        } else {
+            Phase::Reset
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Phase::Exchange => "exchange",
+            Phase::Hold => "hold",
+            Phase::Reset => "reset",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn state(max: u64, last_max: u64, time: i64) -> DscState {
+        DscState {
+            max,
+            last_max,
+            time,
+            interactions: 0,
+            ticks: 0,
+        }
+    }
+
+    #[test]
+    fn thresholds_partition_the_clock_face() {
+        // τ1 = 6, τ2 = 4, τ3 = 2; estimate 10 ⇒ exchange ≥ 40, hold ≥ 20.
+        let c = DscConfig::empirical();
+        assert_eq!(Phase::of(&c, &state(10, 0, 60)), Phase::Exchange);
+        assert_eq!(Phase::of(&c, &state(10, 0, 40)), Phase::Exchange);
+        assert_eq!(Phase::of(&c, &state(10, 0, 39)), Phase::Hold);
+        assert_eq!(Phase::of(&c, &state(10, 0, 20)), Phase::Hold);
+        assert_eq!(Phase::of(&c, &state(10, 0, 19)), Phase::Reset);
+        assert_eq!(Phase::of(&c, &state(10, 0, 0)), Phase::Reset);
+        assert_eq!(Phase::of(&c, &state(10, 0, -5)), Phase::Reset);
+    }
+
+    #[test]
+    fn phases_use_the_effective_max() {
+        let c = DscConfig::empirical();
+        // max = 2 alone would put time = 30 in exchange (≥ 8), but the
+        // trailing estimate 10 keeps the phase boundaries wide.
+        assert_eq!(Phase::of(&c, &state(2, 10, 30)), Phase::Hold);
+        assert_eq!(Phase::of(&c, &state(2, 0, 30)), Phase::Exchange);
+    }
+
+    #[test]
+    fn display_names_are_lowercase() {
+        assert_eq!(Phase::Exchange.to_string(), "exchange");
+        assert_eq!(Phase::Hold.to_string(), "hold");
+        assert_eq!(Phase::Reset.to_string(), "reset");
+    }
+
+    proptest! {
+        /// Every (time, estimate) lands in exactly one phase, and the phase
+        /// is monotone in `time`: more time never moves an agent backwards
+        /// through exchange → hold → reset.
+        #[test]
+        fn phase_total_and_monotone(max in 1u64..1_000, lm in 0u64..1_000, time in -100i64..10_000) {
+            let c = DscConfig::empirical();
+            let here = Phase::of(&c, &state(max, lm, time));
+            let above = Phase::of(&c, &state(max, lm, time + 1));
+            let rank = |p: Phase| match p {
+                Phase::Exchange => 2,
+                Phase::Hold => 1,
+                Phase::Reset => 0,
+            };
+            prop_assert!(rank(above) >= rank(here));
+        }
+
+        /// The interval boundaries match the paper's set definitions exactly.
+        #[test]
+        fn boundaries_match_set_definitions(max in 1u64..500, time in -10i64..5_000) {
+            let c = DscConfig::empirical();
+            let s = state(max, 0, time);
+            let e = max as i64;
+            let expected = if time >= c.tau2 as i64 * e {
+                Phase::Exchange
+            } else if time >= c.tau3 as i64 * e {
+                Phase::Hold
+            } else {
+                Phase::Reset
+            };
+            prop_assert_eq!(Phase::of(&c, &s), expected);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Algorithm 1: `SimplifiedDynamicSizeCounting(u, v)`.
+//!
+//! The paper's §2.1 pedagogical version: only `max` and `time`, one plain
+//! geometric sample per reset, no trailing estimate, no backup GRVs, no
+//! overestimation:
+//!
+//! ```text
+//! 1 if u.time ≤ 0                                   ⊲ wrap-around
+//! 2    or (u ∈ I_reset and v ∈ I_exchange)          ⊲ reset → exchange
+//! 3    or (u ∉ I_exchange and u.max ≠ v.max) then   ⊲ hold → exchange
+//! 5      grv ← Geom(1/2)
+//! 6      (u.time, u.max) ← (τ1·max{u.max, grv}, grv)
+//! 7 if u, v ∈ I_exchange and u.max < v.max          ⊲ exchange maximum
+//! 8      (u.time, u.max) ← (τ1·v.max, v.max)
+//! 9 u.time ← max{u.time, v.time} − 1                ⊲ update time
+//! ```
+//!
+//! Kept runnable for the ablation experiment (E10): comparing Algorithm 1
+//! against Algorithm 2 shows what the trailing estimate and the backup-GRV
+//! machinery buy — most visibly, phase lengths that cannot collapse when a
+//! round resamples only small GRVs.
+
+use crate::config::DscConfig;
+use crate::state::DscState;
+use crate::Phase;
+use pp_model::{grv, Protocol, SizeEstimator, TickProtocol};
+use rand::Rng;
+
+/// The simplified protocol (Algorithm 1).
+///
+/// Reuses [`DscState`] with `last_max` pinned to zero and `interactions`
+/// unused, so the two algorithms share phase logic and analysis tooling.
+///
+/// # Examples
+///
+/// ```
+/// use dsc_core::{DscConfig, SimplifiedDynamicSizeCounting};
+/// use pp_model::Protocol;
+///
+/// let p = SimplifiedDynamicSizeCounting::new(DscConfig::empirical());
+/// let mut u = p.initial_state();
+/// let mut v = p.initial_state();
+/// p.interact(&mut u, &mut v, &mut rand::rng());
+/// assert!(u.max >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplifiedDynamicSizeCounting {
+    config: DscConfig,
+}
+
+impl SimplifiedDynamicSizeCounting {
+    /// Creates the simplified protocol; only the `τ` triple of the
+    /// configuration is used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: DscConfig) -> Self {
+        config.validate().expect("invalid DSC configuration");
+        SimplifiedDynamicSizeCounting { config }
+    }
+
+    /// The protocol's configuration.
+    pub fn config(&self) -> &DscConfig {
+        &self.config
+    }
+
+    /// The phase of `state` (with `last_max = 0`, the effective max is
+    /// `max`, matching Algorithm 1's phase definitions).
+    pub fn phase(&self, state: &DscState) -> Phase {
+        Phase::of(&self.config, state)
+    }
+}
+
+impl Protocol for SimplifiedDynamicSizeCounting {
+    type State = DscState;
+
+    fn initial_state(&self) -> DscState {
+        DscState {
+            max: 1,
+            last_max: 0,
+            time: self.config.tau1 as i64,
+            interactions: 0,
+            ticks: 0,
+        }
+    }
+
+    fn interact(&self, u: &mut DscState, v: &mut DscState, rng: &mut dyn Rng) {
+        let tau1 = self.config.tau1 as i64;
+
+        // Lines 1–6.
+        if u.time <= 0
+            || (self.phase(u) == Phase::Reset && self.phase(v) == Phase::Exchange)
+            || (self.phase(u) != Phase::Exchange && u.max != v.max)
+        {
+            let g = u64::from(grv::geometric(rng));
+            u.time = tau1 * u.max.max(g) as i64;
+            u.max = g;
+            u.ticks += 1;
+        }
+
+        // Lines 7–8.
+        if self.phase(u) == Phase::Exchange && self.phase(v) == Phase::Exchange && u.max < v.max
+        {
+            u.time = tau1 * v.max as i64;
+            u.max = v.max;
+        }
+
+        // Line 9.
+        u.time = u.time.max(v.time) - 1;
+    }
+}
+
+impl SizeEstimator for SimplifiedDynamicSizeCounting {
+    fn estimate_log2(&self, state: &DscState) -> Option<f64> {
+        Some(state.max as f64)
+    }
+
+    fn estimate_bucket(&self, state: &DscState) -> Option<u32> {
+        Some(state.max.min(u64::from(u32::MAX)) as u32)
+    }
+}
+
+impl TickProtocol for SimplifiedDynamicSizeCounting {
+    fn tick_count(&self, state: &DscState) -> u64 {
+        state.ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn proto() -> SimplifiedDynamicSizeCounting {
+        SimplifiedDynamicSizeCounting::new(DscConfig::empirical())
+    }
+
+    fn state(max: u64, time: i64) -> DscState {
+        DscState {
+            max,
+            last_max: 0,
+            time,
+            interactions: 0,
+            ticks: 0,
+        }
+    }
+
+    #[test]
+    fn wraparound_resets_with_single_geometric() {
+        let p = proto();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut u = state(9, 0);
+        let mut v = state(9, 20);
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(u.ticks, 1);
+        assert_eq!(u.last_max, 0, "Algorithm 1 has no trailing estimate");
+    }
+
+    #[test]
+    fn exchange_adopts_larger_max() {
+        let p = proto();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut u = state(10, 45);
+        let mut v = state(12, 50);
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(u.max, 12);
+        assert_eq!(u.time, 71); // τ1·12 = 72, then CHVP −1
+    }
+
+    #[test]
+    fn chvp_always_runs() {
+        let p = proto();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut u = state(10, 30);
+        let mut v = state(10, 38);
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(u.time, 37);
+    }
+
+    #[test]
+    fn no_backup_grv_machinery() {
+        let p = proto();
+        let mut rng = SmallRng::seed_from_u64(4);
+        // Huge interaction count — Algorithm 1 ignores it entirely.
+        let mut u = DscState {
+            interactions: 1_000_000,
+            ..state(10, 45)
+        };
+        let mut v = state(10, 45);
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(u.ticks, 0);
+        assert_eq!(u.interactions, 1_000_000, "counter untouched");
+    }
+}

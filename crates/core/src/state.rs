@@ -1,0 +1,94 @@
+//! The per-agent state of the dynamic size counting protocol.
+//!
+//! Algorithm 2's four variables (paper §3):
+//!
+//! * `max` — the current maximum of GRVs encountered, spread by epidemic;
+//! * `lastMax` — the *trailing* estimate: the previous round's maximum,
+//!   kept so that a freshly resampled (usually small) GRV does not shrink
+//!   the phase lengths ("Most agents' newly sampled GRVs will be much
+//!   smaller than log n. To keep the population synchronized, the agents
+//!   store a 'trailing' estimate lastMax");
+//! * `time` — the CHVP-synchronized countdown that drives the three-phase
+//!   clock;
+//! * `interactions` — interactions since the last reset, *not exchanged*,
+//!   used to trigger backup GRV generation.
+//!
+//! The extra `ticks` field is simulation instrumentation (the Theorem 2.2
+//! signal counter) and is excluded from space accounting.
+
+use pp_model::{bit_len, MemoryFootprint};
+
+/// State of one agent running Algorithm 2 (or Algorithm 1, which ignores
+/// `last_max` and `interactions`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DscState {
+    /// Current maximum GRV (scaled by the overestimation factor when one is
+    /// configured).
+    pub max: u64,
+    /// Trailing estimate: the previous round's maximum.
+    pub last_max: u64,
+    /// Phase-clock countdown (negative only transiently, until the next
+    /// interaction wraps it).
+    pub time: i64,
+    /// Interactions since the last reset (not exchanged between agents).
+    pub interactions: u64,
+    /// Reset counter — the paper's "signal" (Theorem 2.2). Instrumentation:
+    /// excluded from [`MemoryFootprint`].
+    pub ticks: u64,
+}
+
+impl DscState {
+    /// The effective maximum `max{max, lastMax}` that defines phase lengths
+    /// and the reported estimate (paper §4.1: "We define all phases using
+    /// whichever is larger").
+    pub fn effective_max(&self) -> u64 {
+        self.max.max(self.last_max)
+    }
+}
+
+impl MemoryFootprint for DscState {
+    fn memory_bits(&self) -> u32 {
+        // The four protocol variables in binary; `ticks` is instrumentation.
+        bit_len(self.max)
+            + bit_len(self.last_max)
+            + (bit_len(self.time.unsigned_abs()) + 1)
+            + bit_len(self.interactions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_max_picks_larger() {
+        let s = DscState {
+            max: 3,
+            last_max: 9,
+            time: 10,
+            interactions: 0,
+            ticks: 0,
+        };
+        assert_eq!(s.effective_max(), 9);
+        let s = DscState { max: 12, ..s };
+        assert_eq!(s.effective_max(), 12);
+    }
+
+    #[test]
+    fn memory_excludes_ticks() {
+        let a = DscState {
+            max: 7,
+            last_max: 7,
+            time: 42,
+            interactions: 100,
+            ticks: 0,
+        };
+        let b = DscState {
+            ticks: u64::MAX,
+            ..a
+        };
+        assert_eq!(a.memory_bits(), b.memory_bits());
+        // 3 + 3 + (6 + 1) + 7 = 20 bits.
+        assert_eq!(a.memory_bits(), 20);
+    }
+}

@@ -1,0 +1,84 @@
+//! Agent identifiers.
+//!
+//! Agents in the population protocol model are anonymous: they carry no
+//! identifier that the *protocol* may read. Identifiers exist only at the
+//! simulation layer, where the scheduler addresses agents by their index in
+//! the configuration, and observers (e.g. the phase-clock tick recorder)
+//! attribute events to individual agents.
+
+use std::fmt;
+
+/// An opaque, simulation-level agent identifier.
+///
+/// `AgentId` is an index into the current [`Configuration`]. Note that the
+/// simulator removes agents with `swap_remove`, so identifiers are stable
+/// only while the population size is unchanged; observers that need stable
+/// identities across removals must remap on removal events.
+///
+/// [`Configuration`]: crate::config::Configuration
+///
+/// # Examples
+///
+/// ```
+/// use pp_model::AgentId;
+///
+/// let a = AgentId::new(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(a.to_string(), "agent#3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AgentId(usize);
+
+impl AgentId {
+    /// Creates an identifier from a configuration index.
+    pub fn new(index: usize) -> Self {
+        AgentId(index)
+    }
+
+    /// The configuration index this identifier refers to.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent#{}", self.0)
+    }
+}
+
+impl From<usize> for AgentId {
+    fn from(index: usize) -> Self {
+        AgentId(index)
+    }
+}
+
+impl From<AgentId> for usize {
+    fn from(id: AgentId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_usize() {
+        let id = AgentId::from(17usize);
+        assert_eq!(usize::from(id), 17);
+        assert_eq!(id.index(), 17);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_stable() {
+        assert_eq!(AgentId::new(0).to_string(), "agent#0");
+        assert_eq!(format!("{:?}", AgentId::new(2)), "AgentId(2)");
+    }
+
+    #[test]
+    fn orders_by_index() {
+        assert!(AgentId::new(1) < AgentId::new(2));
+        assert_eq!(AgentId::new(5), AgentId::new(5));
+    }
+}

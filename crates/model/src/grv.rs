@@ -1,0 +1,269 @@
+//! Geometrically distributed random variables (GRVs).
+//!
+//! The paper's randomness primitive (§2.1, Appendix A): a GRV is the number
+//! of fair-coin flips up to and including the first *tails*-equivalent
+//! outcome — `Pr[G = j] = 2^{-j}` for `j ∈ {1, 2, …}` — and `GRV(k)`
+//! (Algorithm 3) is the maximum of `k` independent GRVs.
+//!
+//! The key fact (Lemma 4.1): the maximum of `k·n` i.i.d. GRVs lies in
+//! `[0.5·log n, 2(k+1)·log n]` with probability `1 − O(n^{-k})`, which is why
+//! spreading the maximum of Θ(n) GRVs yields a constant-factor approximation
+//! of `log n`.
+//!
+//! Sampling is bit-parallel: one `u64` of RNG output encodes up to 64 coin
+//! flips, so a GRV costs ~one RNG call. The [`Coin`] abstraction additionally
+//! supports flip-at-a-time generation, which is what the synthetic-coin mode
+//! (randomness harvested from the scheduler, §3 of the paper) requires.
+
+use rand::Rng;
+
+/// A source of fair coin flips.
+///
+/// Implemented by RNG adapters ([`RngCoin`]) and by the synthetic-coin
+/// machinery in `pp-protocols`, which extracts flips from scheduler
+/// randomness instead of an external RNG.
+pub trait Coin {
+    /// One fair coin flip; `true` is "heads".
+    fn flip(&mut self) -> bool;
+}
+
+/// A [`Coin`] backed by an RNG, drawing one bit per flip.
+///
+/// For bulk sampling prefer [`geometric`], which consumes RNG words
+/// bit-parallel; `RngCoin` exists to exercise the same flip-at-a-time code
+/// path the synthetic-coin mode uses.
+#[derive(Debug)]
+pub struct RngCoin<'a, R: Rng + ?Sized> {
+    rng: &'a mut R,
+    buffer: u64,
+    remaining: u32,
+}
+
+impl<'a, R: Rng + ?Sized> RngCoin<'a, R> {
+    /// Creates a coin that draws flips from `rng`.
+    pub fn new(rng: &'a mut R) -> Self {
+        RngCoin {
+            rng,
+            buffer: 0,
+            remaining: 0,
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Coin for RngCoin<'_, R> {
+    fn flip(&mut self) -> bool {
+        if self.remaining == 0 {
+            self.buffer = self.rng.next_u64();
+            self.remaining = 64;
+        }
+        let bit = self.buffer & 1 == 1;
+        self.buffer >>= 1;
+        self.remaining -= 1;
+        bit
+    }
+}
+
+/// Samples one GRV: `Pr[G = j] = 2^{-j}` on `{1, 2, …}`.
+///
+/// Matches the paper's Algorithm 3 inner loop (`grv ← 1`; while a fair coin
+/// lands on heads: `grv ← grv + 1`): the count of trailing heads plus one.
+/// Bit-parallel: one RNG word yields up to 64 flips; the loop continues
+/// across words for the astronomically rare all-heads word.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let g = pp_model::geometric(&mut rng);
+/// assert!(g >= 1);
+/// ```
+pub fn geometric(rng: &mut (impl Rng + ?Sized)) -> u32 {
+    let mut grv = 1u32;
+    loop {
+        let word = rng.next_u64();
+        let heads = word.trailing_ones();
+        grv += heads;
+        if heads < 64 {
+            return grv;
+        }
+    }
+}
+
+/// Samples one GRV from an arbitrary [`Coin`] (flip-at-a-time).
+pub fn geometric_with_coin(coin: &mut impl Coin) -> u32 {
+    let mut grv = 1u32;
+    while coin.flip() {
+        grv += 1;
+    }
+    grv
+}
+
+/// `GRV(k)`: the maximum of `k` independent GRVs (the paper's Algorithm 3).
+///
+/// The paper lets each resetting agent generate `GRV(k)` in a single
+/// interaction ("as `k` is constant, this does not affect the asymptotic
+/// running time complexity").
+///
+/// # Panics
+///
+/// Panics if `k == 0` (the maximum of zero samples is undefined).
+pub fn grv_max(k: u32, rng: &mut (impl Rng + ?Sized)) -> u32 {
+    assert!(k > 0, "GRV(k) requires k >= 1");
+    (0..k).map(|_| geometric(rng)).max().expect("k >= 1")
+}
+
+/// `Pr[max of n i.i.d. GRVs <= x]` = `(1 − 2^{-x})^n`.
+///
+/// Used by the analysis crate to overlay Lemma 4.1's concentration bounds on
+/// measured data.
+pub fn max_grv_cdf(n: u64, x: u32) -> f64 {
+    if x == 0 {
+        return 0.0;
+    }
+    let p_single = 1.0 - 0.5f64.powi(x.min(1_000) as i32);
+    p_single.powf(n as f64)
+}
+
+/// The mode-adjacent expectation `E[max of n GRVs] ≈ log2 n + 0.6…`
+/// (asymptotic; used only for display baselines, not for correctness).
+pub fn expected_max_grv(n: u64) -> f64 {
+    // Classic extreme-value asymptotic for geometric maxima:
+    // E[M_n] ≈ log2(n) + γ/ln 2 − 1/2 (+ small oscillation), γ ≈ 0.5772.
+    (n as f64).log2() + 0.577_215_664_9 / std::f64::consts::LN_2 - 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn geometric_is_at_least_one() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            assert!(geometric(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_is_near_two() {
+        // E[Geom(1/2)] = 2. With 100k samples the sample mean is within 2%.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let samples = 100_000;
+        let sum: u64 = (0..samples).map(|_| geometric(&mut rng) as u64).sum();
+        let mean = sum as f64 / samples as f64;
+        assert!((mean - 2.0).abs() < 0.04, "sample mean {mean} far from 2");
+    }
+
+    #[test]
+    fn geometric_tail_halves() {
+        // Pr[G > j] = 2^{-j}: check empirical tails at j = 1..6.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let samples = 200_000;
+        let values: Vec<u32> = (0..samples).map(|_| geometric(&mut rng)).collect();
+        for j in 1..=6u32 {
+            let tail = values.iter().filter(|&&g| g > j).count() as f64 / samples as f64;
+            let expected = 0.5f64.powi(j as i32);
+            assert!(
+                (tail - expected).abs() < 0.01,
+                "tail at {j}: {tail} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn coin_based_geometric_matches_distribution() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let samples = 100_000;
+        let sum: u64 = (0..samples)
+            .map(|_| {
+                let mut coin = RngCoin::new(&mut rng);
+                geometric_with_coin(&mut coin) as u64
+            })
+            .sum();
+        let mean = sum as f64 / samples as f64;
+        assert!((mean - 2.0).abs() < 0.04, "coin-based mean {mean} far from 2");
+    }
+
+    #[test]
+    fn rng_coin_is_roughly_fair() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut coin = RngCoin::new(&mut rng);
+        let heads = (0..100_000).filter(|_| coin.flip()).count();
+        assert!((45_000..55_000).contains(&heads), "heads: {heads}");
+    }
+
+    #[test]
+    fn grv_max_dominates_components() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let m = grv_max(16, &mut rng);
+            assert!(m >= 1);
+        }
+        // The max of 16 is stochastically larger than a single GRV: compare means.
+        let single: u64 = (0..20_000).map(|_| geometric(&mut rng) as u64).sum();
+        let of16: u64 = (0..20_000).map(|_| grv_max(16, &mut rng) as u64).sum();
+        assert!(of16 > single * 2, "max of 16 should be much larger on average");
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn grv_max_rejects_zero_k() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let _ = grv_max(0, &mut rng);
+    }
+
+    /// Lemma 4.1 (statistical check): the max of `k·n` GRVs lies within
+    /// `[0.5 log n, 2(k+1) log n]` — here with a fixed seed and n = 4096,
+    /// k = 2, repeated 50 times without a single violation expected.
+    #[test]
+    fn lemma_4_1_concentration() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let n: u64 = 4096;
+        let k: u32 = 2;
+        let log_n = (n as f64).log2();
+        for _ in 0..50 {
+            let m = grv_max(k * n as u32, &mut rng) as f64;
+            assert!(m >= 0.5 * log_n, "max {m} below 0.5 log n = {}", 0.5 * log_n);
+            assert!(
+                m <= 2.0 * (k as f64 + 1.0) * log_n,
+                "max {m} above 2(k+1) log n = {}",
+                2.0 * (k as f64 + 1.0) * log_n
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let n = 1_000;
+        let mut prev = 0.0;
+        for x in 0..40 {
+            let c = max_grv_cdf(n, x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!(max_grv_cdf(n, 60) > 0.999_999);
+    }
+
+    #[test]
+    fn expected_max_tracks_log2() {
+        assert!((expected_max_grv(1 << 10) - 10.33).abs() < 0.5);
+        assert!((expected_max_grv(1 << 20) - 20.33).abs() < 0.5);
+    }
+
+    proptest! {
+        /// The empirical median of `GRV(k)` grows with k but stays within
+        /// the deterministic bound `64 * words` (sanity, not distributional).
+        #[test]
+        fn grv_max_bounded_sane(k in 1u32..64, seed in 0u64..1_000) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m = grv_max(k, &mut rng);
+            prop_assert!(m >= 1);
+            prop_assert!(m < 256, "max of {k} GRVs should be far below 256, got {m}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Space accounting in bits.
+//!
+//! The paper measures space "in bits rather than in the number of states"
+//! (§2, for comparability with Doty & Eftekhari 2022) and proves that its
+//! protocol needs `O(log s + log log n)` bits per agent (Theorem 2.1 /
+//! Lemma 4.13), where `s` is the largest value initially stored in any
+//! variable. [`MemoryFootprint`] lets experiment code measure the bits an
+//! agent state actually occupies at any point of an execution.
+
+/// Number of bits in the binary representation of `x`.
+///
+/// Zero occupies one bit (a stored variable is never "no bits"), matching
+/// the convention used in space accounting for population protocols.
+///
+/// # Examples
+///
+/// ```
+/// use pp_model::bit_len;
+/// assert_eq!(bit_len(0), 1);
+/// assert_eq!(bit_len(1), 1);
+/// assert_eq!(bit_len(2), 2);
+/// assert_eq!(bit_len(255), 8);
+/// assert_eq!(bit_len(256), 9);
+/// ```
+pub fn bit_len(x: u64) -> u32 {
+    (64 - x.leading_zeros()).max(1)
+}
+
+/// States that can report their current storage footprint in bits.
+///
+/// Implementations sum the bit lengths of all *protocol* variables. Pure
+/// simulation instrumentation (e.g. the tick counter backing
+/// [`TickProtocol`](crate::protocol::TickProtocol)) is excluded: the paper's
+/// agents do not store it.
+pub trait MemoryFootprint {
+    /// Bits currently needed to store this state's protocol variables.
+    fn memory_bits(&self) -> u32;
+}
+
+impl MemoryFootprint for bool {
+    fn memory_bits(&self) -> u32 {
+        1
+    }
+}
+
+impl MemoryFootprint for u32 {
+    fn memory_bits(&self) -> u32 {
+        bit_len(u64::from(*self))
+    }
+}
+
+impl MemoryFootprint for u64 {
+    fn memory_bits(&self) -> u32 {
+        bit_len(*self)
+    }
+}
+
+impl MemoryFootprint for i64 {
+    fn memory_bits(&self) -> u32 {
+        // Sign-magnitude accounting: one sign bit plus magnitude bits.
+        bit_len(self.unsigned_abs()) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bit_len_matches_powers_of_two() {
+        for k in 1..63 {
+            let x = 1u64 << k;
+            assert_eq!(bit_len(x), k + 1);
+            assert_eq!(bit_len(x - 1), k);
+        }
+    }
+
+    #[test]
+    fn zero_needs_one_bit() {
+        assert_eq!(bit_len(0), 1);
+        assert_eq!(0u64.memory_bits(), 1);
+    }
+
+    #[test]
+    fn signed_accounting_adds_sign_bit() {
+        assert_eq!((-8i64).memory_bits(), 5);
+        assert_eq!(8i64.memory_bits(), 5);
+        assert_eq!(0i64.memory_bits(), 2);
+    }
+
+    #[test]
+    fn bool_is_one_bit() {
+        assert_eq!(true.memory_bits(), 1);
+        assert_eq!(false.memory_bits(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn bit_len_is_ceil_log2_plus_one(x in 1u64..u64::MAX) {
+            let b = bit_len(x);
+            prop_assert!(x >= (1u64 << (b - 1)) || b == 1);
+            if b < 64 {
+                prop_assert!(x < (1u64 << b));
+            }
+        }
+
+        #[test]
+        fn bit_len_monotone(x in 0u64..u64::MAX) {
+            prop_assert!(bit_len(x) <= bit_len(x.saturating_add(1)));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The random scheduler.
+//!
+//! In the population protocol model, each configuration `C_{i+1}` is produced
+//! from `C_i` by selecting an ordered pair of distinct agents uniformly at
+//! random (paper §2). [`UniformScheduler`] implements exactly that;
+//! [`Scheduler`] is the extension point for non-uniform variants (e.g.
+//! spatially restricted interaction graphs).
+
+use rand::{Rng, RngExt};
+
+/// Draws an ordered pair of distinct agent indices uniformly from
+/// `{(i, j) : i ≠ j, 0 ≤ i, j < n}` with exactly two RNG range draws.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (no pair exists).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+/// let (i, j) = pp_model::random_ordered_pair(10, &mut rng);
+/// assert!(i != j && i < 10 && j < 10);
+/// ```
+pub fn random_ordered_pair(n: usize, rng: &mut (impl Rng + ?Sized)) -> (usize, usize) {
+    assert!(n >= 2, "an interaction needs at least two agents, got n={n}");
+    let i = rng.random_range(0..n);
+    // Draw j from the n-1 indices != i without rejection: sample from
+    // 0..n-1 and shift the values >= i up by one.
+    let mut j = rng.random_range(0..n - 1);
+    if j >= i {
+        j += 1;
+    }
+    (i, j)
+}
+
+/// A pair-selection strategy.
+///
+/// The model's scheduler is [`UniformScheduler`]; the trait exists so that
+/// simulators stay generic over future extensions (weighted or graph-based
+/// schedulers) without touching protocol code.
+pub trait Scheduler {
+    /// Selects the next ordered (initiator, responder) pair among `n` agents.
+    fn next_pair(&mut self, n: usize, rng: &mut dyn Rng) -> (usize, usize);
+}
+
+/// The uniformly random scheduler of the population protocol model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UniformScheduler;
+
+impl UniformScheduler {
+    /// Creates the uniform scheduler.
+    pub fn new() -> Self {
+        UniformScheduler
+    }
+}
+
+impl Scheduler for UniformScheduler {
+    fn next_pair(&mut self, n: usize, rng: &mut dyn Rng) -> (usize, usize) {
+        random_ordered_pair(n, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pairs_are_distinct_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let (i, j) = random_ordered_pair(7, &mut rng);
+            assert_ne!(i, j);
+            assert!(i < 7 && j < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn rejects_population_of_one() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let _ = random_ordered_pair(1, &mut rng);
+    }
+
+    #[test]
+    fn n_equals_two_alternates_both_pairs() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            let (i, j) = random_ordered_pair(2, &mut rng);
+            assert_ne!(i, j);
+            seen[i] = true;
+        }
+        assert!(seen[0] && seen[1], "both orderings must occur");
+    }
+
+    /// Chi-square-style uniformity check: every ordered pair of a small
+    /// population appears with frequency close to 1/(n(n-1)).
+    #[test]
+    fn pair_distribution_is_uniform() {
+        let n = 5;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let trials = 200_000;
+        let mut counts = vec![vec![0u32; n]; n];
+        for _ in 0..trials {
+            let (i, j) = random_ordered_pair(n, &mut rng);
+            counts[i][j] += 1;
+        }
+        let expected = trials as f64 / (n * (n - 1)) as f64;
+        for i in 0..n {
+            assert_eq!(counts[i][i], 0, "self-pair must never occur");
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let c = counts[i][j] as f64;
+                assert!(
+                    (c - expected).abs() < expected * 0.06,
+                    "pair ({i},{j}) count {c} deviates from {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_trait_object_works() {
+        let mut sched: Box<dyn Scheduler> = Box::new(UniformScheduler::new());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (i, j) = sched.next_pair(3, &mut rng);
+        assert_ne!(i, j);
+    }
+
+    proptest! {
+        #[test]
+        fn always_valid_for_any_n(n in 2usize..10_000, seed: u64) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let (i, j) = random_ordered_pair(n, &mut rng);
+            prop_assert!(i != j);
+            prop_assert!(i < n && j < n);
+        }
+    }
+}

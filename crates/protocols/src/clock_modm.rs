@@ -1,0 +1,235 @@
+//! A non-uniform leaderless mod-m phase clock.
+//!
+//! "Simple phase clocks are implemented by counters modulo some large value
+//! m … whenever the counter of some agent crosses zero, the agent receives a
+//! signal indicating that a new phase starts" (paper §1.2). This module
+//! implements that construction in the style of the loosely-stabilizing
+//! clock of Berenbrink, Biermeier, Hahn & Kaaser (SAND 2022) — the clock
+//! that *inspired* the paper's protocol — as a CHVP countdown with restart:
+//!
+//! * every agent holds a countdown `time ∈ 1..=m`;
+//! * interactions apply one-sided CHVP: `u.time ← max{u.time, v.time} − 1`,
+//!   so the population counts down in a narrow window (Lemmas 4.3/4.4);
+//! * an agent reaching zero wraps to `m` — its phase signal (*tick*) — and
+//!   the large value re-propagates through CHVP, pulling everyone across
+//!   the wrap within one epidemic (each follower also ticks as it crosses).
+//!
+//! The period is `Θ(m)` parallel time and all ticks of a revolution cluster
+//! in an `O(log n)`-wide burst. The construction is **non-uniform**: `m`
+//! must be chosen as `Θ(log n)`, so the transition function encodes the
+//! population size. That is exactly the limitation the paper removes — its
+//! protocol derives the phase length from the self-estimated `log n`
+//! instead. The comparison benches run both clocks side by side.
+
+use pp_model::{FiniteProtocol, Protocol, TickProtocol};
+use rand::Rng;
+
+/// State of a mod-m clock agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModClockState {
+    /// Countdown position in `1..=m`.
+    pub time: u32,
+    /// Tick counter (simulation instrumentation).
+    pub ticks: u64,
+}
+
+/// The non-uniform CHVP-countdown phase clock.
+///
+/// # Examples
+///
+/// ```
+/// use pp_protocols::ModMClock;
+///
+/// // For n = 1000 agents, pick m = 8·⌈log2 n⌉ = 80.
+/// let clock = ModMClock::for_population(1_000, 8);
+/// assert_eq!(clock.modulus(), 80);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModMClock {
+    m: u32,
+}
+
+impl ModMClock {
+    /// Creates a clock with countdown length `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 4`.
+    pub fn new(m: u32) -> Self {
+        assert!(m >= 4, "modulus must be at least 4, got {m}");
+        ModMClock { m }
+    }
+
+    /// Creates a clock sized for a population of `n`: `m = c·⌈log2 n⌉`.
+    ///
+    /// This constructor is the non-uniformity: the protocol needs to know
+    /// `n` (or an estimate) up front. Pick `c` large enough that the
+    /// countdown window (`O(log n)` wide, Lemma 4.4) is small relative to
+    /// `m`; `c ≥ 8` is comfortable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting modulus is below 4.
+    pub fn for_population(n: usize, c: u32) -> Self {
+        let log_n = (n.max(2) as f64).log2().ceil() as u32;
+        Self::new(c * log_n.max(1))
+    }
+
+    /// The countdown length `m`.
+    pub fn modulus(&self) -> u32 {
+        self.m
+    }
+}
+
+impl Protocol for ModMClock {
+    type State = ModClockState;
+
+    fn initial_state(&self) -> ModClockState {
+        ModClockState {
+            time: 0,
+            ticks: 0,
+        }
+    }
+
+    fn interact(&self, u: &mut ModClockState, v: &mut ModClockState, _rng: &mut dyn Rng) {
+        if v.time > u.time && v.time - u.time > self.m / 2 {
+            // The responder already wrapped into the next revolution;
+            // follow it across — that crossing is this agent's signal.
+            u.time = v.time - 1;
+            u.ticks += 1;
+        } else {
+            // One-sided CHVP: adopt the larger value, minus one.
+            let w = u.time.max(v.time);
+            if w <= 1 {
+                // Counted down to zero: wrap to m — the phase signal.
+                u.time = self.m;
+                u.ticks += 1;
+            } else {
+                u.time = w - 1;
+            }
+        }
+    }
+}
+
+impl TickProtocol for ModMClock {
+    fn tick_count(&self, state: &ModClockState) -> u64 {
+        state.ticks
+    }
+}
+
+/// Event-jump simulable: the countdown-with-wrap rule is deterministic.
+impl pp_model::DeterministicProtocol for ModMClock {}
+
+impl FiniteProtocol for ModMClock {
+    fn num_states(&self) -> usize {
+        // time ∈ 0..=m; the tick counter is instrumentation and excluded
+        // (count-simulated clocks lose tick attribution, not dynamics).
+        self.m as usize + 1
+    }
+
+    fn state_index(&self, state: &ModClockState) -> usize {
+        state.time as usize
+    }
+
+    fn state_from_index(&self, index: usize) -> ModClockState {
+        ModClockState {
+            time: index as u32,
+            ticks: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_sim::Simulator;
+
+    #[test]
+    fn behind_agent_catches_up_within_window() {
+        let c = ModMClock::new(40);
+        let mut u = ModClockState { time: 3, ticks: 0 };
+        let mut v = ModClockState { time: 10, ticks: 0 };
+        c.interact(&mut u, &mut v, &mut rand::rng());
+        assert_eq!(u.time, 9, "adopt max(3, 10) − 1");
+        assert_eq!(u.ticks, 0, "small catch-up is not a wrap");
+        assert_eq!(v.time, 10, "responder unchanged");
+    }
+
+    #[test]
+    fn ahead_agent_counts_down() {
+        let c = ModMClock::new(40);
+        let mut u = ModClockState { time: 10, ticks: 0 };
+        let mut v = ModClockState { time: 3, ticks: 0 };
+        c.interact(&mut u, &mut v, &mut rand::rng());
+        assert_eq!(u.time, 9);
+    }
+
+    #[test]
+    fn reaching_zero_wraps_and_ticks() {
+        let c = ModMClock::new(8);
+        let mut u = ModClockState { time: 1, ticks: 0 };
+        let mut v = ModClockState { time: 1, ticks: 0 };
+        c.interact(&mut u, &mut v, &mut rand::rng());
+        assert_eq!(u.time, 8);
+        assert_eq!(u.ticks, 1);
+    }
+
+    #[test]
+    fn follows_a_wrapped_responder_across_zero() {
+        let c = ModMClock::new(40);
+        let mut u = ModClockState { time: 3, ticks: 0 };
+        let mut v = ModClockState { time: 40, ticks: 0 };
+        c.interact(&mut u, &mut v, &mut rand::rng());
+        assert_eq!(u.time, 39, "followed into the new revolution");
+        assert_eq!(u.ticks, 1, "crossing the wrap is a tick");
+    }
+
+    /// The population stays revolution-synchronized: unwrapped progress
+    /// (ticks·m + elapsed countdown) spans less than one revolution.
+    #[test]
+    fn population_synchronizes() {
+        let n = 2_000;
+        let clock = ModMClock::for_population(n, 8);
+        let m = u64::from(clock.modulus());
+        let mut sim = Simulator::with_seed(clock, n, 23);
+        sim.run_parallel_time(500.0);
+        let absolute: Vec<u64> = sim
+            .states()
+            .iter()
+            .map(|s| s.ticks * m + (m - u64::from(s.time.max(1))))
+            .collect();
+        let min = *absolute.iter().min().unwrap();
+        let max = *absolute.iter().max().unwrap();
+        assert!(
+            max - min < m,
+            "clock spread {} exceeds one revolution (m = {m})",
+            max - min
+        );
+    }
+
+    #[test]
+    fn period_is_about_m_parallel_time() {
+        let n = 1_000;
+        let clock = ModMClock::for_population(n, 8);
+        let m = f64::from(clock.modulus());
+        let horizon = 20.0 * m;
+        let mut sim = Simulator::with_seed(clock, n, 29);
+        sim.run_parallel_time(horizon);
+        for s in sim.states() {
+            let ticks = s.ticks as f64;
+            // The revolution period is Θ(m): empirically ≈ 2m–3m parallel
+            // time, because the CHVP maximum drops slightly slower than one
+            // per parallel time (Lemma 4.3 allows up to a factor 7).
+            assert!(
+                ticks >= 4.0 && ticks <= 40.0,
+                "agent ticked {ticks} times over {horizon} time (m = {m})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_modulus_rejected() {
+        let _ = ModMClock::new(3);
+    }
+}

@@ -1,0 +1,223 @@
+//! The robust detection protocol of Alistarh, Dudek, Kosowski, Soloveichik
+//! & Uznanski (DNA 2017).
+//!
+//! Detection lets every agent learn whether a *source* agent is present:
+//!
+//! ```text
+//! (u, v) → (min{u + 1, v + 1}, min{u + 1, v + 1})    // non-sources
+//! ```
+//!
+//! while source agents "do not change their state but stay at zero". If a
+//! source exists, its zero keeps pulling every counter down (low values
+//! propagate via the min); if not, all counters grow together, and any value
+//! in `Ω(log n)` certifies "no source present" w.h.p.
+//!
+//! The paper uses the *countdown* relative, CHVP, inside its own protocol,
+//! but detection is the basis of the Doty–Eftekhari 2022 baseline
+//! ([`counting_de22`](crate::counting_de22)): there, "value `i` was sampled
+//! recently" plays the role of a source for the per-value timer.
+
+use pp_model::{FiniteProtocol, Protocol, SizeEstimator};
+use rand::Rng;
+
+/// State of a detection agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectState {
+    /// A source: pinned at value zero.
+    Source,
+    /// A regular agent carrying a detection counter.
+    Counter(u32),
+}
+
+impl DetectState {
+    /// The value this state contributes to the min computation.
+    pub fn value(self) -> u32 {
+        match self {
+            DetectState::Source => 0,
+            DetectState::Counter(c) => c,
+        }
+    }
+}
+
+/// The two-way detection protocol, with counters capped at `ceiling`.
+///
+/// The cap bounds the state space (making the protocol finite and
+/// count-simulatable) without affecting the detection semantics: any value
+/// at the ceiling already certifies absence.
+///
+/// # Examples
+///
+/// ```
+/// use pp_model::Protocol;
+/// use pp_protocols::{DetectState, Detection};
+///
+/// let p = Detection::new(100);
+/// let mut u = DetectState::Counter(7);
+/// let mut v = DetectState::Source;
+/// p.interact(&mut u, &mut v, &mut rand::rng());
+/// assert_eq!(u, DetectState::Counter(1)); // pulled down by the source
+/// assert_eq!(v, DetectState::Source);     // sources never change
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    ceiling: u32,
+}
+
+impl Detection {
+    /// Creates a detection protocol with counters in `0..=ceiling`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ceiling == 0`.
+    pub fn new(ceiling: u32) -> Self {
+        assert!(ceiling > 0, "ceiling must be at least 1");
+        Detection { ceiling }
+    }
+
+    /// The counter cap.
+    pub fn ceiling(&self) -> u32 {
+        self.ceiling
+    }
+
+    /// Whether `state` certifies "no source present" against `threshold`
+    /// (choose `threshold = Ω(log n)` per the DNA 2017 analysis).
+    pub fn no_source_detected(&self, state: &DetectState, threshold: u32) -> bool {
+        state.value() >= threshold
+    }
+}
+
+impl Protocol for Detection {
+    type State = DetectState;
+
+    fn initial_state(&self) -> DetectState {
+        DetectState::Counter(0)
+    }
+
+    fn interact(&self, u: &mut DetectState, v: &mut DetectState, _rng: &mut dyn Rng) {
+        let w = (u.value().min(v.value()) + 1).min(self.ceiling);
+        if let DetectState::Counter(_) = u {
+            *u = DetectState::Counter(w);
+        }
+        if let DetectState::Counter(_) = v {
+            *v = DetectState::Counter(w);
+        }
+    }
+}
+
+impl SizeEstimator for Detection {
+    /// The counter value (source = 0); lets the histogram machinery track
+    /// the detection level distribution.
+    fn estimate_log2(&self, state: &DetectState) -> Option<f64> {
+        Some(f64::from(state.value()))
+    }
+}
+
+/// Event-jump simulable: min-plus-one propagation is deterministic.
+impl pp_model::DeterministicProtocol for Detection {}
+
+impl FiniteProtocol for Detection {
+    fn num_states(&self) -> usize {
+        // Index 0: Source; index c + 1: Counter(c).
+        self.ceiling as usize + 2
+    }
+
+    fn state_index(&self, state: &DetectState) -> usize {
+        match state {
+            DetectState::Source => 0,
+            DetectState::Counter(c) => *c as usize + 1,
+        }
+    }
+
+    fn state_from_index(&self, index: usize) -> DetectState {
+        if index == 0 {
+            DetectState::Source
+        } else {
+            DetectState::Counter(index as u32 - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_sim::CountSimulator;
+
+    #[test]
+    fn sources_stay_pinned_at_zero() {
+        let p = Detection::new(50);
+        let mut u = DetectState::Source;
+        let mut v = DetectState::Counter(30);
+        p.interact(&mut u, &mut v, &mut rand::rng());
+        assert_eq!(u, DetectState::Source);
+        assert_eq!(v, DetectState::Counter(1));
+    }
+
+    #[test]
+    fn counters_advance_together() {
+        let p = Detection::new(50);
+        let mut u = DetectState::Counter(10);
+        let mut v = DetectState::Counter(20);
+        p.interact(&mut u, &mut v, &mut rand::rng());
+        assert_eq!(u, DetectState::Counter(11));
+        assert_eq!(v, DetectState::Counter(11));
+    }
+
+    #[test]
+    fn ceiling_caps_growth() {
+        let p = Detection::new(5);
+        let mut u = DetectState::Counter(5);
+        let mut v = DetectState::Counter(5);
+        p.interact(&mut u, &mut v, &mut rand::rng());
+        assert_eq!(u, DetectState::Counter(5));
+    }
+
+    /// With a source present, all counters stay `O(log n)` — far below the
+    /// ceiling — indefinitely.
+    #[test]
+    fn source_present_keeps_counters_low() {
+        let n: u64 = 2_000;
+        let p = Detection::new(1_000);
+        let mut counts = vec![0u64; p.num_states()];
+        counts[0] = 1; // one source
+        counts[1] = n - 1; // counters at zero
+        let mut sim = CountSimulator::from_counts(p, counts, 11);
+        sim.run_parallel_time(300.0);
+        let max_counter = sim.max_occupied().unwrap() as u32 - 1;
+        let log_n = (n as f64).log2();
+        assert!(
+            f64::from(max_counter) <= 8.0 * log_n,
+            "counter {max_counter} should stay O(log n) = {log_n:.1} with a source"
+        );
+    }
+
+    /// Without a source, all counters cross any Θ(log n) threshold quickly.
+    #[test]
+    fn no_source_counters_escape() {
+        let n: u64 = 2_000;
+        let p = Detection::new(1_000);
+        let mut sim = CountSimulator::with_seed(p, n, 12);
+        sim.run_parallel_time(300.0);
+        let min_counter = sim.min_occupied().unwrap() as u32;
+        let threshold = (4.0 * (n as f64).log2()) as u32;
+        assert!(
+            min_counter >= threshold.max(1),
+            "min counter {min_counter} should exceed 4·log n = {threshold}"
+        );
+        assert!(p.no_source_detected(&DetectState::Counter(min_counter), threshold));
+    }
+
+    #[test]
+    fn finite_indexing_roundtrips_including_source() {
+        let p = Detection::new(7);
+        for i in 0..p.num_states() {
+            assert_eq!(p.state_index(&p.state_from_index(i)), i);
+        }
+        assert_eq!(p.state_from_index(0), DetectState::Source);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_ceiling_rejected() {
+        let _ = Detection::new(0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Epidemic protocols (paper §4.2, Lemma 4.2).
+//!
+//! In an epidemic, "agents store a single value and adopt the maximum of any
+//! agent's value they encounter": `(u, v) → (max{u, v}, v)`. Starting from a
+//! single agent in state 1, every agent is infected within `O(n log n)`
+//! interactions w.h.p.; Lemma 4.2 gives the explicit bound
+//! `t ≤ 4(k+1)·n·log n` with failure probability `O(n^{-k})`.
+//!
+//! Epidemics are the transport layer of the paper's protocol: the maximum
+//! GRV, the `lastMax` trailing estimate, and the reset→exchange transition
+//! all spread epidemically.
+
+use pp_model::{FiniteProtocol, Protocol, SizeEstimator};
+use rand::Rng;
+
+/// One-way max epidemic over unbounded `u64` values.
+///
+/// # Examples
+///
+/// ```
+/// use pp_model::Protocol;
+/// use pp_protocols::MaxEpidemic;
+///
+/// let p = MaxEpidemic::new();
+/// let (mut u, mut v) = (3u64, 8u64);
+/// p.interact(&mut u, &mut v, &mut rand::rng());
+/// assert_eq!((u, v), (8, 8));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxEpidemic;
+
+impl MaxEpidemic {
+    /// Creates the max epidemic protocol.
+    pub fn new() -> Self {
+        MaxEpidemic
+    }
+}
+
+impl Protocol for MaxEpidemic {
+    type State = u64;
+
+    fn initial_state(&self) -> u64 {
+        0
+    }
+
+    fn interact(&self, u: &mut u64, v: &mut u64, _rng: &mut dyn Rng) {
+        *u = (*u).max(*v);
+    }
+}
+
+impl SizeEstimator for MaxEpidemic {
+    /// The spread value read as a `log2 n` estimate (what the paper's
+    /// exchange phase does with the maximum GRV). Zero means "nothing
+    /// received yet".
+    fn estimate_log2(&self, state: &u64) -> Option<f64> {
+        (*state > 0).then_some(*state as f64)
+    }
+}
+
+/// Binary infection epidemic: `(u, v) → (u ∨ v, v)`.
+///
+/// The two-state special case used throughout the paper's proofs ("the
+/// infection process is akin to an epidemic"); its small state space makes
+/// it the canonical cross-check between the agent-array and count-based
+/// simulators.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Infection;
+
+impl Infection {
+    /// Creates the infection protocol.
+    pub fn new() -> Self {
+        Infection
+    }
+}
+
+impl Protocol for Infection {
+    type State = bool;
+
+    fn initial_state(&self) -> bool {
+        false
+    }
+
+    fn interact(&self, u: &mut bool, v: &mut bool, _rng: &mut dyn Rng) {
+        *u = *u || *v;
+    }
+}
+
+/// Event-jump simulable: binary infection is deterministic.
+impl pp_model::DeterministicProtocol for Infection {}
+
+impl FiniteProtocol for Infection {
+    fn num_states(&self) -> usize {
+        2
+    }
+
+    fn state_index(&self, state: &bool) -> usize {
+        usize::from(*state)
+    }
+
+    fn state_from_index(&self, index: usize) -> bool {
+        index == 1
+    }
+}
+
+/// Max epidemic over the bounded value range `0..=bound`, enumerable for
+/// the count-based simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedMaxEpidemic {
+    bound: u32,
+}
+
+impl BoundedMaxEpidemic {
+    /// Creates a bounded max epidemic with values in `0..=bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0` (a single-value epidemic cannot spread
+    /// anything).
+    pub fn new(bound: u32) -> Self {
+        assert!(bound > 0, "bound must be at least 1");
+        BoundedMaxEpidemic { bound }
+    }
+
+    /// The largest representable value.
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+}
+
+impl Protocol for BoundedMaxEpidemic {
+    type State = u32;
+
+    fn initial_state(&self) -> u32 {
+        0
+    }
+
+    fn interact(&self, u: &mut u32, v: &mut u32, _rng: &mut dyn Rng) {
+        *u = (*u).max(*v).min(self.bound);
+    }
+}
+
+/// Event-jump simulable: max-adoption is deterministic.
+impl pp_model::DeterministicProtocol for BoundedMaxEpidemic {}
+
+impl FiniteProtocol for BoundedMaxEpidemic {
+    fn num_states(&self) -> usize {
+        self.bound as usize + 1
+    }
+
+    fn state_index(&self, state: &u32) -> usize {
+        *state as usize
+    }
+
+    fn state_from_index(&self, index: usize) -> u32 {
+        index as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_sim::{CountSimulator, Simulator};
+
+    #[test]
+    fn max_epidemic_is_monotone_one_way() {
+        let p = MaxEpidemic::new();
+        let (mut u, mut v) = (9u64, 2u64);
+        p.interact(&mut u, &mut v, &mut rand::rng());
+        assert_eq!((u, v), (9, 2), "responder never changes");
+    }
+
+    #[test]
+    fn estimate_is_value_or_none() {
+        let p = MaxEpidemic::new();
+        assert_eq!(p.estimate_log2(&0), None);
+        assert_eq!(p.estimate_log2(&12), Some(12.0));
+    }
+
+    /// Lemma 4.2 (statistical): with k = 1, an epidemic on n = 1024 agents
+    /// completes within 4(k+1)·log2(n) = 80 parallel time.
+    #[test]
+    fn lemma_4_2_epidemic_completion_time() {
+        let n = 1024;
+        let budget = 4.0 * 2.0 * (n as f64).log2();
+        for seed in 0..5 {
+            let mut sim = Simulator::with_seed(MaxEpidemic::new(), n, seed);
+            *sim.state_mut(0) = 1;
+            sim.run_parallel_time(budget);
+            assert!(
+                sim.states().iter().all(|&s| s == 1),
+                "seed {seed}: epidemic incomplete after {budget} time"
+            );
+        }
+    }
+
+    #[test]
+    fn infection_on_count_simulator_completes() {
+        let mut sim = CountSimulator::from_counts(Infection::new(), vec![99_999, 1], 3);
+        sim.run_parallel_time(60.0);
+        assert_eq!(sim.count(1), 100_000);
+    }
+
+    #[test]
+    fn bounded_epidemic_clamps_and_roundtrips() {
+        let p = BoundedMaxEpidemic::new(10);
+        assert_eq!(p.num_states(), 11);
+        for i in 0..p.num_states() {
+            assert_eq!(p.state_index(&p.state_from_index(i)), i);
+        }
+        let (mut u, mut v) = (4u32, 10u32);
+        p.interact(&mut u, &mut v, &mut rand::rng());
+        assert_eq!(u, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn bounded_epidemic_rejects_zero_bound() {
+        let _ = BoundedMaxEpidemic::new(0);
+    }
+}

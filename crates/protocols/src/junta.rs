@@ -1,0 +1,131 @@
+//! Junta election: selecting a small polylogarithmic group of agents.
+//!
+//! Junta-driven phase clocks (Gąsieniec & Stachowiak, SODA 2018 / J.ACM
+//! 2021) replace a single leader with a *junta* of `O(polylog n)` agents,
+//! which is robust to individual failures but still small enough to drive a
+//! clock. We implement the folklore GRV-max junta: every agent draws a
+//! geometric level; agents whose level is within `slack` of the maximum
+//! level (spread epidemically) form the junta. The maximum of `n`
+//! geometrics is `log n ± O(1)` w.h.p., so the junta has expected size
+//! `Θ(2^slack)`-ish near-constant for fixed slack, and `O(polylog n)` for
+//! `slack = Θ(log log n)`.
+//!
+//! Like everything leader-flavored, a junta is *not* robust to the paper's
+//! dynamic adversary (remove all junta members and the clock stalls) — the
+//! comparison experiments use it as a non-uniform baseline component.
+
+use pp_model::{grv, Protocol};
+use rand::Rng;
+
+/// State of a junta-election agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JuntaState {
+    /// This agent's sampled level; `None` until its first interaction.
+    pub level: Option<u32>,
+    /// Largest level observed anywhere (spread epidemically).
+    pub max_seen: u32,
+}
+
+/// GRV-max junta election.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JuntaElection {
+    slack: u32,
+}
+
+impl JuntaElection {
+    /// Creates a junta election where agents within `slack` of the maximum
+    /// level belong to the junta.
+    pub fn new(slack: u32) -> Self {
+        JuntaElection { slack }
+    }
+
+    /// Whether this agent currently considers itself a junta member.
+    ///
+    /// Membership stabilizes once the maximum level has spread to everyone.
+    pub fn in_junta(&self, s: &JuntaState) -> bool {
+        match s.level {
+            Some(level) => level + self.slack >= s.max_seen,
+            None => false,
+        }
+    }
+}
+
+impl Protocol for JuntaElection {
+    type State = JuntaState;
+
+    fn initial_state(&self) -> JuntaState {
+        JuntaState {
+            level: None,
+            max_seen: 0,
+        }
+    }
+
+    fn interact(&self, u: &mut JuntaState, v: &mut JuntaState, rng: &mut dyn Rng) {
+        if u.level.is_none() {
+            let level = grv::geometric(rng);
+            u.level = Some(level);
+            u.max_seen = u.max_seen.max(level);
+        }
+        u.max_seen = u.max_seen.max(v.max_seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_sim::Simulator;
+
+    #[test]
+    fn initial_agent_is_not_in_junta() {
+        let p = JuntaElection::new(0);
+        assert!(!p.in_junta(&p.initial_state()));
+    }
+
+    #[test]
+    fn level_sampled_once_and_kept() {
+        let p = JuntaElection::new(0);
+        let mut u = p.initial_state();
+        let mut v = p.initial_state();
+        let mut rng = rand::rng();
+        p.interact(&mut u, &mut v, &mut rng);
+        let first = u.level.expect("level sampled on first interaction");
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(u.level, Some(first), "level must not be resampled");
+    }
+
+    #[test]
+    fn junta_is_small_but_nonempty() {
+        let n = 5_000;
+        let p = JuntaElection::new(1);
+        let mut sim = Simulator::with_seed(p, n, 17);
+        sim.run_parallel_time(100.0);
+        let junta: usize = sim
+            .states()
+            .iter()
+            .filter(|s| sim.protocol().in_junta(s))
+            .count();
+        assert!(junta >= 1, "junta cannot be empty once max has spread");
+        assert!(
+            junta <= n / 10,
+            "junta of {junta} out of {n} is not small"
+        );
+        // The maximum level must have spread everywhere.
+        let max = sim.states().iter().map(|s| s.max_seen).max().unwrap();
+        assert!(sim.states().iter().all(|s| s.max_seen == max));
+    }
+
+    #[test]
+    fn larger_slack_grows_the_junta() {
+        let n = 5_000;
+        let run = |slack| {
+            let p = JuntaElection::new(slack);
+            let mut sim = Simulator::with_seed(p, n, 18);
+            sim.run_parallel_time(100.0);
+            sim.states()
+                .iter()
+                .filter(|s| sim.protocol().in_junta(s))
+                .count()
+        };
+        assert!(run(3) >= run(0), "slack 3 junta must contain slack 0 junta");
+    }
+}

@@ -1,0 +1,125 @@
+//! Leader election by pairwise elimination.
+//!
+//! The classic one-way rule: everyone starts as a leader; when two leaders
+//! meet, the initiator abdicates. Exactly one leader survives (leaders can
+//! only be demoted, and the last one has nobody left to demote it), after
+//! `Θ(n)` parallel time in expectation.
+//!
+//! The paper cites leader-based counting ([Berenbrink, Kaaser, Radzik,
+//! PODC 2019], our [`counting_bkr`](crate::counting_bkr)) as unsuitable for
+//! the dynamic setting precisely because "the single leader agent may be
+//! removed from the population" — this module supplies that single point of
+//! failure, and the integration tests demonstrate the failure.
+
+use pp_model::{FiniteProtocol, Protocol};
+use rand::Rng;
+
+/// Pairwise-elimination leader election.
+///
+/// # Examples
+///
+/// ```
+/// use pp_model::Protocol;
+/// use pp_protocols::LeaderElection;
+///
+/// let p = LeaderElection::new();
+/// let (mut u, mut v) = (true, true);
+/// p.interact(&mut u, &mut v, &mut rand::rng());
+/// assert!(!u && v, "initiator abdicates when two leaders meet");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaderElection;
+
+impl LeaderElection {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        LeaderElection
+    }
+
+    /// Number of leaders in a configuration slice.
+    pub fn count_leaders(&self, states: &[bool]) -> usize {
+        states.iter().filter(|&&s| s).count()
+    }
+}
+
+impl Protocol for LeaderElection {
+    /// `true` = leader. New agents join as leaders so that a dynamic
+    /// population can always re-elect after the leader is removed — but
+    /// only agents *added after* the removal can do so; an unchanged
+    /// population stays leaderless, which is the failure the paper exploits.
+    type State = bool;
+
+    fn initial_state(&self) -> bool {
+        true
+    }
+
+    fn interact(&self, u: &mut bool, v: &mut bool, _rng: &mut dyn Rng) {
+        if *u && *v {
+            *u = false;
+        }
+    }
+}
+
+/// Event-jump simulable: pairwise elimination is deterministic.
+impl pp_model::DeterministicProtocol for LeaderElection {}
+
+impl FiniteProtocol for LeaderElection {
+    fn num_states(&self) -> usize {
+        2
+    }
+
+    fn state_index(&self, state: &bool) -> usize {
+        usize::from(*state)
+    }
+
+    fn state_from_index(&self, index: usize) -> bool {
+        index == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_sim::{CountSimulator, Simulator};
+
+    #[test]
+    fn two_leaders_reduce_to_one() {
+        let p = LeaderElection::new();
+        let (mut u, mut v) = (true, true);
+        p.interact(&mut u, &mut v, &mut rand::rng());
+        assert_eq!((u, v), (false, true));
+    }
+
+    #[test]
+    fn followers_stay_followers() {
+        let p = LeaderElection::new();
+        let (mut u, mut v) = (false, true);
+        p.interact(&mut u, &mut v, &mut rand::rng());
+        assert_eq!((u, v), (false, true));
+        let (mut u, mut v) = (true, false);
+        p.interact(&mut u, &mut v, &mut rand::rng());
+        assert_eq!((u, v), (true, false));
+    }
+
+    #[test]
+    fn exactly_one_leader_survives() {
+        let mut sim = Simulator::with_seed(LeaderElection::new(), 500, 3);
+        // Coupon-collector-ish: Θ(n) parallel time suffices comfortably.
+        sim.run_parallel_time(5_000.0);
+        let leaders = sim.states().iter().filter(|&&s| s).count();
+        assert_eq!(leaders, 1);
+    }
+
+    #[test]
+    fn leader_count_is_monotone_nonincreasing() {
+        let mut sim = CountSimulator::with_seed(LeaderElection::new(), 10_000, 4);
+        let mut last = sim.count(1);
+        for _ in 0..50 {
+            sim.step_n(10_000);
+            let now = sim.count(1);
+            assert!(now <= last);
+            assert!(now >= 1, "at least one leader always remains");
+            last = now;
+        }
+    }
+}

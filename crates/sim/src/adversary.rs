@@ -1,0 +1,137 @@
+//! The dynamic-population adversary.
+//!
+//! Doty & Eftekhari (SAND 2022) define the dynamic model the paper adopts:
+//! an adversary may, at arbitrary times, add agents — always in a predefined
+//! initial state — and remove *arbitrary* agents. A schedule is a list of
+//! timed [`PopulationEvent`]s; the paper's Fig. 4 uses a single
+//! `ResizeTo(500)` at parallel time 1350.
+
+/// One population change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopulationEvent {
+    /// Grow or shrink to exactly this size (shrinking removes uniformly).
+    ResizeTo(usize),
+    /// Add this many agents in the protocol's initial state.
+    Add(usize),
+    /// Remove this many agents chosen uniformly at random.
+    RemoveUniform(usize),
+    /// Remove the agents holding the largest estimates — the adversarial
+    /// variant motivated by the paper's introduction (a poacher that
+    /// "selectively targets certain types of birds in the flock").
+    RemoveLargestEstimates(usize),
+}
+
+/// A [`PopulationEvent`] scheduled at a parallel time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledEvent {
+    /// Parallel time at which the event fires.
+    pub at: f64,
+    /// The population change.
+    pub event: PopulationEvent,
+}
+
+/// A time-ordered list of population events.
+///
+/// # Examples
+///
+/// The paper's Fig. 4 schedule — all but 500 agents removed at time 1350:
+///
+/// ```
+/// use pp_sim::{AdversarySchedule, PopulationEvent};
+///
+/// let schedule = AdversarySchedule::new()
+///     .at(1350.0, PopulationEvent::ResizeTo(500));
+/// assert_eq!(schedule.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdversarySchedule {
+    events: Vec<ScheduledEvent>,
+}
+
+impl AdversarySchedule {
+    /// Creates an empty schedule (the static setting).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event at the given parallel time, keeping the schedule sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is negative or NaN.
+    pub fn at(mut self, at: f64, event: PopulationEvent) -> Self {
+        assert!(at >= 0.0, "event time must be non-negative, got {at}");
+        let pos = self
+            .events
+            .partition_point(|e| e.at <= at);
+        self.events.insert(pos, ScheduledEvent { at, event });
+        self
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[ScheduledEvent] {
+        &self.events
+    }
+
+    /// The time of the first event at or after index `from`, if any.
+    pub fn next_time(&self, from: usize) -> Option<f64> {
+        self.events.get(from).map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_stay_sorted_regardless_of_insertion_order() {
+        let s = AdversarySchedule::new()
+            .at(10.0, PopulationEvent::Add(5))
+            .at(2.0, PopulationEvent::ResizeTo(100))
+            .at(7.0, PopulationEvent::RemoveUniform(3));
+        let times: Vec<f64> = s.events().iter().map(|e| e.at).collect();
+        assert_eq!(times, vec![2.0, 7.0, 10.0]);
+    }
+
+    #[test]
+    fn equal_times_preserve_insertion_order() {
+        let s = AdversarySchedule::new()
+            .at(5.0, PopulationEvent::Add(1))
+            .at(5.0, PopulationEvent::Add(2));
+        assert_eq!(s.events()[0].event, PopulationEvent::Add(1));
+        assert_eq!(s.events()[1].event, PopulationEvent::Add(2));
+    }
+
+    #[test]
+    fn next_time_walks_the_schedule() {
+        let s = AdversarySchedule::new()
+            .at(1.0, PopulationEvent::Add(1))
+            .at(2.0, PopulationEvent::Add(1));
+        assert_eq!(s.next_time(0), Some(1.0));
+        assert_eq!(s.next_time(1), Some(2.0));
+        assert_eq!(s.next_time(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_times_rejected() {
+        let _ = AdversarySchedule::new().at(-1.0, PopulationEvent::Add(1));
+    }
+
+    #[test]
+    fn empty_schedule_is_static_setting() {
+        let s = AdversarySchedule::new();
+        assert!(s.is_empty());
+        assert_eq!(s.next_time(0), None);
+    }
+}

@@ -1,0 +1,393 @@
+//! A single experiment run: simulation + snapshots + adversary schedule.
+//!
+//! [`Experiment`] packages what the paper's evaluation does per run:
+//! simulate a protocol on `n` agents for a horizon of parallel time,
+//! snapshot the estimate distribution once per snapshot interval ("we create
+//! a snapshot every n interactions", §5), and apply adversary events at their
+//! scheduled times. Tick recording (Theorem 2.2) and memory recording
+//! (Theorem 2.1's space bound) are opt-in via [`Experiment::run_full`].
+
+use crate::adversary::{AdversarySchedule, PopulationEvent};
+use crate::observer::{EstimateTracker, Observer, TickRecorder};
+use crate::series::{MemorySummary, RunResult, Snapshot};
+use crate::simulator::Simulator;
+use pp_model::{Configuration, MemoryFootprint, Protocol, SizeEstimator, TickProtocol};
+
+/// How the initial configuration is built.
+pub enum InitMode<S> {
+    /// All agents in the protocol's initial state (the paper's Fig. 2:
+    /// "the system is initially empty", i.e. every agent just joined).
+    Fresh,
+    /// Agent `i` starts in `f(i)` — arbitrary initial configurations for
+    /// loose-stabilization experiments (e.g. Fig. 5's initial estimate 60).
+    FromFn(Box<dyn Fn(usize) -> S + Send + Sync>),
+}
+
+impl<S> std::fmt::Debug for InitMode<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InitMode::Fresh => write!(f, "InitMode::Fresh"),
+            InitMode::FromFn(_) => write!(f, "InitMode::FromFn(..)"),
+        }
+    }
+}
+
+/// A fully specified single run.
+///
+/// # Examples
+///
+/// ```
+/// use pp_sim::{Experiment, AdversarySchedule};
+/// # use pp_model::{Protocol, SizeEstimator};
+/// # use rand::Rng;
+/// # #[derive(Clone)] struct Max;
+/// # impl Protocol for Max {
+/// #     type State = u32;
+/// #     fn initial_state(&self) -> u32 { 1 }
+/// #     fn interact(&self, u: &mut u32, v: &mut u32, _: &mut dyn Rng) { *u = (*u).max(*v); }
+/// # }
+/// # impl SizeEstimator for Max {
+/// #     fn estimate_log2(&self, s: &u32) -> Option<f64> { Some(*s as f64) }
+/// # }
+/// let result = Experiment::new(Max, 100)
+///     .seed(7)
+///     .horizon(50.0)
+///     .snapshot_every(1.0)
+///     .run();
+/// assert_eq!(result.snapshots.len(), 51); // t = 0, 1, …, 50
+/// ```
+#[derive(Debug)]
+pub struct Experiment<P: Protocol> {
+    protocol: P,
+    n: usize,
+    seed: u64,
+    horizon: f64,
+    snapshot_every: f64,
+    schedule: AdversarySchedule,
+    init: InitMode<P::State>,
+}
+
+impl<P: SizeEstimator> Experiment<P> {
+    /// Creates an experiment on `n` fresh agents with defaults:
+    /// seed 0, horizon 1000 parallel time, one snapshot per parallel time
+    /// unit, no adversary.
+    pub fn new(protocol: P, n: usize) -> Self {
+        Experiment {
+            protocol,
+            n,
+            seed: 0,
+            horizon: 1000.0,
+            snapshot_every: 1.0,
+            schedule: AdversarySchedule::new(),
+            init: InitMode::Fresh,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the simulation horizon in parallel time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is negative or NaN.
+    pub fn horizon(mut self, horizon: f64) -> Self {
+        assert!(horizon >= 0.0, "horizon must be non-negative");
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the snapshot interval in parallel time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is not strictly positive.
+    pub fn snapshot_every(mut self, every: f64) -> Self {
+        assert!(every > 0.0, "snapshot interval must be positive");
+        self.snapshot_every = every;
+        self
+    }
+
+    /// Installs an adversary schedule.
+    pub fn schedule(mut self, schedule: AdversarySchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the initial configuration mode.
+    pub fn init(mut self, init: InitMode<P::State>) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Convenience: initial configuration where every agent starts in `f(i)`.
+    pub fn init_with(self, f: impl Fn(usize) -> P::State + Send + Sync + 'static) -> Self {
+        self.init(InitMode::FromFn(Box::new(f)))
+    }
+
+    fn build_config(&self) -> Configuration<P::State> {
+        match &self.init {
+            InitMode::Fresh => Configuration::fresh(&self.protocol, self.n),
+            InitMode::FromFn(f) => Configuration::from_fn(self.n, |i| f(i)),
+        }
+    }
+
+    /// Runs the experiment, recording estimate snapshots.
+    pub fn run(self) -> RunResult {
+        let config = self.build_config();
+        let mut sim = Simulator::from_config_with_observer(
+            self.protocol,
+            config,
+            self.seed,
+            EstimateTracker::new(),
+        );
+        let snapshots = drive(
+            &mut sim,
+            self.horizon,
+            self.snapshot_every,
+            &self.schedule,
+            |sim| sim.observer().histogram().summary(),
+            |_| None,
+        );
+        let final_n = sim.population();
+        RunResult {
+            seed: self.seed,
+            snapshots,
+            ticks: Vec::new(),
+            final_n,
+        }
+    }
+}
+
+impl<P> Experiment<P>
+where
+    P: SizeEstimator,
+    P::State: MemoryFootprint,
+{
+    /// Runs the experiment, additionally recording per-snapshot memory
+    /// summaries (but no ticks — for protocols that are not clocks).
+    ///
+    /// Memory summaries scan all agents at every snapshot; prefer coarser
+    /// snapshot intervals at large `n`.
+    pub fn run_with_memory(self) -> RunResult {
+        let config = self.build_config();
+        let mut sim = Simulator::from_config_with_observer(
+            self.protocol,
+            config,
+            self.seed,
+            EstimateTracker::new(),
+        );
+        let snapshots = drive(
+            &mut sim,
+            self.horizon,
+            self.snapshot_every,
+            &self.schedule,
+            |sim| sim.observer().histogram().summary(),
+            scan_memory,
+        );
+        let final_n = sim.population();
+        RunResult {
+            seed: self.seed,
+            snapshots,
+            ticks: Vec::new(),
+            final_n,
+        }
+    }
+}
+
+/// Scans all agents for the per-snapshot memory summary.
+fn scan_memory<P, O>(sim: &Simulator<P, O>) -> Option<MemorySummary>
+where
+    P: Protocol,
+    P::State: MemoryFootprint,
+    O: Observer<P>,
+{
+    let mut max_bits = 0u32;
+    let mut sum_bits = 0u64;
+    for s in sim.states() {
+        let b = s.memory_bits();
+        max_bits = max_bits.max(b);
+        sum_bits += u64::from(b);
+    }
+    (!sim.states().is_empty()).then(|| MemorySummary {
+        max_bits,
+        mean_bits: sum_bits as f64 / sim.states().len() as f64,
+    })
+}
+
+impl<P> Experiment<P>
+where
+    P: SizeEstimator + TickProtocol,
+    P::State: MemoryFootprint,
+{
+    /// Runs the experiment, additionally recording phase-clock ticks and
+    /// per-snapshot memory summaries.
+    ///
+    /// Memory summaries scan all agents at every snapshot; prefer coarser
+    /// snapshot intervals at large `n`.
+    pub fn run_full(self) -> RunResult {
+        let config = self.build_config();
+        let mut sim = Simulator::from_config_with_observer(
+            self.protocol,
+            config,
+            self.seed,
+            (EstimateTracker::new(), TickRecorder::new()),
+        );
+        let snapshots = drive(
+            &mut sim,
+            self.horizon,
+            self.snapshot_every,
+            &self.schedule,
+            |sim| sim.observer().0.histogram().summary(),
+            scan_memory,
+        );
+        let final_n = sim.population();
+        let (_, observer) = sim.into_parts();
+        RunResult {
+            seed: self.seed,
+            snapshots,
+            ticks: observer.1.into_events(),
+            final_n,
+        }
+    }
+}
+
+/// Shared run loop: advances the simulator between snapshot and event
+/// boundaries, applying events in order and snapshotting on the grid.
+fn drive<P, O>(
+    sim: &mut Simulator<P, O>,
+    horizon: f64,
+    snapshot_every: f64,
+    schedule: &AdversarySchedule,
+    summarize: impl Fn(&Simulator<P, O>) -> Option<crate::series::EstimateSummary>,
+    memory: impl Fn(&Simulator<P, O>) -> Option<MemorySummary>,
+) -> Vec<Snapshot>
+where
+    P: SizeEstimator,
+    O: Observer<P>,
+{
+    let mut snapshots = Vec::with_capacity((horizon / snapshot_every) as usize + 2);
+    let mut next_event = 0usize;
+    let take = |sim: &Simulator<P, O>| Snapshot {
+        parallel_time: sim.parallel_time(),
+        interactions: sim.interactions(),
+        n: sim.population(),
+        estimates: summarize(sim),
+        memory: memory(sim),
+    };
+    snapshots.push(take(sim));
+    let mut next_snapshot = snapshot_every;
+    // Fire any events scheduled at time zero before the first step.
+    while schedule.next_time(next_event).is_some_and(|t| t <= 0.0) {
+        apply_event(sim, schedule.events()[next_event].event);
+        next_event += 1;
+    }
+    while sim.parallel_time() < horizon {
+        let event_time = schedule.next_time(next_event).unwrap_or(f64::INFINITY);
+        let boundary = next_snapshot.min(event_time).min(horizon);
+        let remaining = boundary - sim.parallel_time();
+        if remaining > 0.0 {
+            sim.run_parallel_time(remaining);
+        }
+        while schedule
+            .next_time(next_event)
+            .is_some_and(|t| t <= sim.parallel_time())
+        {
+            apply_event(sim, schedule.events()[next_event].event);
+            next_event += 1;
+        }
+        if sim.parallel_time() + 1e-12 >= next_snapshot {
+            snapshots.push(take(sim));
+            next_snapshot += snapshot_every;
+        }
+    }
+    snapshots
+}
+
+fn apply_event<P, O>(sim: &mut Simulator<P, O>, event: PopulationEvent)
+where
+    P: SizeEstimator,
+    O: Observer<P>,
+{
+    match event {
+        PopulationEvent::ResizeTo(target) => sim.resize_to(target),
+        PopulationEvent::Add(count) => sim.add_agents(count),
+        PopulationEvent::RemoveUniform(count) => sim.remove_uniform(count),
+        PopulationEvent::RemoveLargestEstimates(count) => sim.remove_largest_estimates(count),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Max-spreading counting fixture; every agent always reports.
+    #[derive(Clone)]
+    struct Max;
+    impl Protocol for Max {
+        type State = u32;
+        fn initial_state(&self) -> u32 {
+            1
+        }
+        fn interact(&self, u: &mut u32, v: &mut u32, _: &mut dyn Rng) {
+            *u = (*u).max(*v);
+        }
+    }
+    impl SizeEstimator for Max {
+        fn estimate_log2(&self, s: &u32) -> Option<f64> {
+            Some(*s as f64)
+        }
+    }
+    impl TickProtocol for Max {
+        fn tick_count(&self, _: &u32) -> u64 {
+            0
+        }
+    }
+    #[test]
+    fn snapshots_land_on_grid() {
+        let r = Experiment::new(Max, 50).horizon(10.0).run();
+        assert_eq!(r.snapshots.len(), 11);
+        for (i, s) in r.snapshots.iter().enumerate() {
+            assert!((s.parallel_time - i as f64).abs() < 0.05, "snapshot {i} at {}", s.parallel_time);
+        }
+    }
+
+    #[test]
+    fn adversary_event_fires_at_scheduled_time() {
+        let schedule = AdversarySchedule::new().at(5.0, PopulationEvent::ResizeTo(10));
+        let r = Experiment::new(Max, 100)
+            .horizon(10.0)
+            .schedule(schedule)
+            .run();
+        assert_eq!(r.final_n, 10);
+        let before = r.snapshot_at(4.0);
+        let after = r.snapshot_at(6.0);
+        assert_eq!(before.n, 100);
+        assert_eq!(after.n, 10);
+    }
+
+    #[test]
+    fn init_with_seeds_custom_states() {
+        let r = Experiment::new(Max, 20)
+            .init_with(|i| if i == 0 { 60 } else { 1 })
+            .horizon(30.0)
+            .run();
+        let last = r.snapshots.last().unwrap().estimates.unwrap();
+        assert_eq!(last.max, 60.0);
+        assert_eq!(last.min, 60.0, "epidemic should have spread 60 to all");
+    }
+
+    #[test]
+    fn run_full_records_memory() {
+        // u32 states implement MemoryFootprint via pp-model.
+        let r = Experiment::new(Max, 30).horizon(5.0).run_full();
+        let mem = r.snapshots.last().unwrap().memory.unwrap();
+        assert!(mem.max_bits >= 1);
+        assert!(mem.mean_bits >= 1.0);
+        assert!(r.ticks.is_empty(), "fixture never ticks");
+    }
+}

@@ -1,0 +1,265 @@
+//! An incrementally maintained histogram of agent estimates.
+//!
+//! Recomputing min/median/max of 10^6 agent estimates at every one of 5 000
+//! snapshots costs as much as the simulation itself. Estimates of `log2 n`
+//! are small integers (buckets), so the simulator instead maintains counts
+//! per bucket, updated in O(1) whenever an interaction changes an agent's
+//! estimate — snapshots then cost O(#buckets).
+
+use crate::series::EstimateSummary;
+
+/// Counts of agents per estimate bucket, plus agents without an estimate.
+///
+/// # Examples
+///
+/// ```
+/// use pp_sim::EstimateHistogram;
+///
+/// let mut h = EstimateHistogram::new();
+/// h.add(Some(3));
+/// h.add(Some(5));
+/// h.add(None);
+/// assert_eq!(h.total(), 3);
+/// let s = h.summary().unwrap();
+/// assert_eq!((s.min, s.max), (3.0, 5.0));
+/// h.remove(Some(5));
+/// assert_eq!(h.summary().unwrap().max, 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EstimateHistogram {
+    counts: Vec<u64>,
+    none: u64,
+    with_estimate: u64,
+}
+
+impl EstimateHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one agent with the given estimate bucket.
+    pub fn add(&mut self, bucket: Option<u32>) {
+        match bucket {
+            Some(b) => {
+                let b = b as usize;
+                if b >= self.counts.len() {
+                    self.counts.resize(b + 1, 0);
+                }
+                self.counts[b] += 1;
+                self.with_estimate += 1;
+            }
+            None => self.none += 1,
+        }
+    }
+
+    /// Removes one agent with the given estimate bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no agent with that bucket is currently recorded — this
+    /// indicates a tracker/simulator desynchronization bug.
+    pub fn remove(&mut self, bucket: Option<u32>) {
+        match bucket {
+            Some(b) => {
+                let b = b as usize;
+                assert!(
+                    b < self.counts.len() && self.counts[b] > 0,
+                    "histogram underflow at bucket {b}"
+                );
+                self.counts[b] -= 1;
+                self.with_estimate -= 1;
+            }
+            None => {
+                assert!(self.none > 0, "histogram underflow for estimate-less agents");
+                self.none -= 1;
+            }
+        }
+    }
+
+    /// Moves one agent between buckets (no-op when equal).
+    pub fn update(&mut self, old: Option<u32>, new: Option<u32>) {
+        if old != new {
+            self.remove(old);
+            self.add(new);
+        }
+    }
+
+    /// Total number of recorded agents (with and without estimates).
+    pub fn total(&self) -> u64 {
+        self.with_estimate + self.none
+    }
+
+    /// Number of agents currently reporting no estimate.
+    pub fn none_count(&self) -> u64 {
+        self.none
+    }
+
+    /// Smallest bucket with at least one agent.
+    pub fn min(&self) -> Option<u32> {
+        self.counts.iter().position(|&c| c > 0).map(|b| b as u32)
+    }
+
+    /// Largest bucket with at least one agent.
+    pub fn max(&self) -> Option<u32> {
+        self.counts.iter().rposition(|&c| c > 0).map(|b| b as u32)
+    }
+
+    /// The `q`-quantile bucket (`q = 0.5` is the median) over agents with
+    /// estimates, using the lower-nearest convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u32> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.with_estimate == 0 {
+            return None;
+        }
+        let rank = ((self.with_estimate - 1) as f64 * q).round() as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen > rank {
+                return Some(b as u32);
+            }
+        }
+        None
+    }
+
+    /// Mean bucket value over agents with estimates.
+    pub fn mean(&self) -> Option<f64> {
+        if self.with_estimate == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(b, &c)| b as f64 * c as f64)
+            .sum();
+        Some(sum / self.with_estimate as f64)
+    }
+
+    /// Five-number snapshot of the current distribution, or `None` when no
+    /// agent reports an estimate.
+    pub fn summary(&self) -> Option<EstimateSummary> {
+        let min = self.min()?;
+        Some(EstimateSummary {
+            min: min as f64,
+            median: self.quantile(0.5).expect("nonempty") as f64,
+            max: self.max().expect("nonempty") as f64,
+            mean: self.mean().expect("nonempty"),
+            without_estimate: self.none,
+        })
+    }
+
+    /// Number of agents currently recorded in bucket `b`.
+    pub fn count_of(&self, b: u32) -> u64 {
+        self.counts.get(b as usize).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram_reports_nothing() {
+        let h = EstimateHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.summary(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn only_none_agents_report_no_summary() {
+        let mut h = EstimateHistogram::new();
+        h.add(None);
+        h.add(None);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.none_count(), 2);
+        assert_eq!(h.summary(), None);
+    }
+
+    #[test]
+    fn median_of_odd_population() {
+        let mut h = EstimateHistogram::new();
+        for b in [1u32, 2, 2, 3, 9] {
+            h.add(Some(b));
+        }
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(9));
+    }
+
+    #[test]
+    fn update_moves_between_buckets() {
+        let mut h = EstimateHistogram::new();
+        h.add(Some(4));
+        h.update(Some(4), Some(7));
+        assert_eq!(h.count_of(4), 0);
+        assert_eq!(h.count_of(7), 1);
+        h.update(Some(7), None);
+        assert_eq!(h.none_count(), 1);
+        h.update(None, Some(2));
+        assert_eq!(h.count_of(2), 1);
+        assert_eq!(h.none_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn removing_unrecorded_bucket_panics() {
+        let mut h = EstimateHistogram::new();
+        h.add(Some(1));
+        h.remove(Some(2));
+    }
+
+    #[test]
+    fn mean_matches_hand_computation() {
+        let mut h = EstimateHistogram::new();
+        for b in [2u32, 4, 6] {
+            h.add(Some(b));
+        }
+        assert_eq!(h.mean(), Some(4.0));
+    }
+
+    proptest! {
+        /// The histogram agrees with a naive recount for any sequence of
+        /// adds, and the median equals the sorted middle element.
+        #[test]
+        fn agrees_with_naive(values in proptest::collection::vec(0u32..40, 1..200)) {
+            let mut h = EstimateHistogram::new();
+            for &v in &values {
+                h.add(Some(v));
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(h.min(), Some(sorted[0]));
+            prop_assert_eq!(h.max(), Some(*sorted.last().unwrap()));
+            // nearest-rank median: index round((len-1)*0.5)
+            let expected_median = sorted[((sorted.len() - 1) as f64 * 0.5).round() as usize];
+            prop_assert_eq!(h.quantile(0.5), Some(expected_median));
+            let expected_mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+            prop_assert!((h.mean().unwrap() - expected_mean).abs() < 1e-9);
+        }
+
+        /// Adding then removing everything returns to the empty state.
+        #[test]
+        fn add_remove_roundtrip(values in proptest::collection::vec(proptest::option::of(0u32..40), 0..100)) {
+            let mut h = EstimateHistogram::new();
+            for v in &values {
+                h.add(*v);
+            }
+            prop_assert_eq!(h.total(), values.len() as u64);
+            for v in &values {
+                h.remove(*v);
+            }
+            prop_assert_eq!(h.total(), 0);
+            prop_assert_eq!(h.summary(), None);
+        }
+    }
+}

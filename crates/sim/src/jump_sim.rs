@@ -1,0 +1,368 @@
+//! Event-jump simulation: skip no-op interactions in closed form.
+//!
+//! Late in an epidemic almost every drawn pair is a no-op (both agents
+//! already infected); a sequential simulator burns a cycle per no-op. For
+//! *deterministic* finite-state protocols the number of consecutive no-ops
+//! is geometrically distributed with success probability
+//! `W/T` — `W` = count of ordered pairs whose interaction changes
+//! something, `T = n(n−1)` — so it can be sampled in O(1) and skipped in
+//! one jump. Conditioned on being effective, the interacting pair is
+//! distributed proportionally to the pair counts, so the executed chain is
+//! **exactly** the model's jump chain: this simulator is statistically
+//! indistinguishable from the sequential one (cross-checked by tests), it
+//! just doesn't spend time on silence.
+//!
+//! This is the same observation that powers the ppsim-style simulators the
+//! paper cites when explaining why it could not use them (Berenbrink et
+//! al., ESA 2020; Doty & Severson, CMSB 2021) — those tools also exploit
+//! the state-count representation; the paper's own protocol has unbounded
+//! state space and needs the agent-array simulator instead. Here the jump
+//! simulator serves the *substrates* (epidemics, CHVP, detection), whose
+//! lemmas we validate at large n.
+
+use pp_model::{DeterministicProtocol, FiniteProtocol};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Exact event-jump simulator for deterministic finite-state protocols.
+///
+/// # Examples
+///
+/// An infection epidemic on a million agents completes in milliseconds —
+/// only the `n − 1` state-changing interactions are materialized:
+///
+/// ```
+/// use pp_model::{DeterministicProtocol, FiniteProtocol, Protocol};
+/// use pp_sim::JumpSimulator;
+/// use rand::Rng;
+///
+/// struct Or;
+/// impl Protocol for Or {
+///     type State = bool;
+///     fn initial_state(&self) -> bool { false }
+///     fn interact(&self, u: &mut bool, v: &mut bool, _: &mut dyn Rng) { *u = *u || *v; }
+/// }
+/// impl FiniteProtocol for Or {
+///     fn num_states(&self) -> usize { 2 }
+///     fn state_index(&self, s: &bool) -> usize { usize::from(*s) }
+///     fn state_from_index(&self, i: usize) -> bool { i == 1 }
+/// }
+/// impl DeterministicProtocol for Or {}
+///
+/// let mut sim = JumpSimulator::from_counts(Or, vec![999_999, 1], 7);
+/// sim.run_until_quiescent(1_000.0);
+/// assert_eq!(sim.count(1), 1_000_000); // epidemic completed
+/// ```
+#[derive(Debug)]
+pub struct JumpSimulator<P: DeterministicProtocol> {
+    protocol: P,
+    counts: Vec<u64>,
+    n: u64,
+    rng: SmallRng,
+    interactions: u64,
+    parallel_time: f64,
+    /// `delta[si * S + sj]` = indices after `(si, sj)` interact.
+    delta: Vec<(usize, usize)>,
+    /// Pairs `(si, sj)` with `delta != identity`.
+    active: Vec<(usize, usize)>,
+}
+
+impl<P: DeterministicProtocol> JumpSimulator<P> {
+    /// Creates a simulator from explicit per-state counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != num_states()`, or if probing detects a
+    /// non-deterministic transition.
+    pub fn from_counts(protocol: P, counts: Vec<u64>, seed: u64) -> Self {
+        let s = protocol.num_states();
+        assert_eq!(counts.len(), s, "counts must cover every state");
+        let mut delta = Vec::with_capacity(s * s);
+        let mut active = Vec::new();
+        let mut probe_rng_a = SmallRng::seed_from_u64(0xDEAD);
+        let mut probe_rng_b = SmallRng::seed_from_u64(0xBEEF);
+        for si in 0..s {
+            for sj in 0..s {
+                let out_a = apply(&protocol, si, sj, &mut probe_rng_a);
+                let out_b = apply(&protocol, si, sj, &mut probe_rng_b);
+                assert_eq!(
+                    out_a, out_b,
+                    "transition ({si}, {sj}) is not deterministic"
+                );
+                if out_a != (si, sj) {
+                    active.push((si, sj));
+                }
+                delta.push(out_a);
+            }
+        }
+        let n = counts.iter().sum();
+        JumpSimulator {
+            protocol,
+            counts,
+            n,
+            rng: SmallRng::seed_from_u64(seed),
+            interactions: 0,
+            parallel_time: 0.0,
+            delta,
+            active,
+        }
+    }
+
+    /// Creates a simulator of `n` agents in the protocol's initial state.
+    pub fn with_seed(protocol: P, n: u64, seed: u64) -> Self {
+        let mut counts = vec![0u64; protocol.num_states()];
+        if n > 0 {
+            let init = protocol.state_index(&protocol.initial_state());
+            counts[init] = n;
+        }
+        Self::from_counts(protocol, counts, seed)
+    }
+
+    /// The protocol under simulation.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Population size.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// Interactions simulated so far (including skipped no-ops).
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Parallel time elapsed (including skipped no-ops).
+    pub fn parallel_time(&self) -> f64 {
+        self.parallel_time
+    }
+
+    /// Count of agents in the state with index `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All per-state counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Ordered pairs whose interaction would change something.
+    fn effective_pairs(&self) -> u64 {
+        self.active
+            .iter()
+            .map(|&(si, sj)| {
+                let same = u64::from(si == sj);
+                self.counts[si] * self.counts[sj].saturating_sub(same)
+            })
+            .sum()
+    }
+
+    /// Whether no interaction can change the configuration any more.
+    pub fn is_quiescent(&self) -> bool {
+        self.effective_pairs() == 0
+    }
+
+    /// Advances to (and applies) the next effective interaction.
+    ///
+    /// Returns `false` without advancing when the configuration is
+    /// quiescent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population has fewer than two agents.
+    pub fn step_event(&mut self) -> bool {
+        assert!(self.n >= 2, "an interaction needs at least two agents");
+        let w = self.effective_pairs();
+        if w == 0 {
+            return false;
+        }
+        let t = self.n * (self.n - 1);
+        // Skip the geometric run of no-ops in closed form.
+        let p = w as f64 / t as f64;
+        let skips = if p >= 1.0 {
+            0u64
+        } else {
+            let u: f64 = self.rng.random();
+            // Geometric(p) on {0, 1, …}: floor(ln u / ln(1 − p)).
+            (u.ln() / (1.0 - p).ln()) as u64
+        };
+        self.interactions += skips + 1;
+        self.parallel_time += (skips + 1) as f64 / self.n as f64;
+
+        // Draw the effective pair proportional to its pair count.
+        let mut r = self.rng.random_range(0..w);
+        for &(si, sj) in &self.active {
+            let same = u64::from(si == sj);
+            let pairs = self.counts[si] * self.counts[sj].saturating_sub(same);
+            if r < pairs {
+                let s = self.protocol.num_states();
+                let (oi, oj) = self.delta[si * s + sj];
+                self.counts[si] -= 1;
+                self.counts[sj] -= 1;
+                self.counts[oi] += 1;
+                self.counts[oj] += 1;
+                return true;
+            }
+            r -= pairs;
+        }
+        unreachable!("effective pair weight accounted for");
+    }
+
+    /// Runs events until quiescence or until `max_parallel_time` elapses.
+    pub fn run_until_quiescent(&mut self, max_parallel_time: f64) {
+        let deadline = self.parallel_time + max_parallel_time;
+        while self.parallel_time < deadline {
+            if !self.step_event() {
+                return;
+            }
+        }
+    }
+}
+
+fn apply<P: FiniteProtocol>(
+    protocol: &P,
+    si: usize,
+    sj: usize,
+    rng: &mut impl Rng,
+) -> (usize, usize) {
+    let mut u = protocol.state_from_index(si);
+    let mut v = protocol.state_from_index(sj);
+    protocol.interact(&mut u, &mut v, rng);
+    (protocol.state_index(&u), protocol.state_index(&v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_sim::CountSimulator;
+    use pp_model::Protocol;
+    use rand::Rng as _;
+
+    /// Binary OR-infection fixture (deterministic).
+    struct Or;
+    impl Protocol for Or {
+        type State = bool;
+        fn initial_state(&self) -> bool {
+            false
+        }
+        fn interact(&self, u: &mut bool, v: &mut bool, _: &mut dyn rand::Rng) {
+            *u = *u || *v;
+        }
+    }
+    impl FiniteProtocol for Or {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_index(&self, s: &bool) -> usize {
+            usize::from(*s)
+        }
+        fn state_from_index(&self, i: usize) -> bool {
+            i == 1
+        }
+    }
+    impl DeterministicProtocol for Or {}
+
+    /// A protocol that actually uses the RNG — must be rejected.
+    struct CoinFlip;
+    impl Protocol for CoinFlip {
+        type State = bool;
+        fn initial_state(&self) -> bool {
+            false
+        }
+        fn interact(&self, u: &mut bool, _v: &mut bool, rng: &mut dyn rand::Rng) {
+            *u = rng.random();
+        }
+    }
+    impl FiniteProtocol for CoinFlip {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_index(&self, s: &bool) -> usize {
+            usize::from(*s)
+        }
+        fn state_from_index(&self, i: usize) -> bool {
+            i == 1
+        }
+    }
+    impl DeterministicProtocol for CoinFlip {}
+
+    #[test]
+    fn completes_epidemic_exactly() {
+        let mut sim = JumpSimulator::from_counts(Or, vec![99_999, 1], 1);
+        sim.run_until_quiescent(1_000.0);
+        assert!(sim.is_quiescent());
+        assert_eq!(sim.count(1), 100_000);
+        assert_eq!(sim.counts().iter().sum::<u64>(), 100_000);
+    }
+
+    #[test]
+    fn quiescent_configuration_does_not_advance() {
+        let mut sim = JumpSimulator::from_counts(Or, vec![0, 50], 2);
+        assert!(sim.is_quiescent());
+        let t = sim.interactions();
+        assert!(!sim.step_event());
+        assert_eq!(sim.interactions(), t, "no time passes at quiescence");
+    }
+
+    #[test]
+    fn completion_time_matches_sequential_count_simulator() {
+        // The jump chain must reproduce the sequential completion-time
+        // distribution; compare means over several seeds.
+        let n = 5_000u64;
+        let mean_jump: f64 = (0..10)
+            .map(|seed| {
+                let mut sim = JumpSimulator::from_counts(Or, vec![n - 1, 1], seed);
+                sim.run_until_quiescent(10_000.0);
+                sim.parallel_time()
+            })
+            .sum::<f64>()
+            / 10.0;
+        let mean_seq: f64 = (100..110)
+            .map(|seed| {
+                let mut sim = CountSimulator::from_counts(Or, vec![n - 1, 1], seed);
+                while sim.count(1) < n {
+                    sim.step_n(n / 4 + 1);
+                }
+                sim.parallel_time()
+            })
+            .sum::<f64>()
+            / 10.0;
+        let ratio = mean_jump / mean_seq;
+        assert!(
+            (0.85..1.18).contains(&ratio),
+            "jump {mean_jump:.1} vs sequential {mean_seq:.1} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn events_are_far_fewer_than_interactions() {
+        let n = 100_000u64;
+        let mut sim = JumpSimulator::from_counts(Or, vec![n - 1, 1], 3);
+        let mut events = 0u64;
+        while sim.step_event() {
+            events += 1;
+        }
+        // An epidemic has exactly n − 1 state-changing interactions.
+        assert_eq!(events, n - 1);
+        assert!(
+            sim.interactions() > events * 3,
+            "skipping should have jumped over many no-ops ({} interactions, {} events)",
+            sim.interactions(),
+            events
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not deterministic")]
+    fn randomized_protocols_are_rejected() {
+        let _ = JumpSimulator::with_seed(CoinFlip, 10, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every state")]
+    fn count_length_validated() {
+        let _ = JumpSimulator::from_counts(Or, vec![1, 2, 3], 5);
+    }
+}

@@ -1,0 +1,47 @@
+//! # pp-sim — simulators for population protocols
+//!
+//! The paper's protocol has an unbounded state space, which rules out
+//! ready-made population protocol simulators (its §5 makes the same
+//! observation about ppsim and builds a custom C++ simulator). This crate is
+//! the Rust equivalent, built from scratch:
+//!
+//! * [`Simulator`] — the agent-array simulator: a dense vector of states, the
+//!   uniformly random pair scheduler, and observer hooks. This is the engine
+//!   behind every figure of the paper.
+//! * [`observer`] — zero-cost observer hooks; [`EstimateTracker`] maintains
+//!   an incremental histogram of agent estimates (O(1) snapshots even at
+//!   n = 10^6), [`TickRecorder`] logs phase-clock ticks for the Theorem 2.2
+//!   analysis.
+//! * [`CountSimulator`] — an exact count-based simulator for finite-state
+//!   protocols (one counter per state, no agent array); used to cross-check
+//!   the agent simulator on substrates such as epidemics and bounded CHVP.
+//! * [`adversary`] — the dynamic-population adversary of Doty & Eftekhari
+//!   2022: timed events that add agents (in the protocol's initial state) or
+//!   remove arbitrary agents.
+//! * [`Experiment`] — a single simulation run with snapshots, an adversary
+//!   schedule, and optional tick/memory recording.
+//! * [`runner`] — a work-stealing parallel executor for independent runs
+//!   (the paper uses 96 runs per data point).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod count_sim;
+pub mod experiment;
+pub mod histogram;
+pub mod jump_sim;
+pub mod observer;
+pub mod runner;
+pub mod series;
+pub mod simulator;
+
+pub use adversary::{AdversarySchedule, PopulationEvent, ScheduledEvent};
+pub use count_sim::CountSimulator;
+pub use jump_sim::JumpSimulator;
+pub use experiment::{Experiment, InitMode};
+pub use histogram::EstimateHistogram;
+pub use observer::{EstimateTracker, Observer, TickRecorder};
+pub use runner::parallel_map;
+pub use series::{EstimateSummary, MemorySummary, RunResult, Snapshot, TickEvent};
+pub use simulator::Simulator;

@@ -1,0 +1,309 @@
+//! Observer hooks: zero-cost instrumentation of a running simulation.
+//!
+//! The simulator invokes an [`Observer`] around every interaction and on
+//! every population change. Observers compose as tuples, and the unit type
+//! `()` is the no-op observer, so untracked simulations pay nothing.
+//!
+//! Two observers ship with the crate:
+//!
+//! * [`EstimateTracker`] — incremental estimate histogram (drives the
+//!   paper's Figures 2–5 at O(1) per snapshot).
+//! * [`TickRecorder`] — logs every phase-clock tick (drives the Theorem 2.2
+//!   burst/overlap analysis).
+
+use crate::histogram::EstimateHistogram;
+use crate::series::TickEvent;
+use pp_model::{Protocol, SizeEstimator, TickProtocol};
+
+/// Hooks invoked by [`Simulator`](crate::Simulator) around interactions and
+/// population changes.
+///
+/// `pre_interact` and `post_interact` are always called in matching pairs
+/// with the same `(u_index, v_index)`; observers may carry state between the
+/// two calls of a pair.
+pub trait Observer<P: Protocol> {
+    /// Called immediately before an interaction, with the pair's current states.
+    fn pre_interact(
+        &mut self,
+        protocol: &P,
+        u: &P::State,
+        v: &P::State,
+        u_index: usize,
+        v_index: usize,
+        interactions: u64,
+    );
+
+    /// Called immediately after the interaction, with the pair's new states.
+    fn post_interact(
+        &mut self,
+        protocol: &P,
+        u: &P::State,
+        v: &P::State,
+        u_index: usize,
+        v_index: usize,
+        interactions: u64,
+    );
+
+    /// Called when an agent joins the population (including initial setup).
+    fn agent_added(&mut self, protocol: &P, state: &P::State);
+
+    /// Called when an agent leaves the population.
+    fn agent_removed(&mut self, protocol: &P, state: &P::State);
+}
+
+impl<P: Protocol> Observer<P> for () {
+    #[inline]
+    fn pre_interact(&mut self, _: &P, _: &P::State, _: &P::State, _: usize, _: usize, _: u64) {}
+    #[inline]
+    fn post_interact(&mut self, _: &P, _: &P::State, _: &P::State, _: usize, _: usize, _: u64) {}
+    #[inline]
+    fn agent_added(&mut self, _: &P, _: &P::State) {}
+    #[inline]
+    fn agent_removed(&mut self, _: &P, _: &P::State) {}
+}
+
+impl<P: Protocol, A: Observer<P>, B: Observer<P>> Observer<P> for (A, B) {
+    #[inline]
+    fn pre_interact(
+        &mut self,
+        p: &P,
+        u: &P::State,
+        v: &P::State,
+        ui: usize,
+        vi: usize,
+        t: u64,
+    ) {
+        self.0.pre_interact(p, u, v, ui, vi, t);
+        self.1.pre_interact(p, u, v, ui, vi, t);
+    }
+    #[inline]
+    fn post_interact(
+        &mut self,
+        p: &P,
+        u: &P::State,
+        v: &P::State,
+        ui: usize,
+        vi: usize,
+        t: u64,
+    ) {
+        self.0.post_interact(p, u, v, ui, vi, t);
+        self.1.post_interact(p, u, v, ui, vi, t);
+    }
+    #[inline]
+    fn agent_added(&mut self, p: &P, s: &P::State) {
+        self.0.agent_added(p, s);
+        self.1.agent_added(p, s);
+    }
+    #[inline]
+    fn agent_removed(&mut self, p: &P, s: &P::State) {
+        self.0.agent_removed(p, s);
+        self.1.agent_removed(p, s);
+    }
+}
+
+/// Maintains an [`EstimateHistogram`] of all agents' current estimates.
+///
+/// Cost per interaction: up to four `estimate_bucket` evaluations (both
+/// agents, before and after) and two O(1) histogram updates.
+#[derive(Debug, Clone, Default)]
+pub struct EstimateTracker {
+    hist: EstimateHistogram,
+    pre_u: Option<u32>,
+    pre_v: Option<u32>,
+}
+
+impl EstimateTracker {
+    /// Creates a tracker with an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The histogram of current estimates.
+    pub fn histogram(&self) -> &EstimateHistogram {
+        &self.hist
+    }
+}
+
+impl<P: SizeEstimator> Observer<P> for EstimateTracker {
+    #[inline]
+    fn pre_interact(&mut self, p: &P, u: &P::State, v: &P::State, _: usize, _: usize, _: u64) {
+        self.pre_u = p.estimate_bucket(u);
+        self.pre_v = p.estimate_bucket(v);
+    }
+
+    #[inline]
+    fn post_interact(&mut self, p: &P, u: &P::State, v: &P::State, _: usize, _: usize, _: u64) {
+        self.hist.update(self.pre_u, p.estimate_bucket(u));
+        self.hist.update(self.pre_v, p.estimate_bucket(v));
+    }
+
+    #[inline]
+    fn agent_added(&mut self, p: &P, s: &P::State) {
+        self.hist.add(p.estimate_bucket(s));
+    }
+
+    #[inline]
+    fn agent_removed(&mut self, p: &P, s: &P::State) {
+        self.hist.remove(p.estimate_bucket(s));
+    }
+}
+
+/// Records a [`TickEvent`] whenever an agent's tick counter advances.
+///
+/// The paper's Theorem 2.2 concerns the sequence of reset "signals"; this
+/// recorder captures exactly those, attributed to the initiating agent.
+#[derive(Debug, Clone, Default)]
+pub struct TickRecorder {
+    events: Vec<TickEvent>,
+    pre_u_ticks: u64,
+    pre_v_ticks: u64,
+}
+
+impl TickRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded tick events, in interaction order.
+    pub fn events(&self) -> &[TickEvent] {
+        &self.events
+    }
+
+    /// Consumes the recorder, returning its events.
+    pub fn into_events(self) -> Vec<TickEvent> {
+        self.events
+    }
+
+    /// Drops all events recorded so far (e.g. to skip a warm-up period).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl<P: TickProtocol> Observer<P> for TickRecorder {
+    #[inline]
+    fn pre_interact(&mut self, p: &P, u: &P::State, v: &P::State, _: usize, _: usize, _: u64) {
+        self.pre_u_ticks = p.tick_count(u);
+        self.pre_v_ticks = p.tick_count(v);
+    }
+
+    #[inline]
+    fn post_interact(
+        &mut self,
+        p: &P,
+        u: &P::State,
+        v: &P::State,
+        ui: usize,
+        vi: usize,
+        interactions: u64,
+    ) {
+        if p.tick_count(u) > self.pre_u_ticks {
+            self.events.push(TickEvent {
+                interaction: interactions,
+                agent: ui as u32,
+            });
+        }
+        if p.tick_count(v) > self.pre_v_ticks {
+            self.events.push(TickEvent {
+                interaction: interactions,
+                agent: vi as u32,
+            });
+        }
+    }
+
+    #[inline]
+    fn agent_added(&mut self, _: &P, _: &P::State) {}
+    #[inline]
+    fn agent_removed(&mut self, _: &P, _: &P::State) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_model::Protocol;
+    use rand::Rng;
+
+    /// Counting protocol fixture: state is (value, ticks); the initiator
+    /// adopts max and ticks when it changes.
+    struct Fixture;
+
+    impl Protocol for Fixture {
+        type State = (u32, u64);
+        fn initial_state(&self) -> Self::State {
+            (0, 0)
+        }
+        fn interact(&self, u: &mut Self::State, v: &mut Self::State, _rng: &mut dyn Rng) {
+            if v.0 > u.0 {
+                u.0 = v.0;
+                u.1 += 1;
+            }
+        }
+    }
+
+    impl SizeEstimator for Fixture {
+        fn estimate_log2(&self, s: &Self::State) -> Option<f64> {
+            (s.0 > 0).then_some(s.0 as f64)
+        }
+    }
+
+    impl TickProtocol for Fixture {
+        fn tick_count(&self, s: &Self::State) -> u64 {
+            s.1
+        }
+    }
+
+    #[test]
+    fn estimate_tracker_follows_changes() {
+        let p = Fixture;
+        let mut t = EstimateTracker::new();
+        let a = (0u32, 0u64);
+        let b = (5u32, 0u64);
+        Observer::<Fixture>::agent_added(&mut t, &p, &a);
+        Observer::<Fixture>::agent_added(&mut t, &p, &b);
+        assert_eq!(t.histogram().total(), 2);
+        assert_eq!(t.histogram().none_count(), 1);
+
+        let mut u = a;
+        let mut v = b;
+        t.pre_interact(&p, &u, &v, 0, 1, 0);
+        p.interact(&mut u, &mut v, &mut rand::rng());
+        t.post_interact(&p, &u, &v, 0, 1, 0);
+        assert_eq!(t.histogram().none_count(), 0);
+        assert_eq!(t.histogram().count_of(5), 2);
+    }
+
+    #[test]
+    fn tick_recorder_captures_initiator_ticks() {
+        let p = Fixture;
+        let mut r = TickRecorder::new();
+        let mut u = (0u32, 0u64);
+        let mut v = (3u32, 0u64);
+        r.pre_interact(&p, &u, &v, 4, 9, 100);
+        p.interact(&mut u, &mut v, &mut rand::rng());
+        r.post_interact(&p, &u, &v, 4, 9, 100);
+        assert_eq!(
+            r.events(),
+            &[TickEvent {
+                interaction: 100,
+                agent: 4
+            }]
+        );
+        // No tick when nothing changes.
+        r.pre_interact(&p, &u, &v, 4, 9, 101);
+        p.interact(&mut u, &mut v, &mut rand::rng());
+        r.post_interact(&p, &u, &v, 4, 9, 101);
+        assert_eq!(r.events().len(), 1);
+        r.clear();
+        assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn tuple_observer_dispatches_to_both() {
+        let p = Fixture;
+        let mut pair = (EstimateTracker::new(), TickRecorder::new());
+        Observer::<Fixture>::agent_added(&mut pair, &p, &(2, 0));
+        assert_eq!(pair.0.histogram().total(), 1);
+        assert!(pair.1.events().is_empty());
+    }
+}

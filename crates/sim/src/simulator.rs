@@ -1,0 +1,424 @@
+//! The agent-array simulator.
+//!
+//! Simulates a population protocol exactly as the model prescribes: a dense
+//! array of agent states, and per step one ordered pair of distinct agents
+//! drawn uniformly at random, updated by the protocol's transition function.
+//! Population changes (the dynamic adversary) add agents in the protocol's
+//! initial state or remove agents by swap-removal.
+//!
+//! Determinism: a simulator seeded with [`Simulator::with_seed`] produces a
+//! bit-identical execution for the same protocol, population, and seed
+//! (verified by integration tests), mirroring the paper's seeded `ranlux`
+//! setup.
+
+use crate::observer::{EstimateTracker, Observer};
+use pp_model::{random_ordered_pair, Configuration, Protocol, SizeEstimator};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// An in-progress execution of a population protocol.
+///
+/// The observer type parameter `O` defaults to `()` (no instrumentation);
+/// see [`Simulator::tracked`] for the common estimate-tracking setup.
+///
+/// # Examples
+///
+/// ```
+/// use pp_model::Protocol;
+/// use pp_sim::Simulator;
+/// use rand::Rng;
+///
+/// struct OrEpidemic;
+/// impl Protocol for OrEpidemic {
+///     type State = bool;
+///     fn initial_state(&self) -> bool { false }
+///     fn interact(&self, u: &mut bool, v: &mut bool, _: &mut dyn Rng) {
+///         *u = *u || *v;
+///     }
+/// }
+///
+/// let mut sim = Simulator::with_seed(OrEpidemic, 100, 7);
+/// *sim.state_mut(0) = true;               // plant the rumor
+/// sim.run_parallel_time(30.0);            // epidemics finish in O(log n) time
+/// assert!(sim.states().iter().all(|&s| s));
+/// ```
+#[derive(Debug)]
+pub struct Simulator<P: Protocol, O: Observer<P> = ()> {
+    protocol: P,
+    config: Configuration<P::State>,
+    observer: O,
+    rng: SmallRng,
+    interactions: u64,
+    parallel_time: f64,
+    inv_n: f64,
+}
+
+impl<P: Protocol> Simulator<P, ()> {
+    /// Creates a simulator of `n` agents in the protocol's initial state.
+    pub fn with_seed(protocol: P, n: usize, seed: u64) -> Self {
+        Self::with_observer(protocol, n, seed, ())
+    }
+
+    /// Creates a simulator from an explicit initial configuration
+    /// (the paper's *arbitrary initial configuration* setting).
+    pub fn from_config(protocol: P, config: Configuration<P::State>, seed: u64) -> Self {
+        Self::from_config_with_observer(protocol, config, seed, ())
+    }
+}
+
+impl<P: SizeEstimator> Simulator<P, EstimateTracker> {
+    /// Creates a simulator with incremental estimate tracking enabled.
+    pub fn tracked(protocol: P, n: usize, seed: u64) -> Self {
+        Self::with_observer(protocol, n, seed, EstimateTracker::new())
+    }
+}
+
+impl<P: Protocol, O: Observer<P>> Simulator<P, O> {
+    /// Creates a simulator of `n` fresh agents with the given observer.
+    pub fn with_observer(protocol: P, n: usize, seed: u64, observer: O) -> Self {
+        let config = Configuration::fresh(&protocol, n);
+        Self::from_config_with_observer(protocol, config, seed, observer)
+    }
+
+    /// Creates a simulator from an explicit configuration with an observer.
+    ///
+    /// The observer sees one `agent_added` call per existing agent so that
+    /// incremental metrics start consistent.
+    pub fn from_config_with_observer(
+        protocol: P,
+        config: Configuration<P::State>,
+        seed: u64,
+        mut observer: O,
+    ) -> Self {
+        for state in config.iter() {
+            observer.agent_added(&protocol, state);
+        }
+        let inv_n = if config.is_empty() {
+            0.0
+        } else {
+            1.0 / config.len() as f64
+        };
+        Simulator {
+            protocol,
+            config,
+            observer,
+            rng: SmallRng::seed_from_u64(seed),
+            interactions: 0,
+            parallel_time: 0.0,
+            inv_n,
+        }
+    }
+
+    /// The protocol under simulation.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Current population size `n`.
+    pub fn population(&self) -> usize {
+        self.config.len()
+    }
+
+    /// Interactions simulated so far.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Parallel time elapsed (interactions / n, integrated across resizes).
+    pub fn parallel_time(&self) -> f64 {
+        self.parallel_time
+    }
+
+    /// The current agent states.
+    pub fn states(&self) -> &[P::State] {
+        self.config.as_slice()
+    }
+
+    /// Mutable access to one agent's state.
+    ///
+    /// Bypasses the observer: callers that mutate states directly (e.g. to
+    /// plant an initial value) should do so before relying on incremental
+    /// metrics, or use [`Simulator::from_config_with_observer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn state_mut(&mut self, i: usize) -> &mut P::State {
+        self.config.get_mut(i)
+    }
+
+    /// The observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the observer (e.g. to clear a tick recorder).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Consumes the simulator, returning the final configuration and observer.
+    pub fn into_parts(self) -> (Configuration<P::State>, O) {
+        (self.config, self.observer)
+    }
+
+    /// Simulates one interaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population has fewer than two agents.
+    #[inline]
+    pub fn step(&mut self) {
+        let n = self.config.len();
+        let (i, j) = random_ordered_pair(n, &mut self.rng);
+        let (u, v) = self.config.pair_mut(i, j);
+        self.observer
+            .pre_interact(&self.protocol, u, v, i, j, self.interactions);
+        self.protocol.interact(u, v, &mut self.rng);
+        self.observer
+            .post_interact(&self.protocol, u, v, i, j, self.interactions);
+        self.interactions += 1;
+        self.parallel_time += self.inv_n;
+    }
+
+    /// Simulates `count` interactions.
+    pub fn step_n(&mut self, count: u64) {
+        for _ in 0..count {
+            self.step();
+        }
+    }
+
+    /// Runs for `duration` units of parallel time.
+    ///
+    /// With a population of fewer than two agents, time passes without
+    /// interactions (a lone bird cannot interact, but its clock still runs).
+    pub fn run_parallel_time(&mut self, duration: f64) {
+        let target = self.parallel_time + duration;
+        if self.config.len() < 2 {
+            self.parallel_time = target;
+            return;
+        }
+        while self.parallel_time < target {
+            self.step();
+        }
+    }
+
+    /// Adds `count` agents in the protocol's initial state.
+    pub fn add_agents(&mut self, count: usize) {
+        for _ in 0..count {
+            let s = self.protocol.initial_state();
+            self.observer.agent_added(&self.protocol, &s);
+            self.config.push(s);
+        }
+        self.update_inv_n();
+    }
+
+    /// Removes `count` agents chosen uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the population size.
+    pub fn remove_uniform(&mut self, count: usize) {
+        assert!(
+            count <= self.config.len(),
+            "cannot remove {count} of {} agents",
+            self.config.len()
+        );
+        for _ in 0..count {
+            let i = self.rng.random_range(0..self.config.len());
+            let s = self.config.swap_remove(i);
+            self.observer.agent_removed(&self.protocol, &s);
+        }
+        self.update_inv_n();
+    }
+
+    /// Resizes the population to `target`: grows with fresh agents or
+    /// shrinks by uniform removal (the paper's Fig. 4 adversary: "all but
+    /// 500 agents are removed").
+    pub fn resize_to(&mut self, target: usize) {
+        let n = self.config.len();
+        if target > n {
+            self.add_agents(target - n);
+        } else {
+            self.remove_uniform(n - target);
+        }
+    }
+
+    fn update_inv_n(&mut self) {
+        self.inv_n = if self.config.is_empty() {
+            0.0
+        } else {
+            1.0 / self.config.len() as f64
+        };
+    }
+}
+
+impl<P: SizeEstimator, O: Observer<P>> Simulator<P, O> {
+    /// All agents' current `log2 n` estimates (full scan).
+    pub fn estimates_log2(&self) -> Vec<f64> {
+        self.config
+            .iter()
+            .filter_map(|s| self.protocol.estimate_log2(s))
+            .collect()
+    }
+
+    /// Five-number summary of the agents' current estimates (full scan),
+    /// or `None` when no agent reports an estimate.
+    ///
+    /// For per-snapshot summaries at scale use [`Simulator::tracked`], whose
+    /// [`EstimateTracker`] answers in O(1).
+    pub fn estimate_stats(&self) -> Option<crate::series::EstimateSummary> {
+        let mut hist = crate::histogram::EstimateHistogram::new();
+        for s in self.config.iter() {
+            hist.add(self.protocol.estimate_bucket(s));
+        }
+        hist.summary()
+    }
+
+    /// Removes the `count` agents with the largest estimates (the
+    /// *adversarial* removal mode: a poacher targeting specific birds).
+    ///
+    /// Agents without an estimate sort lowest and are removed last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the population size.
+    pub fn remove_largest_estimates(&mut self, count: usize) {
+        assert!(
+            count <= self.config.len(),
+            "cannot remove {count} of {} agents",
+            self.config.len()
+        );
+        let mut order: Vec<usize> = (0..self.config.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ea = self.protocol.estimate_log2(self.config.get(a));
+            let eb = self.protocol.estimate_log2(self.config.get(b));
+            eb.partial_cmp(&ea).expect("non-NaN estimates")
+        });
+        // Remove highest-estimate agents; sort the doomed indices descending
+        // so swap_remove never disturbs a pending index.
+        let mut doomed: Vec<usize> = order.into_iter().take(count).collect();
+        doomed.sort_unstable_by(|a, b| b.cmp(a));
+        for i in doomed {
+            let s = self.config.swap_remove(i);
+            self.observer.agent_removed(&self.protocol, &s);
+        }
+        self.update_inv_n();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_model::Protocol;
+    use rand::Rng;
+
+    /// One-way max epidemic fixture.
+    struct Max;
+    impl Protocol for Max {
+        type State = u32;
+        fn initial_state(&self) -> u32 {
+            0
+        }
+        fn interact(&self, u: &mut u32, v: &mut u32, _: &mut dyn Rng) {
+            *u = (*u).max(*v);
+        }
+    }
+    impl SizeEstimator for Max {
+        fn estimate_log2(&self, s: &u32) -> Option<f64> {
+            (*s > 0).then_some(*s as f64)
+        }
+    }
+
+    #[test]
+    fn epidemic_reaches_everyone() {
+        let mut sim = Simulator::with_seed(Max, 200, 1);
+        *sim.state_mut(0) = 9;
+        sim.run_parallel_time(60.0);
+        assert!(sim.states().iter().all(|&s| s == 9));
+        assert!(sim.interactions() >= 200 * 60);
+    }
+
+    #[test]
+    fn parallel_time_advances_by_inverse_n() {
+        let mut sim = Simulator::with_seed(Max, 50, 2);
+        sim.step_n(50);
+        assert!((sim.parallel_time() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks() {
+        let mut sim = Simulator::with_seed(Max, 100, 3);
+        sim.resize_to(150);
+        assert_eq!(sim.population(), 150);
+        sim.resize_to(10);
+        assert_eq!(sim.population(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove")]
+    fn removing_more_than_population_panics() {
+        let mut sim = Simulator::with_seed(Max, 5, 4);
+        sim.remove_uniform(6);
+    }
+
+    #[test]
+    fn remove_largest_estimates_targets_top() {
+        let mut sim = Simulator::with_seed(Max, 4, 5);
+        *sim.state_mut(0) = 10;
+        *sim.state_mut(1) = 20;
+        *sim.state_mut(2) = 5;
+        sim.remove_largest_estimates(2);
+        let mut left: Vec<u32> = sim.states().to_vec();
+        left.sort_unstable();
+        assert_eq!(left, vec![0, 5]);
+    }
+
+    #[test]
+    fn tracked_simulator_histogram_matches_scan() {
+        let mut sim = Simulator::tracked(Max, 100, 6);
+        *sim.state_mut(0) = 7;
+        // state_mut bypasses the tracker; rebuild via from_config instead.
+        let (config, _) = sim.into_parts();
+        let mut sim =
+            Simulator::from_config_with_observer(Max, config, 6, EstimateTracker::new());
+        sim.run_parallel_time(20.0);
+        let scan = sim.estimate_stats();
+        let tracked = sim.observer().histogram().summary();
+        assert_eq!(scan, tracked);
+    }
+
+    #[test]
+    fn lone_agent_population_still_ages() {
+        let mut sim = Simulator::with_seed(Max, 1, 7);
+        sim.run_parallel_time(5.0);
+        assert!((sim.parallel_time() - 5.0).abs() < 1e-9);
+        assert_eq!(sim.interactions(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_execution() {
+        let run = |seed| {
+            let mut sim = Simulator::with_seed(Max, 64, seed);
+            *sim.state_mut(3) = 5;
+            sim.run_parallel_time(10.0);
+            sim.states().to_vec()
+        };
+        assert_eq!(run(42), run(42));
+        // Different seeds almost surely diverge mid-epidemic.
+        let a = {
+            let mut sim = Simulator::with_seed(Max, 64, 1);
+            *sim.state_mut(3) = 5;
+            sim.run_parallel_time(2.0);
+            sim.states().to_vec()
+        };
+        let b = {
+            let mut sim = Simulator::with_seed(Max, 64, 2);
+            *sim.state_mut(3) = 5;
+            sim.run_parallel_time(2.0);
+            sim.states().to_vec()
+        };
+        // (not asserting inequality strictly — but count infected should differ often)
+        let _ = (a, b);
+    }
+}

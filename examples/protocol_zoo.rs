@@ -1,0 +1,88 @@
+//! A tour of the substrate protocols the paper builds on.
+//!
+//! ```sh
+//! cargo run --release --example protocol_zoo
+//! ```
+//!
+//! Runs each building block in isolation and prints the behaviour the
+//! paper's analysis relies on: epidemics finish in `O(log n)` time
+//! (Lemma 4.2), CHVP counts down in a narrow window (Lemmas 4.3/4.4),
+//! detection separates source-present from source-free populations, and the
+//! maximum of `n` GRVs concentrates around `log2 n` (Lemma 4.1).
+
+use dynamic_size_counting::model::{grv, Configuration};
+use dynamic_size_counting::protocols::{
+    Chvp, DetectState, Detection, Infection, LeaderElection, MaxEpidemic,
+};
+use dynamic_size_counting::sim::{CountSimulator, Simulator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 10_000usize;
+    let log_n = (n as f64).log2();
+    println!("substrate zoo, n = {n} (log2 n = {log_n:.2})\n");
+
+    // 1. GRV maxima (Lemma 4.1).
+    let mut rng = SmallRng::seed_from_u64(1);
+    let samples: Vec<u32> = (0..5).map(|_| grv::grv_max(n as u32, &mut rng)).collect();
+    println!("[grv]        five maxima of {n} GRVs: {samples:?}  (log2 n = {log_n:.1})");
+
+    // 2. One-way max epidemic (Lemma 4.2).
+    let mut sim = Simulator::with_seed(MaxEpidemic::new(), n, 2);
+    *sim.state_mut(0) = 99;
+    let mut t = 0.0;
+    while sim.states().iter().any(|&s| s != 99) {
+        sim.run_parallel_time(1.0);
+        t += 1.0;
+    }
+    println!("[epidemic]   one infected agent reached all {n} in {t:.0} parallel time (≈ 2·log2 n = {:.0})", 2.0 * log_n);
+
+    // 3. Binary infection on the count-based simulator — same physics,
+    //    counters instead of an agent array.
+    let mut csim = CountSimulator::from_counts(Infection::new(), vec![n as u64 - 1, 1], 3);
+    while csim.count(1) < n as u64 {
+        csim.step_n(n as u64);
+    }
+    println!(
+        "[count-sim]  infection completed at parallel time {:.0} with O(1) memory per state",
+        csim.parallel_time()
+    );
+
+    // 4. CHVP: countdown with higher value propagation (Lemmas 4.3/4.4).
+    let start = 200i64;
+    let mut sim = Simulator::from_config(Chvp::new(), Configuration::uniform(n, start), 4);
+    for checkpoint in [50.0, 100.0, 150.0] {
+        sim.run_parallel_time(50.0);
+        let min = sim.states().iter().min().unwrap();
+        let max = sim.states().iter().max().unwrap();
+        println!(
+            "[chvp]       t = {checkpoint:>3.0}: window [{min}, {max}] — counts down ~1/unit, stays narrow"
+        );
+    }
+
+    // 5. Detection: does a source exist? (state 0 = Source, state c+1 =
+    //    Counter(c) — see pp_protocols::detection's FiniteProtocol impl).
+    let mut counts = vec![0u64; 1_002];
+    counts[0] = 1; // one source
+    counts[1] = n as u64 - 1; // everyone else at Counter(0)
+    let mut with_source = CountSimulator::from_counts(Detection::new(1_000), counts, 5);
+    with_source.run_parallel_time(100.0);
+    let max_with = with_source.max_occupied().unwrap().saturating_sub(1);
+    let mut without_source = CountSimulator::with_seed(Detection::new(1_000), n as u64, 6);
+    without_source.run_parallel_time(100.0);
+    let min_without = without_source.min_occupied().unwrap();
+    println!(
+        "[detection]  with a source: counters stay ≤ {max_with} (O(log n)); without: all ≥ {min_without} — cleanly separated"
+    );
+
+    // 6. Leader election: the fragile substrate dynamic counting avoids.
+    let mut sim = Simulator::with_seed(LeaderElection::new(), 1_000, 7);
+    sim.run_parallel_time(20_000.0);
+    let leaders = sim.states().iter().filter(|&&l| l).count();
+    println!("[leader]     pairwise elimination left {leaders} leader(s) — remove it and leader-based counting dies");
+
+    println!("\nthe paper's protocol composes: GRV sampling + max epidemic + CHVP timer");
+    println!("= a uniform, loosely-stabilizing size counter and phase clock.");
+    let _ = DetectState::Source; // (re-exported types used in docs)
+}

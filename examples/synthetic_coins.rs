@@ -1,0 +1,72 @@
+//! Counting without any randomness of your own.
+//!
+//! ```sh
+//! cargo run --release --example synthetic_coins
+//! ```
+//!
+//! In the original population protocol model, agents are deterministic
+//! finite-state machines — there is no coin to flip. The paper (§3) notes
+//! that GRV generation "can be split up into multiple interactions, each
+//! consisting of one coin flip" using the synthetic coins of Alistarh et
+//! al. (SODA 2017): every agent toggles a parity bit when it initiates and
+//! reads its partner's bit as a fair flip (the randomness comes from the
+//! scheduler, not the agent).
+//!
+//! This example runs the paper's protocol in both modes side by side —
+//! external RNG (the paper's simulation assumption) and synthetic coins
+//! (the model-faithful variant) — and shows that they converge to the same
+//! estimate band, including after a population crash.
+
+use dynamic_size_counting::dsc::{DscConfig, DynamicSizeCounting, SyntheticDsc};
+use dynamic_size_counting::sim::Simulator;
+
+fn main() {
+    let n = 4_096;
+    let log_n = (n as f64).log2();
+    println!("n = {n} (log2 n = {log_n:.1}); k = 16 ⇒ estimates center near {:.1}\n", (16.0 * n as f64).log2());
+
+    let mut rng_mode = Simulator::tracked(DynamicSizeCounting::new(DscConfig::empirical()), n, 5);
+    let mut coin_mode = Simulator::tracked(SyntheticDsc::new(DscConfig::empirical()), n, 5);
+
+    println!(
+        "{:>6} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "time", "rng min", "median", "max", "coin min", "median", "max"
+    );
+    let mut crash_done = false;
+    for step in 1..=14 {
+        rng_mode.run_parallel_time(100.0);
+        coin_mode.run_parallel_time(100.0);
+        let a = rng_mode.observer().histogram().summary().unwrap();
+        let b = coin_mode.observer().histogram().summary().unwrap();
+        println!(
+            "{:>6.0} | {:>8.1} {:>8.1} {:>8.1} | {:>8.1} {:>8.1} {:>8.1}{}",
+            rng_mode.parallel_time(),
+            a.min,
+            a.median,
+            a.max,
+            b.min,
+            b.median,
+            b.max,
+            if step == 7 { "   ← crash to 128 agents" } else { "" }
+        );
+        if step == 7 && !crash_done {
+            rng_mode.resize_to(128);
+            coin_mode.resize_to(128);
+            crash_done = true;
+        }
+    }
+
+    // Count agents currently in sampling limbo (the split-up GRV draws).
+    let sampling = coin_mode
+        .states()
+        .iter()
+        .filter(|s| s.is_sampling())
+        .count();
+    println!(
+        "\nsynthetic mode: {sampling} of {} agents are mid-sample right now",
+        coin_mode.population()
+    );
+    println!("(a GRV(16) costs ≈ 34 interaction-flips, i.e. a vanishing fraction of a round)");
+    println!("\nboth modes adapt to the crash — the protocol needs no randomness source");
+    println!("beyond the scheduler itself, matching the original model.");
+}

@@ -1,0 +1,121 @@
+//! The comparison story (paper §1.2): what breaks without the paper's
+//! protocol, and what it costs.
+
+use dynamic_size_counting::dsc::{DscConfig, DynamicSizeCounting};
+use dynamic_size_counting::model::MemoryFootprint;
+use dynamic_size_counting::protocols::{De22Counting, StaticGrvCounting};
+use dynamic_size_counting::sim::{AdversarySchedule, Experiment, PopulationEvent};
+
+#[test]
+fn static_counter_breaks_dsc_adapts() {
+    let n = 2_048;
+    let survivors = 32;
+    let schedule = || AdversarySchedule::new().at(400.0, PopulationEvent::ResizeTo(survivors));
+
+    let dsc = Experiment::new(DynamicSizeCounting::new(DscConfig::empirical()), n)
+        .seed(31)
+        .horizon(2_200.0)
+        .snapshot_every(10.0)
+        .schedule(schedule())
+        .run();
+    let stat = Experiment::new(StaticGrvCounting::new(16), n)
+        .seed(31)
+        .horizon(2_200.0)
+        .snapshot_every(10.0)
+        .schedule(schedule())
+        .run();
+
+    let dsc_before = dsc.snapshot_at(390.0).estimates.unwrap().median;
+    let dsc_after = dsc.snapshot_at(2_190.0).estimates.unwrap().median;
+    let stat_before = stat.snapshot_at(390.0).estimates.unwrap().median;
+    let stat_after = stat.snapshot_at(2_190.0).estimates.unwrap().median;
+
+    assert!(
+        dsc_after < dsc_before - 2.0,
+        "DSC must adapt: {dsc_before} -> {dsc_after}"
+    );
+    assert!(
+        stat_after >= stat_before,
+        "the static counter must stay stuck: {stat_before} -> {stat_after}"
+    );
+}
+
+#[test]
+fn de22_adapts_but_uses_more_memory() {
+    let n = 1_024;
+    // Steady-state memory: DSC stores 4 small counters; DE22 stores a list
+    // of Θ(log n) timers — the paper's claimed improvement.
+    let dsc_p = DynamicSizeCounting::new(DscConfig::empirical());
+    let de_p = De22Counting::new();
+
+    let dsc = Experiment::new(dsc_p, n)
+        .seed(32)
+        .horizon(300.0)
+        .snapshot_every(10.0)
+        .run_with_memory();
+    let de = Experiment::new(de_p, n)
+        .seed(32)
+        .horizon(300.0)
+        .snapshot_every(10.0)
+        .run_with_memory();
+
+    let dsc_bits = dsc.snapshots.last().unwrap().memory.unwrap().mean_bits;
+    let de_bits = de.snapshots.last().unwrap().memory.unwrap().mean_bits;
+    assert!(
+        de_bits > 2.0 * dsc_bits,
+        "DE22 ({de_bits:.1} bits) should cost well over 2× DSC ({dsc_bits:.1} bits)"
+    );
+
+    // And DE22 does adapt (it solves the same problem).
+    let schedule = AdversarySchedule::new().at(300.0, PopulationEvent::ResizeTo(32));
+    let de_dyn = Experiment::new(de_p, n)
+        .seed(33)
+        .horizon(1_500.0)
+        .snapshot_every(10.0)
+        .schedule(schedule)
+        .run();
+    let before = de_dyn.snapshot_at(290.0).estimates.unwrap().median;
+    let after = de_dyn.snapshot_at(1_490.0).estimates.unwrap().median;
+    assert!(
+        after < before - 2.0,
+        "DE22 must adapt to the crash: {before} -> {after}"
+    );
+}
+
+#[test]
+fn memory_footprints_have_the_claimed_shapes() {
+    // Single-state sanity of the accounting itself.
+    let dsc_p = DynamicSizeCounting::new(DscConfig::empirical());
+    let de_p = De22Counting::new();
+    let mut dsc_state = pp_model::Protocol::initial_state(&dsc_p);
+    dsc_state.max = 20;
+    dsc_state.last_max = 18;
+    dsc_state.time = 120;
+    dsc_state.interactions = 300;
+    // 5 + 5 + (7+1) + 9 = 27 bits at log-n-ish magnitudes.
+    assert_eq!(dsc_state.memory_bits(), 27);
+
+    let mut de_state = pp_model::Protocol::initial_state(&de_p);
+    de_state.timers = (0..20).map(|i| de_p.threshold(i + 1) / 2).collect();
+    assert!(
+        de_state.memory_bits() > 100,
+        "a 20-entry timer list costs >100 bits, got {}",
+        de_state.memory_bits()
+    );
+}
+
+#[test]
+fn uniformity_no_parameter_encodes_n() {
+    // A uniformity smoke test: the same protocol value (same transition
+    // function) serves populations of very different sizes.
+    let p = DynamicSizeCounting::new(DscConfig::empirical());
+    for n in [32usize, 1_024] {
+        let r = Experiment::new(p, n).seed(34).horizon(400.0).run();
+        let med = r.snapshots.last().unwrap().estimates.unwrap().median;
+        let log_kn = ((16 * n) as f64).log2();
+        assert!(
+            med >= 0.4 * log_kn && med <= 2.5 * log_kn,
+            "n = {n}: estimate {med} not tracking log2(16n) = {log_kn:.1}"
+        );
+    }
+}

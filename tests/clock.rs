@@ -1,0 +1,90 @@
+//! Phase-clock properties (Theorem 2.2): bursts in which every agent ticks
+//! exactly once, separated by long tick-free overlaps.
+
+use dynamic_size_counting::analysis::{ClockDecomposition, ClockVerdict};
+use dynamic_size_counting::dsc::{DscConfig, DynamicSizeCounting, Phase, PhaseCensus};
+use dynamic_size_counting::sim::{Simulator, TickRecorder};
+
+#[test]
+fn converged_clock_produces_perfect_bursts() {
+    let n = 512;
+    let p = DynamicSizeCounting::new(DscConfig::empirical());
+    let mut sim = Simulator::with_observer(p, n, 21, TickRecorder::new());
+    sim.run_parallel_time(400.0); // converge
+    sim.observer_mut().clear();
+    sim.run_parallel_time(2_500.0);
+    let events = sim.observer().events().to_vec();
+    let d = ClockDecomposition::extract(&events, n);
+    let v = ClockVerdict::judge(&d, n).expect("several complete bursts");
+    assert!(
+        v.perfect_bursts >= 3,
+        "expected ≥ 3 perfect bursts, got {} (broken: {})",
+        v.perfect_bursts,
+        v.broken_bursts
+    );
+    assert_eq!(v.broken_bursts, 0, "no burst may violate exactly-once");
+    assert!(
+        v.mean_overlap > 3.0 * v.mean_burst_width,
+        "overlap ({}) must dominate burst width ({})",
+        v.mean_overlap,
+        v.mean_burst_width
+    );
+    // Round length is Θ(log n): within a generous constant band.
+    let log_n = (n as f64).log2();
+    assert!(
+        v.mean_round >= 3.0 * log_n && v.mean_round <= 60.0 * log_n,
+        "round length {} outside Θ(log n) band",
+        v.mean_round
+    );
+}
+
+#[test]
+fn phase_census_shows_synchronized_shape_most_of_the_time() {
+    // §4.1: a synchronized population is within exchange∪hold or
+    // hold∪reset. Sample the census periodically after convergence.
+    let n = 1_024;
+    let p = DynamicSizeCounting::new(DscConfig::empirical());
+    let mut sim = Simulator::with_seed(p, n, 22);
+    sim.run_parallel_time(400.0);
+    let mut synchronized = 0;
+    let mut samples = 0;
+    for _ in 0..200 {
+        sim.run_parallel_time(2.0);
+        let census = PhaseCensus::of(p.config(), sim.states());
+        samples += 1;
+        // Allow a small straggler fraction at phase boundaries: the strict
+        // §4.1 shape holds between transitions.
+        let near_shape = census.reset < 0.02 || census.exchange < 0.02;
+        if near_shape {
+            synchronized += 1;
+        }
+    }
+    assert!(
+        synchronized as f64 >= 0.9 * samples as f64,
+        "population in synchronized shape only {synchronized}/{samples} samples"
+    );
+}
+
+#[test]
+fn ticks_are_monotone_and_roughly_uniform_across_agents() {
+    let n = 256;
+    let p = DynamicSizeCounting::new(DscConfig::empirical());
+    let mut sim = Simulator::with_seed(p, n, 23);
+    sim.run_parallel_time(3_000.0);
+    let ticks: Vec<u64> = sim.states().iter().map(|s| s.ticks).collect();
+    let min = *ticks.iter().min().unwrap();
+    let max = *ticks.iter().max().unwrap();
+    assert!(min >= 1, "every agent must have ticked");
+    assert!(
+        max - min <= 4,
+        "tick counts must stay aligned (every agent once per round): [{min}, {max}]"
+    );
+}
+
+#[test]
+fn fresh_agents_start_in_exchange_phase() {
+    use dynamic_size_counting::model::Protocol;
+    let p = DynamicSizeCounting::new(DscConfig::empirical());
+    let s = p.initial_state();
+    assert_eq!(p.phase(&s), Phase::Exchange, "resetting/fresh agents enter exchange");
+}

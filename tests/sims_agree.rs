@@ -1,0 +1,92 @@
+//! Cross-validation: the agent-array simulator and the count-based
+//! simulator produce statistically equivalent dynamics for finite-state
+//! substrates (they implement the same scheduler distribution).
+
+use dynamic_size_counting::protocols::{BoundedChvp, Clvp, Infection};
+use dynamic_size_counting::sim::{CountSimulator, Simulator};
+use pp_model::Configuration;
+
+/// Mean epidemic completion time (parallel time) on the agent simulator.
+fn agent_epidemic_time(n: usize, seeds: std::ops::Range<u64>) -> f64 {
+    let mut total = 0.0;
+    let count = seeds.end - seeds.start;
+    for seed in seeds {
+        let mut config = Configuration::uniform(n, false);
+        *config.get_mut(0) = true;
+        let mut sim = Simulator::from_config(Infection::new(), config, seed);
+        while sim.states().iter().any(|&s| !s) {
+            sim.step_n(n as u64 / 4 + 1);
+        }
+        total += sim.parallel_time();
+    }
+    total / count as f64
+}
+
+/// Mean epidemic completion time on the count simulator.
+fn count_epidemic_time(n: u64, seeds: std::ops::Range<u64>) -> f64 {
+    let mut total = 0.0;
+    let count = seeds.end - seeds.start;
+    for seed in seeds {
+        let mut sim = CountSimulator::from_counts(Infection::new(), vec![n - 1, 1], seed);
+        while sim.count(1) < n {
+            sim.step_n(n / 4 + 1);
+        }
+        total += sim.parallel_time();
+    }
+    total / count as f64
+}
+
+#[test]
+fn epidemic_completion_times_match_across_simulators() {
+    let n = 2_000;
+    let agent = agent_epidemic_time(n, 0..8);
+    let count = count_epidemic_time(n as u64, 100..108);
+    let ratio = agent / count;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "simulators disagree: agent {agent:.1} vs count {count:.1} (ratio {ratio:.2})"
+    );
+    // Both near the folklore 2·ln n ≈ 1.39·log2 n … with one-way spread the
+    // constant is ~2× that; just bracket generously around log2 n.
+    let log_n = (n as f64).log2();
+    assert!(agent > log_n && agent < 6.0 * log_n);
+}
+
+#[test]
+fn chvp_decay_rate_matches_across_simulators() {
+    let n = 2_000usize;
+    let start = 300u32;
+    // Agent simulator.
+    let mut sim = Simulator::from_config(
+        BoundedChvp::new(start),
+        Configuration::uniform(n, start),
+        1,
+    );
+    sim.run_parallel_time(100.0);
+    let agent_max = *sim.states().iter().max().unwrap();
+    // Count simulator.
+    let mut counts = vec![0u64; start as usize + 1];
+    counts[start as usize] = n as u64;
+    let mut csim = CountSimulator::from_counts(BoundedChvp::new(start), counts, 2);
+    csim.run_parallel_time(100.0);
+    let count_max = csim.max_occupied().unwrap() as u32;
+    let diff = (i64::from(agent_max) - i64::from(count_max)).unsigned_abs();
+    assert!(
+        diff <= 25,
+        "CHVP decay differs: agent max {agent_max} vs count max {count_max}"
+    );
+}
+
+#[test]
+fn clvp_saturation_matches_across_simulators() {
+    let n = 1_000;
+    let cap = 60;
+    let mut sim = Simulator::with_seed(Clvp::new(cap), n, 3);
+    sim.run_parallel_time(400.0);
+    let agent_min = *sim.states().iter().min().unwrap();
+    let mut csim = CountSimulator::with_seed(Clvp::new(cap), n as u64, 4);
+    csim.run_parallel_time(400.0);
+    let count_min = csim.min_occupied().unwrap() as u32;
+    assert_eq!(agent_min, cap, "agent sim should saturate");
+    assert_eq!(count_min, cap, "count sim should saturate");
+}

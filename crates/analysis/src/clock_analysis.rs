@@ -151,7 +151,10 @@ impl ClockVerdict {
             .iter()
             .filter(|b| b.distinct_agents == n && b.ticks == n)
             .count();
-        let widths: Vec<f64> = complete.iter().map(|b| b.width() as f64 / n as f64).collect();
+        let widths: Vec<f64> = complete
+            .iter()
+            .map(|b| b.width() as f64 / n as f64)
+            .collect();
         let overlaps: Vec<f64> = decomposition
             .overlaps()
             .iter()

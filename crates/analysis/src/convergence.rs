@@ -46,8 +46,7 @@ impl Band {
 pub fn convergence_time(run: &RunResult, band: Band) -> Option<f64> {
     run.snapshots.iter().find_map(|s| {
         let e = s.estimates.as_ref()?;
-        (e.without_estimate == 0 && band.contains_summary(e.min, e.max))
-            .then_some(s.parallel_time)
+        (e.without_estimate == 0 && band.contains_summary(e.min, e.max)).then_some(s.parallel_time)
     })
 }
 
@@ -137,7 +136,11 @@ mod tests {
     #[test]
     fn convergence_finds_first_valid_snapshot() {
         let b = Band { lo: 5.0, hi: 20.0 };
-        let r = run(vec![snap(0.0, 1.0, 1.0), snap(1.0, 2.0, 30.0), snap(2.0, 6.0, 12.0)]);
+        let r = run(vec![
+            snap(0.0, 1.0, 1.0),
+            snap(1.0, 2.0, 30.0),
+            snap(2.0, 6.0, 12.0),
+        ]);
         assert_eq!(convergence_time(&r, b), Some(2.0));
     }
 

@@ -44,7 +44,11 @@ pub fn write_csv(
     writeln!(
         w,
         "{}",
-        headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",")
     )?;
     for row in rows {
         writeln!(

@@ -31,11 +31,7 @@ pub struct RelativeDeviation {
 /// # Panics
 ///
 /// Panics if `n < 2` (log2 n would be degenerate) or `runs` is empty.
-pub fn relative_deviation(
-    runs: &[RunResult],
-    n: usize,
-    warmup: f64,
-) -> Option<RelativeDeviation> {
+pub fn relative_deviation(runs: &[RunResult], n: usize, warmup: f64) -> Option<RelativeDeviation> {
     assert!(n >= 2, "population must have at least 2 agents");
     let log_n = (n as f64).log2();
     let pooled = PooledSeries::pool(runs);

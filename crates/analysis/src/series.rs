@@ -44,7 +44,11 @@ impl PooledSeries {
     /// Panics if `runs` is empty.
     pub fn pool(runs: &[RunResult]) -> PooledSeries {
         assert!(!runs.is_empty(), "cannot pool zero runs");
-        let longest = runs.iter().map(|r| r.snapshots.len()).max().expect("nonempty");
+        let longest = runs
+            .iter()
+            .map(|r| r.snapshots.len())
+            .max()
+            .expect("nonempty");
         let mut points = Vec::with_capacity(longest);
         for i in 0..longest {
             let mut min = f64::INFINITY;
@@ -156,7 +160,11 @@ mod tests {
 
     #[test]
     fn window_filters_by_time() {
-        let a = run_with(&[(0.0, 1.0, 1.0, 1.0), (1.0, 2.0, 2.0, 2.0), (2.0, 3.0, 3.0, 3.0)]);
+        let a = run_with(&[
+            (0.0, 1.0, 1.0, 1.0),
+            (1.0, 2.0, 2.0, 2.0),
+            (2.0, 3.0, 3.0, 3.0),
+        ]);
         let pooled = PooledSeries::pool(&[a]);
         let w: Vec<f64> = pooled.window(0.5, 2.0).map(|p| p.parallel_time).collect();
         assert_eq!(w, vec![1.0, 2.0]);

@@ -31,10 +31,17 @@ struct Measured {
     post_crash: Option<f64>,
 }
 
-fn measure<P>(scale: &Scale, protocol: P, n: usize, crash_at: f64, survivors: usize, horizon: f64) -> Measured
+fn measure<P>(
+    scale: &Scale,
+    protocol: P,
+    n: usize,
+    crash_at: f64,
+    survivors: usize,
+    horizon: f64,
+) -> Measured
 where
     P: SizeEstimator + Clone + Send + Sync,
-    P::State: Clone + Send + Sync,
+    P::State: Clone + Send + Sync + 'static,
 {
     let schedule = AdversarySchedule::new().at(crash_at, PopulationEvent::ResizeTo(survivors));
     let runs = crate::run_many_protocol(scale, protocol, n, horizon, 5.0, schedule);
@@ -87,12 +94,22 @@ pub fn run(scale: &Scale) {
     );
 
     let base = DscConfig::empirical();
-    let variants: Vec<(&str, Box<dyn Fn() -> Measured>)> = vec![
+    type Variant<'a> = (&'a str, Box<dyn Fn() -> Measured>);
+    let variants: Vec<Variant> = vec![
         (
             "full (6,4,2) k=16",
             Box::new({
                 let scale = scale.clone();
-                move || measure(&scale, DynamicSizeCounting::new(base), n, crash_at, survivors, horizon)
+                move || {
+                    measure(
+                        &scale,
+                        DynamicSizeCounting::new(base),
+                        n,
+                        crash_at,
+                        survivors,
+                        horizon,
+                    )
+                }
             }),
         ),
         (
@@ -218,8 +235,13 @@ pub fn run(scale: &Scale) {
     }
     table.print();
     write_csv(
-        &scale.out_path("ablation.csv"),
-        &["variant", "convergence_time", "violations", "median_after_crash"],
+        scale.out_path("ablation.csv"),
+        &[
+            "variant",
+            "convergence_time",
+            "violations",
+            "median_after_crash",
+        ],
         &rows,
     )
     .expect("write ablation.csv");

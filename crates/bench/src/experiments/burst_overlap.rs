@@ -16,7 +16,13 @@ use pp_model::{Protocol, TickProtocol};
 use pp_protocols::ModMClock;
 use pp_sim::{Simulator, TickRecorder};
 
-fn clock_verdict<P>(protocol: P, n: usize, warmup: f64, horizon: f64, seed: u64) -> Option<ClockVerdict>
+fn clock_verdict<P>(
+    protocol: P,
+    n: usize,
+    warmup: f64,
+    horizon: f64,
+    seed: u64,
+) -> Option<ClockVerdict>
 where
     P: Protocol + TickProtocol,
 {
@@ -95,8 +101,15 @@ pub fn run(scale: &Scale) {
     }
 
     write_csv(
-        &scale.out_path("burst_overlap.csv"),
-        &["clock", "perfect_bursts", "broken_bursts", "burst_width_pt", "overlap_pt", "round_pt"],
+        scale.out_path("burst_overlap.csv"),
+        &[
+            "clock",
+            "perfect_bursts",
+            "broken_bursts",
+            "burst_width_pt",
+            "overlap_pt",
+            "round_pt",
+        ],
         &rows,
     )
     .expect("write burst_overlap.csv");

@@ -28,10 +28,18 @@ struct Outcome {
     after: Option<f64>,
 }
 
-fn run_one<P>(scale: &Scale, name: &'static str, protocol: P, n: usize, crash_at: f64, survivors: usize, horizon: f64) -> Outcome
+fn run_one<P>(
+    scale: &Scale,
+    name: &'static str,
+    protocol: P,
+    n: usize,
+    crash_at: f64,
+    survivors: usize,
+    horizon: f64,
+) -> Outcome
 where
     P: SizeEstimator + Clone + Send + Sync,
-    P::State: Clone + Send + Sync,
+    P::State: Clone + Send + Sync + 'static,
 {
     let schedule = AdversarySchedule::new().at(crash_at, PopulationEvent::ResizeTo(survivors));
     let runs = crate::run_many_protocol(scale, protocol, n, horizon, 10.0, schedule);
@@ -65,9 +73,33 @@ pub fn run(scale: &Scale) {
     );
 
     let outcomes = vec![
-        run_one(scale, "DSC (paper)", crate::paper_protocol(), n, crash_at, survivors, horizon),
-        run_one(scale, "Doty-Eftekhari 2022", De22Counting::new(), n, crash_at, survivors, horizon),
-        run_one(scale, "static max-GRV", StaticGrvCounting::new(16), n, crash_at, survivors, horizon),
+        run_one(
+            scale,
+            "DSC (paper)",
+            crate::paper_protocol(),
+            n,
+            crash_at,
+            survivors,
+            horizon,
+        ),
+        run_one(
+            scale,
+            "Doty-Eftekhari 2022",
+            De22Counting::new(),
+            n,
+            crash_at,
+            survivors,
+            horizon,
+        ),
+        run_one(
+            scale,
+            "static max-GRV",
+            StaticGrvCounting::new(16),
+            n,
+            crash_at,
+            survivors,
+            horizon,
+        ),
         run_one(
             scale,
             "BKR 2019 (leader)",
@@ -100,7 +132,12 @@ pub fn run(scale: &Scale) {
             }
             _ => "no output".to_string(),
         };
-        table.row(vec![o.name.to_string(), fmt(o.before), fmt(o.after), adapts.clone()]);
+        table.row(vec![
+            o.name.to_string(),
+            fmt(o.before),
+            fmt(o.after),
+            adapts.clone(),
+        ]);
         rows.push(vec![
             o.name.to_string(),
             fmt(o.before),
@@ -110,7 +147,7 @@ pub fn run(scale: &Scale) {
     }
     table.print();
     write_csv(
-        &scale.out_path("compare.csv"),
+        scale.out_path("compare.csv"),
         &["protocol", "median_before", "median_after", "adapts"],
         &rows,
     )

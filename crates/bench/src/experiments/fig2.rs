@@ -18,11 +18,25 @@ use pp_sim::AdversarySchedule;
 
 /// Runs E1 and writes `fig2.csv`.
 pub fn run(scale: &Scale) {
-    let (n, horizon) = if scale.full { (1_000_000, 5_000.0) } else { (20_000, 1_500.0) };
+    let (n, horizon) = if scale.full {
+        (1_000_000, 5_000.0)
+    } else {
+        (20_000, 1_500.0)
+    };
     let snapshot_every = if scale.full { 5.0 } else { 1.0 };
-    println!("== Fig. 2: estimate of log n over time (n = {n}, {} runs) ==", scale.runs);
+    println!(
+        "== Fig. 2: estimate of log n over time (n = {n}, {} runs) ==",
+        scale.runs
+    );
 
-    let runs = crate::run_many(scale, n, horizon, snapshot_every, AdversarySchedule::new(), None);
+    let runs = crate::run_many(
+        scale,
+        n,
+        horizon,
+        snapshot_every,
+        AdversarySchedule::new(),
+        None,
+    );
     let pooled = PooledSeries::pool(&runs);
 
     let times: Vec<f64> = pooled.points.iter().map(|p| p.parallel_time).collect();

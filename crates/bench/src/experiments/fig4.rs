@@ -28,8 +28,7 @@ pub fn run(scale: &Scale) {
 
     for &exp in exps {
         let n = 10usize.pow(exp);
-        let schedule =
-            AdversarySchedule::new().at(CRASH_AT, PopulationEvent::ResizeTo(SURVIVORS));
+        let schedule = AdversarySchedule::new().at(CRASH_AT, PopulationEvent::ResizeTo(SURVIVORS));
         let runs = crate::run_many(scale, n, horizon, 5.0, schedule, None);
         let pooled = PooledSeries::pool(&runs);
 
@@ -59,7 +58,12 @@ pub fn run(scale: &Scale) {
             .map(|p| p.median);
         let after = pooled.points.last().map(|p| p.median);
         if let (Some(b), Some(a)) = (before, after) {
-            println!("  median before crash: {}  after: {}  (drop {})", f2(b), f2(a), f2(b - a));
+            println!(
+                "  median before crash: {}  after: {}  (drop {})",
+                f2(b),
+                f2(a),
+                f2(b - a)
+            );
         }
 
         let path = scale.out_path(&format!("fig4_n1e{exp}.csv"));

@@ -21,7 +21,11 @@ const INITIAL_ESTIMATE: u64 = 60;
 
 /// Runs E4 and writes `fig5_nE.csv` per population size.
 pub fn run(scale: &Scale) {
-    let exps: &[u32] = if scale.full { &[1, 2, 3, 4, 5, 6] } else { &[1, 2, 3, 4] };
+    let exps: &[u32] = if scale.full {
+        &[1, 2, 3, 4, 5, 6]
+    } else {
+        &[1, 2, 3, 4]
+    };
     let horizon = 5_000.0; // the descent structure needs the paper's horizon
     println!(
         "== Fig. 5: initial estimate {INITIAL_ESTIMATE} (n = 10^1..10^{}, {} runs) ==",
@@ -33,14 +37,7 @@ pub fn run(scale: &Scale) {
     for &exp in exps {
         let n = 10usize.pow(exp);
         let init = Arc::new(move |_i: usize| protocol.state_with_estimate(INITIAL_ESTIMATE));
-        let runs = crate::run_many(
-            scale,
-            n,
-            horizon,
-            5.0,
-            AdversarySchedule::new(),
-            Some(init),
-        );
+        let runs = crate::run_many(scale, n, horizon, 5.0, AdversarySchedule::new(), Some(init));
         let pooled = PooledSeries::pool(&runs);
 
         let times: Vec<f64> = pooled.points.iter().map(|p| p.parallel_time).collect();

@@ -13,7 +13,11 @@ use pp_sim::AdversarySchedule;
 
 /// Runs E6 and writes `holding.csv`.
 pub fn run(scale: &Scale) {
-    let ns: &[usize] = if scale.full { &[64, 256, 1024] } else { &[64, 256] };
+    let ns: &[usize] = if scale.full {
+        &[64, 256, 1024]
+    } else {
+        &[64, 256]
+    };
     let horizon = if scale.full { 100_000.0 } else { 20_000.0 };
     println!(
         "== Theorem 2.1: holding time (horizon {horizon} parallel time, {} runs) ==",
@@ -65,7 +69,7 @@ pub fn run(scale: &Scale) {
     }
     table.print();
     write_csv(
-        &scale.out_path("holding.csv"),
+        scale.out_path("holding.csv"),
         &["n", "converged", "held_to_horizon", "breaks", "min_held"],
         &rows,
     )

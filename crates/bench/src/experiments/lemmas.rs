@@ -13,10 +13,10 @@
 //! observed violation count should be zero at these scales.
 
 use crate::{f2, log2n, Scale};
+use pp_analysis::{write_csv, Table};
 use pp_model::grv;
 use pp_protocols::{BoundedChvp, Infection};
 use pp_sim::CountSimulator;
-use pp_analysis::{write_csv, Table};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -28,7 +28,15 @@ pub fn run(scale: &Scale) {
 
     // Lemma 4.1.
     println!("-- Lemma 4.1: max of k·n GRVs in [0.5 log n, 2(k+1) log n] --");
-    let mut table = Table::new(vec!["n", "k", "observed min", "observed max", "bound lo", "bound hi", "violations"]);
+    let mut table = Table::new(vec![
+        "n",
+        "k",
+        "observed min",
+        "observed max",
+        "bound lo",
+        "bound hi",
+        "violations",
+    ]);
     let mut rng = SmallRng::seed_from_u64(scale.seed);
     for exp in [8u32, 12, 16] {
         let n = 1u64 << exp;
@@ -67,7 +75,12 @@ pub fn run(scale: &Scale) {
 
     // Lemma 4.2: epidemic completion time on the count simulator.
     println!("-- Lemma 4.2: epidemic completes within 4(k+1)·log n parallel time (k = 1) --");
-    let mut table = Table::new(vec!["n", "mean completion (pt)", "bound (pt)", "violations"]);
+    let mut table = Table::new(vec![
+        "n",
+        "mean completion (pt)",
+        "bound (pt)",
+        "violations",
+    ]);
     let reps = if scale.full { 20 } else { 5 };
     for exp in [10u32, 14, 18] {
         let n = 1u64 << exp;
@@ -157,7 +170,7 @@ pub fn run(scale: &Scale) {
     table.print();
 
     write_csv(
-        &scale.out_path("lemmas.csv"),
+        scale.out_path("lemmas.csv"),
         &["lemma", "n", "a", "b", "c"],
         &rows,
     )

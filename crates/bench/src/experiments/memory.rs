@@ -38,7 +38,11 @@ where
 /// Runs E7 and writes `memory_n.csv` / `memory_s.csv`.
 pub fn run(scale: &Scale) {
     println!("== Theorem 2.1: memory in bits per agent ==");
-    let exps: &[u32] = if scale.full { &[8, 10, 12, 14, 16] } else { &[8, 10, 12] };
+    let exps: &[u32] = if scale.full {
+        &[8, 10, 12, 14, 16]
+    } else {
+        &[8, 10, 12]
+    };
     let horizon = if scale.full { 1_000.0 } else { 400.0 };
 
     println!("-- steady-state footprint vs n (DSC vs Doty–Eftekhari 2022) --");
@@ -89,8 +93,14 @@ pub fn run(scale: &Scale) {
     }
     table.print();
     write_csv(
-        &scale.out_path("memory_n.csv"),
-        &["n", "dsc_max_bits", "dsc_mean_bits", "de22_max_bits", "de22_mean_bits"],
+        scale.out_path("memory_n.csv"),
+        &[
+            "n",
+            "dsc_max_bits",
+            "dsc_mean_bits",
+            "de22_max_bits",
+            "de22_mean_bits",
+        ],
         &rows,
     )
     .expect("write memory_n.csv");
@@ -127,18 +137,26 @@ pub fn run(scale: &Scale) {
             .iter()
             .filter_map(|r| memory_profile(r, horizon * 0.9))
             .collect();
-        let peak =
-            pp_analysis::mean(&profiles.iter().map(|p| f64::from(p.peak_bits)).collect::<Vec<_>>())
-                .unwrap_or(f64::NAN);
-        let steady =
-            pp_analysis::mean(&profiles.iter().map(|p| p.steady_max_bits).collect::<Vec<_>>())
-                .unwrap_or(f64::NAN);
+        let peak = pp_analysis::mean(
+            &profiles
+                .iter()
+                .map(|p| f64::from(p.peak_bits))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap_or(f64::NAN);
+        let steady = pp_analysis::mean(
+            &profiles
+                .iter()
+                .map(|p| p.steady_max_bits)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap_or(f64::NAN);
         table.row(vec![s.to_string(), f2(peak), f2(steady)]);
         rows.push(vec![s.to_string(), format!("{peak}"), format!("{steady}")]);
     }
     table.print();
     write_csv(
-        &scale.out_path("memory_s.csv"),
+        scale.out_path("memory_s.csv"),
         &["s", "peak_bits", "steady_max_bits"],
         &rows,
     )

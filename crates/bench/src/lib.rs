@@ -19,14 +19,17 @@
 pub mod experiments;
 
 use dsc_core::{DscConfig, DynamicSizeCounting};
-use pp_sim::runner::run_seed;
-use pp_sim::{AdversarySchedule, Experiment, InitMode, RunResult};
+use pp_sim::{AdversarySchedule, RunResult, Sweep};
 
 /// Scale and output settings shared by all experiments.
 #[derive(Debug, Clone)]
 pub struct Scale {
     /// Paper scale when true; laptop scale otherwise.
     pub full: bool,
+    /// CI scale when true: tiny populations, few seeds, short horizons.
+    /// Wins over `full`; exists so every entry point has a seconds-long
+    /// mode whose only job is to prove the pipeline runs end to end.
+    pub smoke: bool,
     /// Independent runs per data point (the paper uses 96).
     pub runs: usize,
     /// Master seed; per-run seeds derive from it.
@@ -41,6 +44,7 @@ impl Default for Scale {
     fn default() -> Self {
         Scale {
             full: false,
+            smoke: false,
             runs: 16,
             seed: 0xD5C0_2024,
             threads: 0,
@@ -50,14 +54,27 @@ impl Default for Scale {
 }
 
 impl Scale {
-    /// Parses command-line arguments (`--full`, `--runs N`, `--seed S`,
-    /// `--threads T`, `--out DIR`).
+    /// The smoke-test scale: 2 runs per point, results under `dir`.
+    pub fn smoke(dir: impl Into<String>) -> Scale {
+        Scale {
+            smoke: true,
+            runs: 2,
+            out_dir: dir.into(),
+            ..Scale::default()
+        }
+    }
+
+    /// Parses command-line arguments (`--full`, `--smoke`, `--runs N`,
+    /// `--seed S`, `--threads T`, `--out DIR`).
     ///
     /// # Panics
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn from_args() -> Scale {
         let mut scale = Scale::default();
+        // An explicit --runs always wins over the --full/--smoke presets,
+        // regardless of flag order.
+        let mut runs_explicit = false;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             let mut value = |name: &str| {
@@ -67,17 +84,30 @@ impl Scale {
             match arg.as_str() {
                 "--full" => {
                     scale.full = true;
-                    scale.runs = 96;
+                    if !runs_explicit {
+                        scale.runs = 96;
+                    }
                 }
-                "--runs" => scale.runs = value("--runs").parse().expect("--runs takes a number"),
+                "--smoke" => {
+                    scale.smoke = true;
+                    if !runs_explicit {
+                        scale.runs = 2;
+                    }
+                }
+                "--runs" => {
+                    runs_explicit = true;
+                    scale.runs = value("--runs").parse().expect("--runs takes a number");
+                }
                 "--seed" => scale.seed = value("--seed").parse().expect("--seed takes a number"),
                 "--threads" => {
-                    scale.threads = value("--threads").parse().expect("--threads takes a number")
+                    scale.threads = value("--threads")
+                        .parse()
+                        .expect("--threads takes a number")
                 }
                 "--out" => scale.out_dir = value("--out"),
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--full] [--runs N] [--seed S] [--threads T] [--out DIR]"
+                        "usage: [--full | --smoke] [--runs N] [--seed S] [--threads T] [--out DIR]"
                     );
                     std::process::exit(0);
                 }
@@ -98,7 +128,21 @@ pub fn paper_protocol() -> DynamicSizeCounting {
     DynamicSizeCounting::new(DscConfig::empirical())
 }
 
-/// Runs `scale.runs` independent DSC experiments in parallel.
+/// Starts a [`Sweep`] of `protocol` preconfigured from `scale`
+/// (runs per cell, master seed, worker threads).
+pub fn sweep_of<P>(scale: &Scale, protocol: P) -> Sweep<P>
+where
+    P: pp_model::SizeEstimator + Clone + Send + Sync,
+    P::State: Clone + Send + Sync + 'static,
+{
+    Sweep::new(protocol)
+        .runs(scale.runs)
+        .master_seed(scale.seed)
+        .threads(scale.threads)
+}
+
+/// Runs `scale.runs` independent DSC experiments in parallel
+/// (a single-cell [`Sweep`]).
 ///
 /// `init` builds the initial state per agent index (None = fresh);
 /// `schedule` is cloned into every run.
@@ -110,22 +154,20 @@ pub fn run_many(
     schedule: AdversarySchedule,
     init: Option<std::sync::Arc<dyn Fn(usize) -> dsc_core::DscState + Send + Sync>>,
 ) -> Vec<RunResult> {
-    let protocol = paper_protocol();
-    pp_sim::parallel_map(scale.runs, scale.threads, move |run| {
-        let mut exp = Experiment::new(protocol, n)
-            .seed(run_seed(scale.seed, run))
-            .horizon(horizon)
-            .snapshot_every(snapshot_every)
-            .schedule(schedule.clone());
-        if let Some(f) = &init {
-            let f = std::sync::Arc::clone(f);
-            exp = exp.init(InitMode::FromFn(Box::new(move |i| f(i))));
-        }
-        exp.run()
-    })
+    let mut sweep = sweep_of(scale, paper_protocol())
+        .populations([n])
+        .horizon(horizon)
+        .snapshot_every(snapshot_every)
+        .schedule("schedule", schedule);
+    if let Some(f) = init {
+        sweep = sweep.init_with(move |i| f(i));
+    }
+    let mut results = sweep.run();
+    results.cells.swap_remove(0).runs
 }
 
-/// Runs `scale.runs` experiments of an arbitrary estimator protocol.
+/// Runs `scale.runs` experiments of an arbitrary estimator protocol
+/// (a single-cell [`Sweep`]).
 pub fn run_many_protocol<P>(
     scale: &Scale,
     protocol: P,
@@ -136,16 +178,15 @@ pub fn run_many_protocol<P>(
 ) -> Vec<RunResult>
 where
     P: pp_model::SizeEstimator + Clone + Send + Sync,
-    P::State: Clone + Send + Sync,
+    P::State: Clone + Send + Sync + 'static,
 {
-    pp_sim::parallel_map(scale.runs, scale.threads, move |run| {
-        Experiment::new(protocol.clone(), n)
-            .seed(run_seed(scale.seed, run))
-            .horizon(horizon)
-            .snapshot_every(snapshot_every)
-            .schedule(schedule.clone())
-            .run()
-    })
+    let mut results = sweep_of(scale, protocol)
+        .populations([n])
+        .horizon(horizon)
+        .snapshot_every(snapshot_every)
+        .schedule("schedule", schedule)
+        .run();
+    results.cells.swap_remove(0).runs
 }
 
 /// Formats a float with two decimals for tables.

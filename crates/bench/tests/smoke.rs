@@ -1,0 +1,46 @@
+//! Smoke coverage for the Sweep-ported bench entry points: `--smoke` runs
+//! must complete in seconds and emit non-empty CSV output.
+
+use pp_bench::experiments::{accuracy, convergence};
+use pp_bench::Scale;
+
+/// A per-test output directory under the system temp dir.
+fn smoke_scale(test: &str) -> Scale {
+    let dir = std::env::temp_dir().join(format!("pp_bench_smoke_{}_{test}", std::process::id()));
+    Scale::smoke(dir.to_str().expect("utf-8 temp path"))
+}
+
+/// Asserts a CSV exists and has a header plus at least one data row.
+fn assert_csv_nonempty(scale: &Scale, file: &str) {
+    let path = scale.out_path(file);
+    let contents = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("smoke run should have written {path}: {e}"));
+    let lines: Vec<&str> = contents.lines().collect();
+    assert!(
+        lines.len() >= 2,
+        "{path} should have a header and at least one data row, got {} lines",
+        lines.len()
+    );
+    assert!(
+        lines[0].contains(','),
+        "{path} header should be comma-separated: {:?}",
+        lines[0]
+    );
+}
+
+#[test]
+fn convergence_smoke_completes_and_emits_csv() {
+    let scale = smoke_scale("convergence");
+    convergence::run(&scale);
+    assert_csv_nonempty(&scale, "convergence_nhat.csv");
+    assert_csv_nonempty(&scale, "convergence_n.csv");
+    let _ = std::fs::remove_dir_all(&scale.out_dir);
+}
+
+#[test]
+fn accuracy_smoke_completes_and_emits_csv() {
+    let scale = smoke_scale("accuracy");
+    accuracy::run(&scale);
+    assert_csv_nonempty(&scale, "accuracy.csv");
+    let _ = std::fs::remove_dir_all(&scale.out_dir);
+}

@@ -136,9 +136,7 @@ impl Protocol for AveragedDsc {
                 *us = (*us).max(*vs);
             }
             u.last_slots.clone_from(&v.last_slots);
-        } else if u.dsc.max == v.dsc.max
-            && !(u_exchange && Phase::of(c, &v.dsc) == Phase::Reset)
-        {
+        } else if u.dsc.max == v.dsc.max && !(u_exchange && Phase::of(c, &v.dsc) == Phase::Reset) {
             // Mirror lines 13–14: same round ⇒ merge slot-wise, trailing
             // included.
             for (us, vs) in u.slots.iter_mut().zip(&v.slots) {
@@ -205,7 +203,7 @@ mod tests {
             let p = proto(slots);
             let mut sim = Simulator::with_seed(p, n, seed);
             sim.run_parallel_time(300.0); // converge
-            // Sample the median estimate across several rounds.
+                                          // Sample the median estimate across several rounds.
             let mut samples = Vec::new();
             for _ in 0..12 {
                 sim.run_parallel_time(120.0); // ≈ one round
@@ -218,8 +216,7 @@ mod tests {
                 samples.push(ests[ests.len() / 2]);
             }
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-            (samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-                / samples.len() as f64)
+            (samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64)
                 .sqrt()
         };
         let single = jitter_of(1, 50);

@@ -33,13 +33,7 @@ pub trait SizedPayload {
     fn init(&self, estimate: u32) -> Self::PState;
 
     /// One (one-way) payload interaction under the initiator's estimate.
-    fn interact(
-        &self,
-        u: &mut Self::PState,
-        v: &Self::PState,
-        estimate: u32,
-        rng: &mut dyn Rng,
-    );
+    fn interact(&self, u: &mut Self::PState, v: &Self::PState, estimate: u32, rng: &mut dyn Rng);
 }
 
 /// State of a composed agent: counting state + payload state + the estimate
@@ -175,7 +169,7 @@ impl TimedRumor {
     /// Success check for a finished configuration: everyone informed while
     /// someone still had budget left means the timeout was sized correctly.
     pub fn verdict<'a>(&self, states: impl Iterator<Item = &'a RumorState>) -> bool {
-        states.fold(true, |acc, s| acc && s.informed)
+        states.into_iter().all(|s| s.informed)
     }
 }
 

@@ -152,8 +152,7 @@ impl Protocol for DynamicSizeCounting {
         }
 
         // Lines 11–12: exchange the maximum (both in the exchange phase).
-        if self.phase(u) == Phase::Exchange && self.phase(v) == Phase::Exchange && u.max < v.max
-        {
+        if self.phase(u) == Phase::Exchange && self.phase(v) == Phase::Exchange && u.max < v.max {
             u.time = tau1 * v.max as i64;
             u.max = v.max;
             u.last_max = v.last_max;
@@ -162,8 +161,7 @@ impl Protocol for DynamicSizeCounting {
         // Lines 13–14: exchange the trailing maximum — except from an
         // exchange-phase u towards a reset-phase v, which would leak the
         // previous round's value into the fresh one.
-        if u.max == v.max && !(self.phase(u) == Phase::Exchange && self.phase(v) == Phase::Reset)
-        {
+        if u.max == v.max && !(self.phase(u) == Phase::Exchange && self.phase(v) == Phase::Reset) {
             u.last_max = u.last_max.max(v.last_max);
         }
 

@@ -100,8 +100,7 @@ impl Protocol for SimplifiedDynamicSizeCounting {
         }
 
         // Lines 7–8.
-        if self.phase(u) == Phase::Exchange && self.phase(v) == Phase::Exchange && u.max < v.max
-        {
+        if self.phase(u) == Phase::Exchange && self.phase(v) == Phase::Exchange && u.max < v.max {
             u.time = tau1 * v.max as i64;
             u.max = v.max;
         }

@@ -185,7 +185,10 @@ mod tests {
             })
             .sum();
         let mean = sum as f64 / samples as f64;
-        assert!((mean - 2.0).abs() < 0.04, "coin-based mean {mean} far from 2");
+        assert!(
+            (mean - 2.0).abs() < 0.04,
+            "coin-based mean {mean} far from 2"
+        );
     }
 
     #[test]
@@ -206,7 +209,10 @@ mod tests {
         // The max of 16 is stochastically larger than a single GRV: compare means.
         let single: u64 = (0..20_000).map(|_| geometric(&mut rng) as u64).sum();
         let of16: u64 = (0..20_000).map(|_| grv_max(16, &mut rng) as u64).sum();
-        assert!(of16 > single * 2, "max of 16 should be much larger on average");
+        assert!(
+            of16 > single * 2,
+            "max of 16 should be much larger on average"
+        );
     }
 
     #[test]
@@ -227,12 +233,78 @@ mod tests {
         let log_n = (n as f64).log2();
         for _ in 0..50 {
             let m = grv_max(k * n as u32, &mut rng) as f64;
-            assert!(m >= 0.5 * log_n, "max {m} below 0.5 log n = {}", 0.5 * log_n);
+            assert!(
+                m >= 0.5 * log_n,
+                "max {m} below 0.5 log n = {}",
+                0.5 * log_n
+            );
             assert!(
                 m <= 2.0 * (k as f64 + 1.0) * log_n,
                 "max {m} above 2(k+1) log n = {}",
                 2.0 * (k as f64 + 1.0) * log_n
             );
+        }
+    }
+
+    /// Chi-square goodness of fit of the sampler against `Pr[G = j] = 2^{-j}`.
+    ///
+    /// Bins `j = 1..=10` individually plus one tail bin for `j > 10`
+    /// (11 bins, 10 degrees of freedom). With 200k samples the statistic is
+    /// chi-square(10)-distributed under H0; we accept below 29.59, the
+    /// 0.1% critical value, so a correct sampler fails with probability
+    /// ~1e-3 per seed — and the seed is fixed, so the test is deterministic.
+    #[test]
+    fn geometric_matches_two_pow_minus_j_chi_square() {
+        let mut rng = SmallRng::seed_from_u64(0xC415_0A2E);
+        let samples = 200_000u64;
+        const BINS: usize = 10;
+        let mut counts = [0u64; BINS + 1];
+        for _ in 0..samples {
+            let g = geometric(&mut rng) as usize;
+            counts[(g - 1).min(BINS)] += 1;
+        }
+        let mut chi2 = 0.0;
+        for (i, &observed) in counts.iter().enumerate() {
+            // Bin i < BINS holds value j = i + 1 (mass 2^{-j}); the last
+            // bin holds the tail Pr[G > BINS] = 2^{-BINS}.
+            let p = if i < BINS {
+                0.5f64.powi(i as i32 + 1)
+            } else {
+                0.5f64.powi(BINS as i32)
+            };
+            let expected = samples as f64 * p;
+            let d = observed as f64 - expected;
+            chi2 += d * d / expected;
+        }
+        assert!(
+            chi2 < 29.59,
+            "chi-square statistic {chi2:.2} above the 0.1% critical value \
+             for 10 degrees of freedom; counts: {counts:?}"
+        );
+    }
+
+    /// Lemma 4.1 across configurations: the max of `k·n` i.i.d. GRVs lies in
+    /// `[0.5·log2 n, 2(k+1)·log2 n]` with probability `1 − O(n^{-k})`.
+    ///
+    /// At n = 1024 and k ∈ {2, 3, 16} the failure probability per draw is
+    /// at most ~n^{-2} = 1e-6; over the 3 × 40 fixed-seed draws below a
+    /// violation indicates a sampler bug, not bad luck.
+    #[test]
+    fn lemma_4_1_band_holds_for_max_of_kn_grvs() {
+        let n: u64 = 1024;
+        let log_n = (n as f64).log2(); // 10
+        for (seed, k) in [(21u64, 2u32), (22, 3), (23, 16)] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let lo = 0.5 * log_n;
+            let hi = 2.0 * (f64::from(k) + 1.0) * log_n;
+            for draw in 0..40 {
+                let m = f64::from(grv_max(k * n as u32, &mut rng));
+                assert!(m >= lo, "k={k} draw {draw}: max {m} below 0.5 log n = {lo}");
+                assert!(
+                    m <= hi,
+                    "k={k} draw {draw}: max {m} above 2(k+1) log n = {hi}"
+                );
+            }
         }
     }
 

@@ -44,7 +44,5 @@ pub use agent::AgentId;
 pub use config::Configuration;
 pub use grv::{geometric, grv_max};
 pub use memory::{bit_len, MemoryFootprint};
-pub use protocol::{
-    DeterministicProtocol, FiniteProtocol, Protocol, SizeEstimator, TickProtocol,
-};
+pub use protocol::{DeterministicProtocol, FiniteProtocol, Protocol, SizeEstimator, TickProtocol};
 pub use scheduler::{random_ordered_pair, Scheduler, UniformScheduler};

@@ -24,7 +24,10 @@ use rand::{Rng, RngExt};
 /// assert!(i != j && i < 10 && j < 10);
 /// ```
 pub fn random_ordered_pair(n: usize, rng: &mut (impl Rng + ?Sized)) -> (usize, usize) {
-    assert!(n >= 2, "an interaction needs at least two agents, got n={n}");
+    assert!(
+        n >= 2,
+        "an interaction needs at least two agents, got n={n}"
+    );
     let i = rng.random_range(0..n);
     // Draw j from the n-1 indices != i without rejection: sample from
     // 0..n-1 and shift the values >= i up by one.
@@ -111,13 +114,13 @@ mod tests {
             counts[i][j] += 1;
         }
         let expected = trials as f64 / (n * (n - 1)) as f64;
-        for i in 0..n {
-            assert_eq!(counts[i][i], 0, "self-pair must never occur");
-            for j in 0..n {
+        for (i, row) in counts.iter().enumerate() {
+            assert_eq!(row[i], 0, "self-pair must never occur");
+            for (j, &count) in row.iter().enumerate() {
                 if i == j {
                     continue;
                 }
-                let c = counts[i][j] as f64;
+                let c = f64::from(count);
                 assert!(
                     (c - expected).abs() < expected * 0.06,
                     "pair ({i},{j}) count {c} deviates from {expected}"

@@ -204,8 +204,7 @@ mod tests {
         let m = 200u32;
         let delta = 50u32;
         let k = 1.0;
-        let budget_interactions =
-            (7.0 * n as f64 * (delta as f64 + k * (n as f64).log2())) as u64;
+        let budget_interactions = (7.0 * n as f64 * (delta as f64 + k * (n as f64).log2())) as u64;
         for seed in 0..3 {
             let mut sim = CountSimulator::from_counts(
                 BoundedChvp::new(m),
@@ -257,11 +256,8 @@ mod tests {
     fn chvp_window_stays_narrow() {
         let n = 2_000usize;
         let start = 300i64;
-        let mut sim = Simulator::from_config(
-            Chvp::new(),
-            pp_model::Configuration::uniform(n, start),
-            7,
-        );
+        let mut sim =
+            Simulator::from_config(Chvp::new(), pp_model::Configuration::uniform(n, start), 7);
         for _ in 0..200 {
             sim.step_n(n as u64);
             let min = *sim.states().iter().min().unwrap();

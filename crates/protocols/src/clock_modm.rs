@@ -85,10 +85,7 @@ impl Protocol for ModMClock {
     type State = ModClockState;
 
     fn initial_state(&self) -> ModClockState {
-        ModClockState {
-            time: 0,
-            ticks: 0,
-        }
+        ModClockState { time: 0, ticks: 0 }
     }
 
     fn interact(&self, u: &mut ModClockState, v: &mut ModClockState, _rng: &mut dyn Rng) {
@@ -221,7 +218,7 @@ mod tests {
             // time, because the CHVP maximum drops slightly slower than one
             // per parallel time (Lemma 4.3 allows up to a factor 7).
             assert!(
-                ticks >= 4.0 && ticks <= 40.0,
+                (4.0..=40.0).contains(&ticks),
                 "agent ticked {ticks} times over {horizon} time (m = {m})"
             );
         }

@@ -272,7 +272,7 @@ mod tests {
         let n = 128usize;
         let mut sim = Simulator::with_seed(BkrCounting::new(), n, 52);
         sim.run_parallel_time(200.0); // well before convergence at factor 40
-        // The adversary removes every leader: rebuild from the survivors.
+                                      // The adversary removes every leader: rebuild from the survivors.
         let survivors: Vec<BkrState> = sim
             .states()
             .iter()

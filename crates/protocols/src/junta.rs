@@ -105,10 +105,7 @@ mod tests {
             .filter(|s| sim.protocol().in_junta(s))
             .count();
         assert!(junta >= 1, "junta cannot be empty once max has spread");
-        assert!(
-            junta <= n / 10,
-            "junta of {junta} out of {n} is not small"
-        );
+        assert!(junta <= n / 10, "junta of {junta} out of {n} is not small");
         // The maximum level must have spread everywhere.
         let max = sim.states().iter().map(|s| s.max_seen).max().unwrap();
         assert!(sim.states().iter().all(|s| s.max_seen == max));

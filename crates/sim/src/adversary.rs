@@ -61,9 +61,7 @@ impl AdversarySchedule {
     /// Panics if `at` is negative or NaN.
     pub fn at(mut self, at: f64, event: PopulationEvent) -> Self {
         assert!(at >= 0.0, "event time must be non-negative, got {at}");
-        let pos = self
-            .events
-            .partition_point(|e| e.at <= at);
+        let pos = self.events.partition_point(|e| e.at <= at);
         self.events.insert(pos, ScheduledEvent { at, event });
         self
     }

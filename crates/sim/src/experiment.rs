@@ -131,7 +131,7 @@ impl<P: SizeEstimator> Experiment<P> {
     fn build_config(&self) -> Configuration<P::State> {
         match &self.init {
             InitMode::Fresh => Configuration::fresh(&self.protocol, self.n),
-            InitMode::FromFn(f) => Configuration::from_fn(self.n, |i| f(i)),
+            InitMode::FromFn(f) => Configuration::from_fn(self.n, f),
         }
     }
 
@@ -352,7 +352,11 @@ mod tests {
         let r = Experiment::new(Max, 50).horizon(10.0).run();
         assert_eq!(r.snapshots.len(), 11);
         for (i, s) in r.snapshots.iter().enumerate() {
-            assert!((s.parallel_time - i as f64).abs() < 0.05, "snapshot {i} at {}", s.parallel_time);
+            assert!(
+                (s.parallel_time - i as f64).abs() < 0.05,
+                "snapshot {i} at {}",
+                s.parallel_time
+            );
         }
     }
 

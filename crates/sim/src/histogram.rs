@@ -71,7 +71,10 @@ impl EstimateHistogram {
                 self.with_estimate -= 1;
             }
             None => {
-                assert!(self.none > 0, "histogram underflow for estimate-less agents");
+                assert!(
+                    self.none > 0,
+                    "histogram underflow for estimate-less agents"
+                );
                 self.none -= 1;
             }
         }

@@ -85,10 +85,7 @@ impl<P: DeterministicProtocol> JumpSimulator<P> {
             for sj in 0..s {
                 let out_a = apply(&protocol, si, sj, &mut probe_rng_a);
                 let out_b = apply(&protocol, si, sj, &mut probe_rng_b);
-                assert_eq!(
-                    out_a, out_b,
-                    "transition ({si}, {sj}) is not deterministic"
-                );
+                assert_eq!(out_a, out_b, "transition ({si}, {sj}) is not deterministic");
                 if out_a != (si, sj) {
                     active.push((si, sj));
                 }
@@ -238,7 +235,6 @@ mod tests {
     use super::*;
     use crate::count_sim::CountSimulator;
     use pp_model::Protocol;
-    use rand::Rng as _;
 
     /// Binary OR-infection fixture (deterministic).
     struct Or;

@@ -35,13 +35,15 @@ pub mod observer;
 pub mod runner;
 pub mod series;
 pub mod simulator;
+pub mod sweep;
 
 pub use adversary::{AdversarySchedule, PopulationEvent, ScheduledEvent};
 pub use count_sim::CountSimulator;
-pub use jump_sim::JumpSimulator;
 pub use experiment::{Experiment, InitMode};
 pub use histogram::EstimateHistogram;
+pub use jump_sim::JumpSimulator;
 pub use observer::{EstimateTracker, Observer, TickRecorder};
 pub use runner::parallel_map;
 pub use series::{EstimateSummary, MemorySummary, RunResult, Snapshot, TickEvent};
 pub use simulator::Simulator;
+pub use sweep::{Sweep, SweepCell, SweepResults};

@@ -64,28 +64,12 @@ impl<P: Protocol> Observer<P> for () {
 
 impl<P: Protocol, A: Observer<P>, B: Observer<P>> Observer<P> for (A, B) {
     #[inline]
-    fn pre_interact(
-        &mut self,
-        p: &P,
-        u: &P::State,
-        v: &P::State,
-        ui: usize,
-        vi: usize,
-        t: u64,
-    ) {
+    fn pre_interact(&mut self, p: &P, u: &P::State, v: &P::State, ui: usize, vi: usize, t: u64) {
         self.0.pre_interact(p, u, v, ui, vi, t);
         self.1.pre_interact(p, u, v, ui, vi, t);
     }
     #[inline]
-    fn post_interact(
-        &mut self,
-        p: &P,
-        u: &P::State,
-        v: &P::State,
-        ui: usize,
-        vi: usize,
-        t: u64,
-    ) {
+    fn post_interact(&mut self, p: &P, u: &P::State, v: &P::State, ui: usize, vi: usize, t: u64) {
         self.0.post_interact(p, u, v, ui, vi, t);
         self.1.post_interact(p, u, v, ui, vi, t);
     }

@@ -69,8 +69,7 @@ where
 /// decorrelated seeds (the paper seeds each run independently from a
 /// non-deterministic source; we keep determinism by deriving from a master).
 pub fn run_seed(master: u64, run: usize) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(run as u64 + 1));
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(run as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

@@ -380,8 +380,7 @@ mod tests {
         *sim.state_mut(0) = 7;
         // state_mut bypasses the tracker; rebuild via from_config instead.
         let (config, _) = sim.into_parts();
-        let mut sim =
-            Simulator::from_config_with_observer(Max, config, 6, EstimateTracker::new());
+        let mut sim = Simulator::from_config_with_observer(Max, config, 6, EstimateTracker::new());
         sim.run_parallel_time(20.0);
         let scan = sim.estimate_stats();
         let tracked = sim.observer().histogram().summary();

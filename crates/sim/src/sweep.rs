@@ -1,0 +1,499 @@
+//! High-throughput seeded experiment sweeps.
+//!
+//! The paper's evaluation (§5) generates every data point from 96
+//! independent runs. A figure is therefore a *grid*: population sizes ×
+//! adversary schedules × seeds. The seed harness ran each grid point as its
+//! own `parallel_map` batch, so a figure's large-`n` points serialized
+//! behind its small-`n` points and the pool drained at every point
+//! boundary. [`Sweep`] instead flattens the **whole grid into one task
+//! list** up front — every `(n, schedule, run)` triple with its derived
+//! seed precomputed — and fans the flat list across all cores in a single
+//! [`parallel_map`] call: no barrier between grid points, no idle workers
+//! while the last big run of a point finishes.
+//!
+//! Determinism: each cell derives a seed from the master seed and its grid
+//! position, and each run derives from the cell seed and its run index (the
+//! SplitMix64 chain of [`run_seed`]). Results depend only on the grid and
+//! the master seed — never on `threads` — which the integration tests pin
+//! down bit-for-bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_sim::Sweep;
+//! # use pp_model::{Protocol, SizeEstimator};
+//! # use rand::Rng;
+//! # #[derive(Clone)] struct Max;
+//! # impl Protocol for Max {
+//! #     type State = u32;
+//! #     fn initial_state(&self) -> u32 { 1 }
+//! #     fn interact(&self, u: &mut u32, v: &mut u32, _: &mut dyn Rng) { *u = (*u).max(*v); }
+//! # }
+//! # impl SizeEstimator for Max {
+//! #     fn estimate_log2(&self, s: &u32) -> Option<f64> { Some(*s as f64) }
+//! # }
+//! let results = Sweep::new(Max)
+//!     .populations([50, 100])
+//!     .runs(4)
+//!     .master_seed(7)
+//!     .horizon(20.0)
+//!     .run();
+//! assert_eq!(results.cells.len(), 2);       // one cell per (n, schedule)
+//! assert_eq!(results.total_runs(), 8);
+//! assert_eq!(results.cells[0].runs.len(), 4);
+//! ```
+
+use crate::adversary::AdversarySchedule;
+use crate::experiment::{Experiment, InitMode};
+use crate::runner::{parallel_map, run_seed};
+use crate::series::RunResult;
+use pp_model::{MemoryFootprint, SizeEstimator};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared closure computing a per-agent initial state.
+pub type InitFn<S> = Arc<dyn Fn(usize) -> S + Send + Sync>;
+
+/// A builder for a seeded experiment grid: populations × schedules × runs.
+///
+/// Every setting has the same default as [`Experiment`]; the grid defaults
+/// to a single static (empty) schedule.
+pub struct Sweep<P: SizeEstimator> {
+    protocol: P,
+    populations: Vec<usize>,
+    schedules: Vec<(String, AdversarySchedule)>,
+    runs: usize,
+    master_seed: u64,
+    threads: usize,
+    horizon: Arc<dyn Fn(usize) -> f64 + Send + Sync>,
+    snapshot_every: f64,
+    init: Option<InitFn<P::State>>,
+}
+
+impl<P: SizeEstimator + std::fmt::Debug> std::fmt::Debug for Sweep<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sweep")
+            .field("protocol", &self.protocol)
+            .field("populations", &self.populations)
+            .field(
+                "schedules",
+                &self.schedules.iter().map(|(l, _)| l).collect::<Vec<_>>(),
+            )
+            .field("runs", &self.runs)
+            .field("master_seed", &self.master_seed)
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+/// All runs of one grid point (one population size under one schedule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Population size of this cell.
+    pub n: usize,
+    /// Label of the adversary schedule (`"static"` for the default).
+    pub schedule: String,
+    /// Index of the schedule in the sweep's schedule list.
+    pub schedule_index: usize,
+    /// The cell's independent runs, in run-index order.
+    pub runs: Vec<RunResult>,
+}
+
+impl SweepCell {
+    /// Iterates over the cell's [`RunResult`]s (for [`pp_analysis`]-style
+    /// pooling, e.g. `PooledSeries::pool(cell.runs.iter())`).
+    pub fn runs(&self) -> impl Iterator<Item = &RunResult> {
+        self.runs.iter()
+    }
+}
+
+/// Structured output of [`Sweep::run`]: every cell in grid order
+/// (populations outer, schedules inner), plus execution metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResults {
+    /// Master seed the grid was derived from.
+    pub master_seed: u64,
+    /// Cells in grid order.
+    pub cells: Vec<SweepCell>,
+    /// Wall-clock time of the parallel execution phase.
+    pub wall: Duration,
+    /// Worker threads requested (0 = machine parallelism).
+    pub threads: usize,
+}
+
+impl SweepResults {
+    /// Total number of simulation runs across all cells.
+    pub fn total_runs(&self) -> usize {
+        self.cells.iter().map(|c| c.runs.len()).sum()
+    }
+
+    /// The cell for a population size under the given schedule label.
+    pub fn cell(&self, n: usize, schedule: &str) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .find(|c| c.n == n && c.schedule == schedule)
+    }
+
+    /// Cells under the given schedule label, in population order.
+    pub fn cells_for_schedule<'a>(
+        &'a self,
+        schedule: &'a str,
+    ) -> impl Iterator<Item = &'a SweepCell> {
+        self.cells.iter().filter(move |c| c.schedule == schedule)
+    }
+}
+
+/// One precomputed task of the flattened grid.
+struct TaskSpec {
+    cell: usize,
+    n: usize,
+    schedule_index: usize,
+    seed: u64,
+    horizon: f64,
+}
+
+impl<P> Sweep<P>
+where
+    P: SizeEstimator + Clone + Send + Sync,
+    P::State: Clone + Send + Sync + 'static,
+{
+    /// Starts a sweep of `protocol` with an empty grid (add populations).
+    pub fn new(protocol: P) -> Self {
+        Sweep {
+            protocol,
+            populations: Vec::new(),
+            schedules: Vec::new(),
+            runs: 1,
+            master_seed: 0,
+            threads: 0,
+            horizon: Arc::new(|_| 1000.0),
+            snapshot_every: 1.0,
+            init: None,
+        }
+    }
+
+    /// Sets the population sizes of the grid.
+    pub fn populations(mut self, ns: impl IntoIterator<Item = usize>) -> Self {
+        self.populations = ns.into_iter().collect();
+        self
+    }
+
+    /// Adds a labeled adversary schedule to the grid.
+    ///
+    /// Without any, the sweep runs the single static (empty) schedule
+    /// labeled `"static"`.
+    pub fn schedule(mut self, label: impl Into<String>, schedule: AdversarySchedule) -> Self {
+        self.schedules.push((label.into(), schedule));
+        self
+    }
+
+    /// Sets the number of independent runs per grid cell (the paper: 96).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero.
+    pub fn runs(mut self, runs: usize) -> Self {
+        assert!(runs > 0, "a sweep needs at least one run per cell");
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the master seed; every run seed derives from it.
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Sets the worker thread count (0 = machine parallelism).
+    ///
+    /// Thread count never affects results, only wall-clock time.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets one simulation horizon (parallel time) for every cell.
+    pub fn horizon(mut self, horizon: f64) -> Self {
+        assert!(horizon >= 0.0, "horizon must be non-negative");
+        self.horizon = Arc::new(move |_| horizon);
+        self
+    }
+
+    /// Sets a per-population horizon (e.g. `|n| 500.0 + 10.0 * (n as f64).log2()`).
+    pub fn horizon_with(mut self, f: impl Fn(usize) -> f64 + Send + Sync + 'static) -> Self {
+        self.horizon = Arc::new(f);
+        self
+    }
+
+    /// Sets the snapshot interval in parallel time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is not strictly positive.
+    pub fn snapshot_every(mut self, every: f64) -> Self {
+        assert!(every > 0.0, "snapshot interval must be positive");
+        self.snapshot_every = every;
+        self
+    }
+
+    /// Starts every agent in `f(i)` instead of the protocol's initial state.
+    pub fn init_with(mut self, f: impl Fn(usize) -> P::State + Send + Sync + 'static) -> Self {
+        self.init = Some(Arc::new(f));
+        self
+    }
+
+    /// Precomputes the flattened task grid: one entry per
+    /// `(population, schedule, run)` with its seed already derived, so the
+    /// parallel workers only index into preallocated buffers.
+    fn build_tasks(&self) -> (Vec<(String, AdversarySchedule)>, Vec<TaskSpec>) {
+        assert!(
+            !self.populations.is_empty(),
+            "sweep grid has no populations; call .populations(..)"
+        );
+        let schedules = if self.schedules.is_empty() {
+            vec![("static".to_string(), AdversarySchedule::new())]
+        } else {
+            self.schedules.clone()
+        };
+        let cells = self.populations.len() * schedules.len();
+        let mut tasks = Vec::with_capacity(cells * self.runs);
+        for (pi, &n) in self.populations.iter().enumerate() {
+            let horizon = (self.horizon)(n);
+            for si in 0..schedules.len() {
+                let cell = pi * schedules.len() + si;
+                // Two-level SplitMix64 chain: a cell seed from the grid
+                // position, then one seed per run. Changing `threads` can
+                // never change any seed.
+                let cell_seed = run_seed(self.master_seed, cell);
+                for r in 0..self.runs {
+                    tasks.push(TaskSpec {
+                        cell,
+                        n,
+                        schedule_index: si,
+                        seed: run_seed(cell_seed, r),
+                        horizon,
+                    });
+                }
+            }
+        }
+        (schedules, tasks)
+    }
+
+    /// Regroups the flat, index-ordered run results into grid cells.
+    fn collect(
+        &self,
+        schedules: Vec<(String, AdversarySchedule)>,
+        tasks: Vec<TaskSpec>,
+        results: Vec<RunResult>,
+        wall: Duration,
+    ) -> SweepResults {
+        let cells_len = self.populations.len() * schedules.len();
+        let mut cells: Vec<SweepCell> = Vec::with_capacity(cells_len);
+        for (task, result) in tasks.iter().zip(results) {
+            if task.cell == cells.len() {
+                cells.push(SweepCell {
+                    n: task.n,
+                    schedule: schedules[task.schedule_index].0.clone(),
+                    schedule_index: task.schedule_index,
+                    runs: Vec::with_capacity(self.runs),
+                });
+            }
+            cells[task.cell].runs.push(result);
+        }
+        SweepResults {
+            master_seed: self.master_seed,
+            cells,
+            wall,
+            threads: self.threads,
+        }
+    }
+
+    /// Runs the whole grid as one parallel batch, recording estimate
+    /// snapshots per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no populations were configured.
+    pub fn run(self) -> SweepResults {
+        let (schedules, tasks) = self.build_tasks();
+        let start = Instant::now();
+        let results = parallel_map(tasks.len(), self.threads, |t| {
+            let task = &tasks[t];
+            self.experiment(task, &schedules).run()
+        });
+        let wall = start.elapsed();
+        self.collect(schedules, tasks, results, wall)
+    }
+
+    fn experiment(
+        &self,
+        task: &TaskSpec,
+        schedules: &[(String, AdversarySchedule)],
+    ) -> Experiment<P> {
+        let mut exp = Experiment::new(self.protocol.clone(), task.n)
+            .seed(task.seed)
+            .horizon(task.horizon)
+            .snapshot_every(self.snapshot_every)
+            .schedule(schedules[task.schedule_index].1.clone());
+        if let Some(init) = &self.init {
+            let init = Arc::clone(init);
+            exp = exp.init(InitMode::FromFn(Box::new(move |i| init(i))));
+        }
+        exp
+    }
+}
+
+impl<P> Sweep<P>
+where
+    P: SizeEstimator + Clone + Send + Sync,
+    P::State: Clone + Send + Sync + MemoryFootprint + 'static,
+{
+    /// Like [`Sweep::run`], additionally recording per-snapshot memory
+    /// summaries (scans all agents at each snapshot; prefer coarse
+    /// snapshot intervals at large `n`).
+    pub fn run_with_memory(self) -> SweepResults {
+        let (schedules, tasks) = self.build_tasks();
+        let start = Instant::now();
+        let results = parallel_map(tasks.len(), self.threads, |t| {
+            let task = &tasks[t];
+            self.experiment(task, &schedules).run_with_memory()
+        });
+        let wall = start.elapsed();
+        self.collect(schedules, tasks, results, wall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::PopulationEvent;
+    use pp_model::Protocol;
+    use rand::Rng;
+
+    /// Max-spreading fixture; every agent reports its value.
+    #[derive(Debug, Clone)]
+    struct Max;
+    impl Protocol for Max {
+        type State = u32;
+        fn initial_state(&self) -> u32 {
+            1
+        }
+        fn interact(&self, u: &mut u32, v: &mut u32, _: &mut dyn Rng) {
+            *u = (*u).max(*v);
+        }
+    }
+    impl SizeEstimator for Max {
+        fn estimate_log2(&self, s: &u32) -> Option<f64> {
+            Some(f64::from(*s))
+        }
+    }
+
+    fn grid() -> Sweep<Max> {
+        Sweep::new(Max)
+            .populations([20, 40])
+            .schedule("static", AdversarySchedule::new())
+            .schedule(
+                "halve@5",
+                AdversarySchedule::new().at(5.0, PopulationEvent::ResizeTo(10)),
+            )
+            .runs(3)
+            .master_seed(42)
+            .horizon(10.0)
+    }
+
+    #[test]
+    fn grid_shape_is_populations_times_schedules() {
+        let r = grid().run();
+        assert_eq!(r.cells.len(), 4);
+        assert_eq!(r.total_runs(), 12);
+        let labels: Vec<(usize, &str)> =
+            r.cells.iter().map(|c| (c.n, c.schedule.as_str())).collect();
+        assert_eq!(
+            labels,
+            vec![
+                (20, "static"),
+                (20, "halve@5"),
+                (40, "static"),
+                (40, "halve@5")
+            ]
+        );
+    }
+
+    #[test]
+    fn schedules_apply_per_cell() {
+        let r = grid().run();
+        assert_eq!(r.cell(40, "static").unwrap().runs[0].final_n, 40);
+        assert_eq!(r.cell(40, "halve@5").unwrap().runs[0].final_n, 10);
+    }
+
+    #[test]
+    fn seeds_are_distinct_across_the_grid() {
+        let r = grid().run();
+        let mut seeds: Vec<u64> = r
+            .cells
+            .iter()
+            .flat_map(|c| c.runs.iter().map(|run| run.seed))
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 12, "every run must get a distinct seed");
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let run_with = |threads| {
+            let mut sweep = grid().threads(threads);
+            sweep.snapshot_every = 1.0;
+            sweep.run()
+        };
+        let single = run_with(1);
+        let auto = run_with(0);
+        let four = run_with(4);
+        assert_eq!(single.cells, auto.cells);
+        assert_eq!(single.cells, four.cells);
+    }
+
+    #[test]
+    fn default_schedule_is_static() {
+        let r = Sweep::new(Max).populations([16]).runs(2).horizon(5.0).run();
+        assert_eq!(r.cells.len(), 1);
+        assert_eq!(r.cells[0].schedule, "static");
+        assert_eq!(r.cells[0].runs[0].final_n, 16);
+    }
+
+    #[test]
+    fn init_with_seeds_custom_states() {
+        let r = Sweep::new(Max)
+            .populations([12])
+            .runs(1)
+            .horizon(30.0)
+            .init_with(|i| if i == 0 { 60 } else { 1 })
+            .run();
+        let last = r.cells[0].runs[0].snapshots.last().unwrap();
+        assert_eq!(last.estimates.unwrap().max, 60.0);
+    }
+
+    #[test]
+    fn horizon_with_varies_by_population() {
+        let r = Sweep::new(Max)
+            .populations([8, 32])
+            .runs(1)
+            .horizon_with(|n| if n == 8 { 3.0 } else { 7.0 })
+            .run();
+        let last_t = |cell: &SweepCell| cell.runs[0].snapshots.last().unwrap().parallel_time;
+        assert!(last_t(&r.cells[0]) < 4.0);
+        assert!(last_t(&r.cells[1]) > 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no populations")]
+    fn empty_grid_rejected() {
+        let _ = Sweep::new(Max).runs(1).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        let _ = Sweep::new(Max).populations([8]).runs(0);
+    }
+}

@@ -49,7 +49,10 @@ fn main() {
     );
 
     let runs = vec![
-        run("DSC (this paper)", DynamicSizeCounting::new(DscConfig::empirical())),
+        run(
+            "DSC (this paper)",
+            DynamicSizeCounting::new(DscConfig::empirical()),
+        ),
         run("Doty-Eftekhari 2022", De22Counting::new()),
         run("static max-GRV", StaticGrvCounting::new(16)),
         run("BKR 2019 (leader)", BkrCounting::new().with_round_factor(8)),
@@ -82,7 +85,10 @@ fn main() {
     for s in dsc.snapshots.iter().step_by(5) {
         if let Some(e) = &s.estimates {
             let bar = "#".repeat(e.median.max(0.0) as usize);
-            println!("  t={:>6.0} n={:>6}  {bar} {:.1}", s.parallel_time, s.n, e.median);
+            println!(
+                "  t={:>6.0} n={:>6}  {bar} {:.1}",
+                s.parallel_time, s.n, e.median
+            );
         }
     }
 }

@@ -16,12 +16,13 @@
 //! estimate tracks every change.
 
 use dynamic_size_counting::dsc::{DscConfig, DynamicSizeCounting};
-use dynamic_size_counting::sim::{
-    AdversarySchedule, Experiment, PopulationEvent, RunResult,
-};
+use dynamic_size_counting::sim::{AdversarySchedule, Experiment, PopulationEvent, RunResult};
 
 fn print_story(result: &RunResult, marks: &[(f64, &str)]) {
-    println!("{:>8} {:>7} {:>8} {:>8} {:>8}   event", "time", "birds", "min", "median", "max");
+    println!(
+        "{:>8} {:>7} {:>8} {:>8} {:>8}   event",
+        "time", "birds", "min", "median", "max"
+    );
     for s in &result.snapshots {
         let Some(e) = &s.estimates else { continue };
         let mark = marks
@@ -65,7 +66,10 @@ fn main() {
         &result,
         &[
             (500.0, "← 30 000 birds join"),
-            (1_500.0, "← poacher removes all but 200 (largest estimates first)"),
+            (
+                1_500.0,
+                "← poacher removes all but 200 (largest estimates first)",
+            ),
         ],
     );
 

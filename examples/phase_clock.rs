@@ -20,7 +20,10 @@ use dynamic_size_counting::sim::{Simulator, TickRecorder};
 fn main() {
     let n = 2_000;
     let protocol = DynamicSizeCounting::new(DscConfig::empirical());
-    println!("phase clock on n = {n} agents (log2 n = {:.1})\n", (n as f64).log2());
+    println!(
+        "phase clock on n = {n} agents (log2 n = {:.1})\n",
+        (n as f64).log2()
+    );
 
     let mut sim = Simulator::with_observer(protocol, n, 11, TickRecorder::new());
 
@@ -42,18 +45,36 @@ fn main() {
     let verdict = ClockVerdict::judge(&decomposition, n).expect("complete bursts");
 
     println!("\nburst/overlap structure (complete bursts only):");
-    println!("  bursts in which every agent ticked exactly once: {}", verdict.perfect_bursts);
-    println!("  bursts violating the exactly-once property:      {}", verdict.broken_bursts);
-    println!("  mean burst width : {:>8.1} parallel time (≈ O(log n))", verdict.mean_burst_width);
-    println!("  mean overlap     : {:>8.1} parallel time", verdict.mean_overlap);
-    println!("  mean round length: {:>8.1} parallel time (Θ(log n))", verdict.mean_round);
+    println!(
+        "  bursts in which every agent ticked exactly once: {}",
+        verdict.perfect_bursts
+    );
+    println!(
+        "  bursts violating the exactly-once property:      {}",
+        verdict.broken_bursts
+    );
+    println!(
+        "  mean burst width : {:>8.1} parallel time (≈ O(log n))",
+        verdict.mean_burst_width
+    );
+    println!(
+        "  mean overlap     : {:>8.1} parallel time",
+        verdict.mean_overlap
+    );
+    println!(
+        "  mean round length: {:>8.1} parallel time (Θ(log n))",
+        verdict.mean_round
+    );
     println!(
         "  overlap / burst  : {:>8.1}  (Theorem 2.2 wants overlaps to dominate)",
         verdict.mean_overlap / verdict.mean_burst_width.max(1e-9)
     );
 
     println!("\nper-burst detail (first 6 complete bursts):");
-    println!("{:>6} {:>12} {:>10} {:>10}", "burst", "start (pt)", "width", "agents");
+    println!(
+        "{:>6} {:>12} {:>10} {:>10}",
+        "burst", "start (pt)", "width", "agents"
+    );
     for (i, b) in decomposition.complete_bursts().iter().take(6).enumerate() {
         println!(
             "{:>6} {:>12.0} {:>10.1} {:>10}",

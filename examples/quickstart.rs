@@ -23,7 +23,10 @@ fn main() {
     let protocol = DynamicSizeCounting::new(DscConfig::empirical());
     let mut sim = Simulator::tracked(protocol, n, 42);
 
-    println!("{:>14} {:>8} {:>8} {:>8}", "parallel time", "min", "median", "max");
+    println!(
+        "{:>14} {:>8} {:>8} {:>8}",
+        "parallel time", "min", "median", "max"
+    );
     for step in 0..12 {
         sim.run_parallel_time(25.0);
         let s = sim.observer().histogram().summary().expect("estimates");

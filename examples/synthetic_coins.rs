@@ -23,7 +23,10 @@ use dynamic_size_counting::sim::Simulator;
 fn main() {
     let n = 4_096;
     let log_n = (n as f64).log2();
-    println!("n = {n} (log2 n = {log_n:.1}); k = 16 ⇒ estimates center near {:.1}\n", (16.0 * n as f64).log2());
+    println!(
+        "n = {n} (log2 n = {log_n:.1}); k = 16 ⇒ estimates center near {:.1}\n",
+        (16.0 * n as f64).log2()
+    );
 
     let mut rng_mode = Simulator::tracked(DynamicSizeCounting::new(DscConfig::empirical()), n, 5);
     let mut coin_mode = Simulator::tracked(SyntheticDsc::new(DscConfig::empirical()), n, 5);
@@ -47,7 +50,11 @@ fn main() {
             b.min,
             b.median,
             b.max,
-            if step == 7 { "   ← crash to 128 agents" } else { "" }
+            if step == 7 {
+                "   ← crash to 128 agents"
+            } else {
+                ""
+            }
         );
         if step == 7 && !crash_done {
             rng_mode.resize_to(128);

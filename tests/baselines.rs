@@ -75,7 +75,22 @@ fn de22_adapts_but_uses_more_memory() {
         .schedule(schedule)
         .run();
     let before = de_dyn.snapshot_at(290.0).estimates.unwrap().median;
-    let after = de_dyn.snapshot_at(1_490.0).estimates.unwrap().median;
+    // DE22's first-missing-value estimate adapts, but it is only correct
+    // w.h.p. *per instant*: whenever one agent samples a rare high GRV, the
+    // value min-propagates epidemically and the whole population briefly
+    // over-estimates again until the detection timers re-expire (Doty &
+    // Eftekhari 2022 bound the estimate per time unit w.h.p., not almost
+    // always — see also the paper's §1.2 contrast). A single-snapshot
+    // readout therefore flakes on those ~Θ(threshold)-long spikes; read the
+    // median over the final 300 time units instead of one instant.
+    let mut tail: Vec<f64> = de_dyn
+        .snapshots
+        .iter()
+        .filter(|s| s.parallel_time >= 1_200.0)
+        .filter_map(|s| s.estimates.map(|e| e.median))
+        .collect();
+    tail.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN medians"));
+    let after = tail[tail.len() / 2];
     assert!(
         after < before - 2.0,
         "DE22 must adapt to the crash: {before} -> {after}"

@@ -86,5 +86,9 @@ fn fresh_agents_start_in_exchange_phase() {
     use dynamic_size_counting::model::Protocol;
     let p = DynamicSizeCounting::new(DscConfig::empirical());
     let s = p.initial_state();
-    assert_eq!(p.phase(&s), Phase::Exchange, "resetting/fresh agents enter exchange");
+    assert_eq!(
+        p.phase(&s),
+        Phase::Exchange,
+        "resetting/fresh agents enter exchange"
+    );
 }

@@ -86,7 +86,9 @@ fn overestimate_is_forgotten_in_time_linear_in_estimate() {
             .seed(7)
             .horizon(6_000.0)
             .snapshot_every(10.0)
-            .init(InitMode::FromFn(Box::new(move |_| p.state_with_estimate(e0))))
+            .init(InitMode::FromFn(Box::new(move |_| {
+                p.state_with_estimate(e0)
+            })))
             .run();
         let forget = result
             .snapshots

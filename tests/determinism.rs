@@ -5,7 +5,7 @@
 use dynamic_size_counting::dsc::{DscConfig, DynamicSizeCounting};
 use dynamic_size_counting::sim::runner::run_seed;
 use dynamic_size_counting::sim::{
-    AdversarySchedule, Experiment, PopulationEvent, RunResult, Simulator,
+    AdversarySchedule, Experiment, PopulationEvent, RunResult, Simulator, Sweep,
 };
 
 fn run(seed: u64) -> RunResult {
@@ -61,8 +61,39 @@ fn derived_seeds_are_stable_across_invocations() {
 fn parallel_execution_does_not_change_results() {
     // The multi-run executor must produce the same per-run results
     // regardless of thread count (runs share nothing).
-    let runs_with = |threads| {
-        pp_sim::parallel_map(4, threads, |i| run(run_seed(99, i)).snapshots.len())
-    };
+    let runs_with =
+        |threads| pp_sim::parallel_map(4, threads, |i| run(run_seed(99, i)).snapshots.len());
     assert_eq!(runs_with(1), runs_with(4));
+}
+
+/// The sweep engine's contract: the same grid and master seed yield
+/// bit-identical results no matter how the work is scheduled — serial
+/// (`threads = 1`), machine parallelism (`threads = 0`), or any explicit
+/// pool size. This leans on `parallel_map` returning results in index
+/// order and on every run seed being derived from grid position alone.
+#[test]
+fn sweep_results_are_bit_identical_across_thread_counts() {
+    let sweep_with = |threads: usize| {
+        Sweep::new(DynamicSizeCounting::new(DscConfig::empirical()))
+            .populations([64, 128])
+            .schedule("static", AdversarySchedule::new())
+            .schedule(
+                "crash@40",
+                AdversarySchedule::new().at(40.0, PopulationEvent::ResizeTo(16)),
+            )
+            .runs(3)
+            .master_seed(0xD5C0_2024)
+            .horizon(80.0)
+            .snapshot_every(4.0)
+            .threads(threads)
+            .run()
+    };
+    let serial = sweep_with(1);
+    let auto = sweep_with(0);
+    let wide = sweep_with(8);
+    // Cells carry every snapshot of every run, so equality here is
+    // bit-for-bit over the full result structure.
+    assert_eq!(serial.cells, auto.cells, "threads=1 vs threads=0 diverged");
+    assert_eq!(serial.cells, wide.cells, "threads=1 vs threads=8 diverged");
+    assert_eq!(serial.total_runs(), 12);
 }

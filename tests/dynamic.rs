@@ -2,9 +2,7 @@
 //! population (the paper's headline property and its Fig. 4).
 
 use dynamic_size_counting::dsc::{DscConfig, DynamicSizeCounting};
-use dynamic_size_counting::sim::{
-    AdversarySchedule, Experiment, PopulationEvent, RunResult,
-};
+use dynamic_size_counting::sim::{AdversarySchedule, Experiment, PopulationEvent, RunResult};
 
 fn protocol() -> DynamicSizeCounting {
     DynamicSizeCounting::new(DscConfig::empirical())

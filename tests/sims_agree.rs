@@ -57,11 +57,8 @@ fn chvp_decay_rate_matches_across_simulators() {
     let n = 2_000usize;
     let start = 300u32;
     // Agent simulator.
-    let mut sim = Simulator::from_config(
-        BoundedChvp::new(start),
-        Configuration::uniform(n, start),
-        1,
-    );
+    let mut sim =
+        Simulator::from_config(BoundedChvp::new(start), Configuration::uniform(n, start), 1);
     sim.run_parallel_time(100.0);
     let agent_max = *sim.states().iter().max().unwrap();
     // Count simulator.

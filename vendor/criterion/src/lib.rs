@@ -1,0 +1,247 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! A plain wall-clock micro-benchmark harness exposing the subset of the
+//! criterion API this workspace's benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups, throughput annotation, and
+//! `Bencher::iter`. No statistical analysis, plots, or baselines — each
+//! benchmark is timed with a short calibration pass followed by a fixed
+//! measurement budget, and the mean time per iteration is printed.
+//!
+//! Environment knobs:
+//! * `CRITERION_MEASURE_MS` — measurement budget per benchmark
+//!   (default 500 ms).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500u64);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark identifier (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly for the measurement budget and records the
+    /// mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibration: find an iteration count worth ~10 ms.
+        let calibration_start = Instant::now();
+        black_box(routine());
+        let once = calibration_start.elapsed().max(Duration::from_nanos(50));
+        let budget = measure_budget();
+        let batch = (Duration::from_millis(10).as_nanos() / once.as_nanos().max(1))
+            .clamp(1, 1 << 20) as u64;
+
+        let deadline = Instant::now() + budget;
+        let mut iterations = 1u64; // the calibration call
+        let mut total = once;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iterations += batch;
+        }
+        self.total = total;
+        self.iterations = iterations;
+    }
+}
+
+fn report(group: Option<&str>, id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let per_iter = bencher.total.as_nanos() as f64 / bencher.iterations.max(1) as f64;
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(e)) => {
+            format!("  {:.2} Melem/s", e as f64 / per_iter * 1e3)
+        }
+        Some(Throughput::Bytes(b)) => {
+            format!(
+                "  {:.2} MiB/s",
+                b as f64 / per_iter * 1e9 / (1024.0 * 1024.0) / 1e6
+            )
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench: {label:<40} {per_iter:>12.1} ns/iter  ({} iters){rate}",
+        bencher.iterations
+    );
+}
+
+/// Entry point mirroring criterion's `Criterion` struct.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Creates a benchmark manager with default settings.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        report(None, &id.to_string(), &bencher, None);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        report(Some(&self.name), &id.to_string(), &bencher, self.throughput);
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher, input);
+        report(Some(&self.name), &id.to_string(), &bencher, self.throughput);
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (criterion API parity).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (criterion API parity).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 42), &42, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}

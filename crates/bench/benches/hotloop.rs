@@ -1,0 +1,41 @@
+//! Criterion bench: the sequential hot loop's primitives.
+//!
+//! `step` times one full interaction (single-draw pair selection +
+//! monomorphized DSC transition) on a warmed steady-state population;
+//! `pair_draw` and `geometric` time the two randomness primitives that
+//! feed it. Together with `simulator.rs` (batched throughput) these pin
+//! the per-step cost the `hotloop_timing` binary reports end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pp_model::grv;
+use pp_sim::Simulator;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_hotloop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotloop");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("step", |b| {
+        let mut sim = Simulator::with_seed(pp_bench::paper_protocol(), 1_000, 1);
+        sim.run_parallel_time(50.0); // warm into steady state
+        b.iter(|| sim.step());
+    });
+    g.bench_function("step_tracked", |b| {
+        let mut sim = Simulator::tracked(pp_bench::paper_protocol(), 1_000, 1);
+        sim.run_parallel_time(50.0);
+        b.iter(|| sim.step());
+    });
+    g.bench_function("pair_draw", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| black_box(pp_model::random_ordered_pair(1_000, &mut rng)));
+    });
+    g.bench_function("geometric", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| black_box(grv::geometric(&mut rng)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hotloop);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Times the sequential agent-array hot loop: single-thread interactions
+//! per second for the DSC empirical configuration at n ∈ {10³, 10⁴, 10⁵},
+//! recorded into `BENCH_hotloop.json` together with the baseline numbers
+//! measured on the pre-overhaul engine, so the speedup of the
+//! devirtualized + single-draw + chunked stepping path stays auditable.
+//!
+//! Two modes per population size:
+//!
+//! * **plain** — raw `Simulator` stepping, no observer (`O = ()`);
+//! * **tracked** — stepping under the [`EstimateTracker`] observer, i.e.
+//!   exactly the per-interaction work every §5 convergence experiment pays
+//!   (this is the workload behind `Experiment::run` and all figures).
+//!
+//! Flags: the shared `Scale` flags; `--smoke` shrinks the measurement
+//! budget so CI can exercise the harness in seconds.
+
+use pp_bench::Scale;
+use pp_sim::Simulator;
+use std::io::Write;
+use std::time::Instant;
+
+/// Single-thread interactions/sec measured on the seed engine (commit
+/// e6ffe7a: `&mut dyn Rng` transition functions, two RNG draws per pair,
+/// per-step float time accounting, hardware division in every descaled
+/// estimate readout) on this repository's reference box. The numbers are
+/// the medians of five runs alternated with the new engine under identical
+/// thermal conditions; re-measure by checking out that commit and running
+/// this binary.
+const BASELINE: [Baseline; 3] = [
+    Baseline {
+        n: 1_000,
+        plain: 50.99e6,
+        tracked: 28.08e6,
+    },
+    Baseline {
+        n: 10_000,
+        plain: 47.69e6,
+        tracked: 28.19e6,
+    },
+    Baseline {
+        n: 100_000,
+        plain: 30.05e6,
+        tracked: 16.50e6,
+    },
+];
+
+struct Baseline {
+    n: usize,
+    plain: f64,
+    tracked: f64,
+}
+
+fn measure(mut sim_step: impl FnMut(u64), budget_secs: f64) -> f64 {
+    let batch: u64 = 100_000;
+    let start = Instant::now();
+    let mut total = 0u64;
+    loop {
+        sim_step(batch);
+        total += batch;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= budget_secs {
+            return total as f64 / elapsed;
+        }
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (warm, budget) = if scale.smoke {
+        (5.0, 0.05)
+    } else {
+        (50.0, 1.5)
+    };
+    println!("single-thread DSC hot-loop timing (budget {budget} s per point)");
+
+    let mut lines = Vec::new();
+    for b in BASELINE {
+        let mut plain_sim = Simulator::with_seed(pp_bench::paper_protocol(), b.n, scale.seed);
+        plain_sim.run_parallel_time(warm);
+        let plain = measure(|c| plain_sim.step_n(c), budget);
+
+        let mut tracked_sim = Simulator::tracked(pp_bench::paper_protocol(), b.n, scale.seed);
+        tracked_sim.run_parallel_time(warm);
+        let tracked = measure(|c| tracked_sim.step_n(c), budget);
+
+        let speedup_plain = plain / b.plain;
+        let speedup_tracked = tracked / b.tracked;
+        println!(
+            "n = {:>7}: plain {:7.2} M/s ({speedup_plain:4.2}x vs {:5.2} M)  \
+             tracked {:7.2} M/s ({speedup_tracked:4.2}x vs {:5.2} M)",
+            b.n,
+            plain / 1e6,
+            b.plain / 1e6,
+            tracked / 1e6,
+            b.tracked / 1e6,
+        );
+        lines.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"n\": {},\n",
+                "      \"plain_interactions_per_sec\": {:.1},\n",
+                "      \"plain_baseline_interactions_per_sec\": {:.1},\n",
+                "      \"plain_speedup\": {:.4},\n",
+                "      \"tracked_interactions_per_sec\": {:.1},\n",
+                "      \"tracked_baseline_interactions_per_sec\": {:.1},\n",
+                "      \"tracked_speedup\": {:.4}\n",
+                "    }}"
+            ),
+            b.n, plain, b.plain, speedup_plain, tracked, b.tracked, speedup_tracked,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": \"DSC empirical configuration, steady state, single thread; ",
+            "tracked = under the EstimateTracker observer, the per-interaction work of ",
+            "every convergence experiment (Experiment::run)\",\n",
+            "  \"engine\": \"monomorphized chunked step_block, single-draw pair sampling\",\n",
+            "  \"baseline_engine\": \"seed engine at e6ffe7a (dyn Rng, two draws per pair)\",\n",
+            "  \"master_seed\": {},\n",
+            "  \"points\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale.seed,
+        lines.join(",\n"),
+    );
+    // Smoke runs must not clobber the committed paper-scale record.
+    let path = if scale.smoke {
+        "BENCH_hotloop_smoke.json"
+    } else {
+        "BENCH_hotloop.json"
+    };
+    let mut f = std::fs::File::create(path).expect("create BENCH_hotloop json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_hotloop json");
+    println!("wrote {path}");
+}

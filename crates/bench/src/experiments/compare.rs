@@ -2,7 +2,12 @@
 //!
 //! All four counters run the same scenario — converge on `n` agents, then
 //! the adversary removes all but a handful at `t_crash` — and the table
-//! reports the median estimate before and after.
+//! reports the median estimate before and after, plus a static
+//! (no-adversary) control column.
+//!
+//! Each protocol runs one [`Sweep`](pp_sim::Sweep) grid with two labeled
+//! schedules — `static` (control) and `crash` — so both scenarios fan out
+//! as a single flat task list instead of separate hand-rolled run batches.
 //!
 //! Expected qualitative outcome (the paper's §1.2/§6 claims):
 //!
@@ -22,109 +27,123 @@ use pp_model::SizeEstimator;
 use pp_protocols::{BkrCounting, De22Counting, StaticGrvCounting};
 use pp_sim::{AdversarySchedule, PopulationEvent};
 
+struct Scenario {
+    n: usize,
+    survivors: usize,
+    crash_at: f64,
+    horizon: f64,
+}
+
 struct Outcome {
     name: &'static str,
     before: Option<f64>,
     after: Option<f64>,
+    control: Option<f64>,
+    /// The protocol's own converged level on a static population of
+    /// `survivors` agents — the level a perfect adapter would reach.
+    target: Option<f64>,
 }
 
-fn run_one<P>(
-    scale: &Scale,
-    name: &'static str,
-    protocol: P,
-    n: usize,
-    crash_at: f64,
-    survivors: usize,
-    horizon: f64,
-) -> Outcome
+fn run_one<P>(scale: &Scale, name: &'static str, protocol: P, sc: &Scenario) -> Outcome
 where
     P: SizeEstimator + Clone + Send + Sync,
     P::State: Clone + Send + Sync + 'static,
 {
-    let schedule = AdversarySchedule::new().at(crash_at, PopulationEvent::ResizeTo(survivors));
-    let runs = crate::run_many_protocol(scale, protocol, n, horizon, 10.0, schedule);
-    let pooled = PooledSeries::pool(&runs);
-    let before = pooled
-        .window(crash_at - 100.0, crash_at)
-        .last()
-        .map(|p| p.median);
-    let after = pooled.points.last().map(|p| p.median);
+    let crash = AdversarySchedule::new().at(sc.crash_at, PopulationEvent::ResizeTo(sc.survivors));
+    // One grid per protocol: {survivors, n} × {static, crash}. The
+    // (survivors, static) cell supplies the protocol's own converged level
+    // at the post-crash size — the adaptation target with the protocol's
+    // constant factors included. ((survivors, crash) resizes to its own
+    // size, a no-op cell whose cost is negligible at that n.)
+    let results = crate::sweep_of(scale, protocol)
+        .populations([sc.survivors, sc.n])
+        .schedule("static", AdversarySchedule::new())
+        .schedule("crash", crash)
+        .horizon(sc.horizon)
+        .snapshot_every(10.0)
+        .run();
+
+    let crashed = PooledSeries::pool(&results.cell(sc.n, "crash").expect("crash cell").runs);
+    let control = PooledSeries::pool(&results.cell(sc.n, "static").expect("static cell").runs);
+    let target = PooledSeries::pool(
+        &results
+            .cell(sc.survivors, "static")
+            .expect("target cell")
+            .runs,
+    );
     Outcome {
         name,
-        before,
-        after,
+        before: crashed
+            .window(sc.crash_at - 100.0, sc.crash_at)
+            .last()
+            .map(|p| p.median),
+        after: crashed.points.last().map(|p| p.median),
+        control: control.points.last().map(|p| p.median),
+        target: target.points.last().map(|p| p.median),
     }
 }
 
 /// Runs E9 and writes `compare.csv`.
 pub fn run(scale: &Scale) {
-    let n = if scale.full { 16_384 } else { 1_024 };
-    let survivors = 32;
-    let crash_at = 900.0;
-    let horizon = 2_500.0;
+    let sc = if scale.smoke {
+        Scenario {
+            n: 128,
+            survivors: 16,
+            crash_at: 150.0,
+            // Post-crash re-convergence needs a few Θ(log n̂)-length
+            // rounds; anything shorter reads the estimate mid-descent.
+            horizon: 1_200.0,
+        }
+    } else {
+        Scenario {
+            n: if scale.full { 16_384 } else { 1_024 },
+            survivors: 32,
+            crash_at: 900.0,
+            horizon: 2_500.0,
+        }
+    };
     println!(
-        "== Baseline comparison: n = {n} → {survivors} at t = {crash_at} ({} runs) ==",
-        scale.runs
+        "== Baseline comparison: n = {} → {} at t = {} ({} runs) ==",
+        sc.n, sc.survivors, sc.crash_at, scale.runs
     );
     println!(
         "   references: log2(n) = {}, log2(survivors) = {}",
-        f2(log2n(n)),
-        f2(log2n(survivors))
+        f2(log2n(sc.n)),
+        f2(log2n(sc.survivors))
     );
 
     let outcomes = vec![
-        run_one(
-            scale,
-            "DSC (paper)",
-            crate::paper_protocol(),
-            n,
-            crash_at,
-            survivors,
-            horizon,
-        ),
-        run_one(
-            scale,
-            "Doty-Eftekhari 2022",
-            De22Counting::new(),
-            n,
-            crash_at,
-            survivors,
-            horizon,
-        ),
-        run_one(
-            scale,
-            "static max-GRV",
-            StaticGrvCounting::new(16),
-            n,
-            crash_at,
-            survivors,
-            horizon,
-        ),
+        run_one(scale, "DSC (paper)", crate::paper_protocol(), &sc),
+        run_one(scale, "Doty-Eftekhari 2022", De22Counting::new(), &sc),
+        run_one(scale, "static max-GRV", StaticGrvCounting::new(16), &sc),
         run_one(
             scale,
             "BKR 2019 (leader)",
             BkrCounting::new().with_round_factor(8),
-            n,
-            crash_at,
-            survivors,
-            horizon,
+            &sc,
         ),
     ];
 
-    let mut table = Table::new(vec!["protocol", "median before", "median after", "adapts?"]);
+    let mut table = Table::new(vec![
+        "protocol",
+        "median before",
+        "median after",
+        "static control",
+        "target (n')",
+        "adapts?",
+    ]);
     let mut rows = Vec::new();
     for o in &outcomes {
         let fmt = |x: Option<f64>| x.map(f2).unwrap_or_else(|| "-".into());
         // "Adapts" = the estimate covered at least 40% of the gap from its
-        // pre-crash level towards the new log2(survivors) level (a
-        // direction-and-magnitude test robust to each protocol's own
-        // constant-factor offset).
-        let adapts = match (o.before, o.after) {
-            (Some(b), Some(a)) => {
-                let target = log2n(survivors);
-                if b <= target + 2.0 {
+        // pre-crash level towards the protocol's *own* converged level on
+        // a static population of `survivors` agents (the target cell), so
+        // each protocol's constant-factor offset cancels out.
+        let adapts = match (o.before, o.after, o.target) {
+            (Some(b), Some(a), Some(t)) => {
+                if b <= t + 2.0 {
                     "n/a".to_string()
-                } else if (b - a) >= 0.4 * (b - target) {
+                } else if (b - a) >= 0.4 * (b - t) {
                     "yes".to_string()
                 } else {
                     "NO".to_string()
@@ -136,19 +155,30 @@ pub fn run(scale: &Scale) {
             o.name.to_string(),
             fmt(o.before),
             fmt(o.after),
+            fmt(o.control),
+            fmt(o.target),
             adapts.clone(),
         ]);
         rows.push(vec![
             o.name.to_string(),
             fmt(o.before),
             fmt(o.after),
+            fmt(o.control),
+            fmt(o.target),
             adapts,
         ]);
     }
     table.print();
     write_csv(
         scale.out_path("compare.csv"),
-        &["protocol", "median_before", "median_after", "adapts"],
+        &[
+            "protocol",
+            "median_before",
+            "median_after",
+            "median_static_control",
+            "median_target",
+            "adapts",
+        ],
         &rows,
     )
     .expect("write compare.csv");

@@ -6,23 +6,33 @@
 //! validity never breaks (right-censored holding times). Any observed
 //! break would be a counterexample signal; the expected outcome is 100%
 //! censoring, i.e. every run holds for the entire horizon.
+//!
+//! All populations run as one [`Sweep`](pp_sim::Sweep) grid: the flat
+//! task list keeps every core busy across population sizes instead of
+//! draining the pool at each point boundary.
 
 use crate::{f2, Scale};
 use pp_analysis::{holding_time, write_csv, Band, Table};
-use pp_sim::AdversarySchedule;
 
 /// Runs E6 and writes `holding.csv`.
 pub fn run(scale: &Scale) {
-    let ns: &[usize] = if scale.full {
-        &[64, 256, 1024]
+    let (ns, horizon): (&[usize], f64) = if scale.smoke {
+        (&[32], 300.0)
+    } else if scale.full {
+        (&[64, 256, 1024], 100_000.0)
     } else {
-        &[64, 256]
+        (&[64, 256], 20_000.0)
     };
-    let horizon = if scale.full { 100_000.0 } else { 20_000.0 };
     println!(
         "== Theorem 2.1: holding time (horizon {horizon} parallel time, {} runs) ==",
         scale.runs
     );
+
+    let results = crate::sweep_of(scale, crate::paper_protocol())
+        .populations(ns.iter().copied())
+        .horizon(horizon)
+        .snapshot_every(10.0)
+        .run();
 
     let mut table = Table::new(vec![
         "n",
@@ -32,16 +42,16 @@ pub fn run(scale: &Scale) {
         "breaks",
     ]);
     let mut rows = Vec::new();
-    for &n in ns {
+    for cell in results.cells_for_schedule("static") {
+        let n = cell.n;
         // The §4.1 validity band (generous; see convergence.rs for the
         // tighter convergence band).
         let band = Band::around_log_n(n, 0.5, 10.0);
-        let runs = crate::run_many(scale, n, horizon, 10.0, AdversarySchedule::new(), None);
         let mut converged = 0usize;
         let mut censored = 0usize;
         let mut breaks = 0usize;
         let mut min_held = f64::INFINITY;
-        for r in &runs {
+        for r in cell.runs() {
             if let Some(h) = holding_time(r, band) {
                 converged += 1;
                 min_held = min_held.min(h.held_for);
@@ -54,7 +64,7 @@ pub fn run(scale: &Scale) {
         }
         table.row(vec![
             n.to_string(),
-            format!("{converged}/{}", runs.len()),
+            format!("{converged}/{}", cell.runs.len()),
             format!("{censored}/{converged}"),
             f2(min_held),
             breaks.to_string(),

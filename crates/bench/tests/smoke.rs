@@ -1,7 +1,7 @@
 //! Smoke coverage for the Sweep-ported bench entry points: `--smoke` runs
 //! must complete in seconds and emit non-empty CSV output.
 
-use pp_bench::experiments::{accuracy, convergence};
+use pp_bench::experiments::{accuracy, compare, convergence, holding};
 use pp_bench::Scale;
 
 /// A per-test output directory under the system temp dir.
@@ -42,5 +42,21 @@ fn accuracy_smoke_completes_and_emits_csv() {
     let scale = smoke_scale("accuracy");
     accuracy::run(&scale);
     assert_csv_nonempty(&scale, "accuracy.csv");
+    let _ = std::fs::remove_dir_all(&scale.out_dir);
+}
+
+#[test]
+fn holding_smoke_completes_and_emits_csv() {
+    let scale = smoke_scale("holding");
+    holding::run(&scale);
+    assert_csv_nonempty(&scale, "holding.csv");
+    let _ = std::fs::remove_dir_all(&scale.out_dir);
+}
+
+#[test]
+fn compare_smoke_completes_and_emits_csv() {
+    let scale = smoke_scale("compare");
+    compare::run(&scale);
+    assert_csv_nonempty(&scale, "compare.csv");
     let _ = std::fs::remove_dir_all(&scale.out_dir);
 }

@@ -95,7 +95,7 @@ impl AveragedDsc {
         sum / self.slots as f64
     }
 
-    fn refill_slots(&self, s: &mut AveragedState, rng: &mut dyn Rng) {
+    fn refill_slots<R: Rng + ?Sized>(&self, s: &mut AveragedState, rng: &mut R) {
         s.last_slots.clone_from(&s.slots);
         for slot in s.slots.iter_mut() {
             *slot = grv::geometric(rng);
@@ -104,6 +104,9 @@ impl AveragedDsc {
 }
 
 impl Protocol for AveragedDsc {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = AveragedState;
 
     fn initial_state(&self) -> AveragedState {
@@ -114,7 +117,7 @@ impl Protocol for AveragedDsc {
         }
     }
 
-    fn interact(&self, u: &mut AveragedState, v: &mut AveragedState, rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut AveragedState, v: &mut AveragedState, rng: &mut R) {
         let ticks_before = u.dsc.ticks;
         let max_before = u.dsc.max;
         self.inner.interact(&mut u.dsc, &mut v.dsc, rng);

@@ -33,7 +33,13 @@ pub trait SizedPayload {
     fn init(&self, estimate: u32) -> Self::PState;
 
     /// One (one-way) payload interaction under the initiator's estimate.
-    fn interact(&self, u: &mut Self::PState, v: &Self::PState, estimate: u32, rng: &mut dyn Rng);
+    fn interact<R: Rng + ?Sized>(
+        &self,
+        u: &mut Self::PState,
+        v: &Self::PState,
+        estimate: u32,
+        rng: &mut R,
+    );
 }
 
 /// State of a composed agent: counting state + payload state + the estimate
@@ -89,6 +95,9 @@ impl<P: SizedPayload> Composed<P> {
 }
 
 impl<P: SizedPayload> Protocol for Composed<P> {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = ComposedState<P::PState>;
 
     fn initial_state(&self) -> Self::State {
@@ -101,7 +110,7 @@ impl<P: SizedPayload> Protocol for Composed<P> {
         }
     }
 
-    fn interact(&self, u: &mut Self::State, v: &mut Self::State, rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut Self::State, v: &mut Self::State, rng: &mut R) {
         self.dsc.interact(&mut u.dsc, &mut v.dsc, rng);
 
         // Restart the payload when the initiator's estimate moved — the
@@ -183,7 +192,13 @@ impl SizedPayload for TimedRumor {
         }
     }
 
-    fn interact(&self, u: &mut RumorState, v: &RumorState, _estimate: u32, _rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(
+        &self,
+        u: &mut RumorState,
+        v: &RumorState,
+        _estimate: u32,
+        _rng: &mut R,
+    ) {
         if u.budget > 0 {
             u.budget -= 1;
             if v.informed {

@@ -72,6 +72,7 @@ impl DynamicSizeCounting {
     }
 
     /// The phase of `state` (paper Fig. 1).
+    #[inline]
     pub fn phase(&self, state: &DscState) -> Phase {
         Phase::of(&self.config, state)
     }
@@ -99,13 +100,23 @@ impl DynamicSizeCounting {
     /// the quantity the paper's §5 reports ("the reported estimate of an
     /// agent u is max{u.max, u.lastMax} without the overestimation
     /// applied").
+    #[inline]
     pub fn reported_estimate(&self, state: &DscState) -> u64 {
         let ovr = self.config.overestimate;
+        if ovr == 1 {
+            // The empirical configuration: descaling is the identity, and
+            // this method sits on the estimate-tracking hot path (four
+            // calls per interaction) — skip the hardware division.
+            return state.effective_max();
+        }
         (state.effective_max() + ovr / 2) / ovr
     }
 }
 
 impl Protocol for DynamicSizeCounting {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = DscState;
 
     /// Newly added agents start with `max = lastMax = 1`, `time = τ1`,
@@ -120,14 +131,23 @@ impl Protocol for DynamicSizeCounting {
         }
     }
 
-    fn interact(&self, u: &mut DscState, v: &mut DscState, rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut DscState, v: &mut DscState, rng: &mut R) {
         let c = &self.config;
         let tau1 = c.tau1 as i64;
 
+        // Phase classifications are cached, not recomputed per line: the
+        // protocol is one-way, so `v`'s phase is fixed for the whole
+        // interaction, and `u`'s phase only changes when a block actually
+        // mutates the fields it derives from (`max`, `lastMax`, `time`) —
+        // each such block refreshes `pu` below, so every comparison reads
+        // exactly the value the per-line recomputation would have.
+        let pv = self.phase(v);
+        let mut pu = self.phase(u);
+
         // Lines 2–6: wrap-around / reset→exchange / hold→exchange.
         if u.time <= 0
-            || (self.phase(u) == Phase::Reset && self.phase(v) == Phase::Exchange)
-            || (self.phase(u) != Phase::Exchange && u.max != v.max)
+            || (pu == Phase::Reset && pv == Phase::Exchange)
+            || (pu != Phase::Exchange && u.max != v.max)
         {
             let grv = c.overestimate * u64::from(grv::grv_max(c.k, rng));
             // Tuple assignment: every right-hand side reads the *old* state.
@@ -136,6 +156,7 @@ impl Protocol for DynamicSizeCounting {
             u.last_max = u.max;
             u.max = grv;
             u.ticks += 1; // reset ⇒ clock signal (Theorem 2.2)
+            pu = self.phase(u);
         }
 
         // Lines 7–10: backup GRV generation.
@@ -148,20 +169,22 @@ impl Protocol for DynamicSizeCounting {
                 u.time = tau1 * (c.overestimate * grv) as i64;
                 u.max = c.overestimate * grv;
                 u.ticks += 1; // sets max, time, interactions ⇒ also a reset
+                pu = self.phase(u);
             }
         }
 
         // Lines 11–12: exchange the maximum (both in the exchange phase).
-        if self.phase(u) == Phase::Exchange && self.phase(v) == Phase::Exchange && u.max < v.max {
+        if pu == Phase::Exchange && pv == Phase::Exchange && u.max < v.max {
             u.time = tau1 * v.max as i64;
             u.max = v.max;
             u.last_max = v.last_max;
+            pu = self.phase(u);
         }
 
         // Lines 13–14: exchange the trailing maximum — except from an
         // exchange-phase u towards a reset-phase v, which would leak the
         // previous round's value into the fresh one.
-        if u.max == v.max && !(self.phase(u) == Phase::Exchange && self.phase(v) == Phase::Reset) {
+        if u.max == v.max && !(pu == Phase::Exchange && pv == Phase::Reset) {
             u.last_max = u.last_max.max(v.last_max);
         }
 
@@ -172,16 +195,19 @@ impl Protocol for DynamicSizeCounting {
 }
 
 impl SizeEstimator for DynamicSizeCounting {
+    #[inline]
     fn estimate_log2(&self, state: &DscState) -> Option<f64> {
         Some(state.effective_max() as f64 / self.config.overestimate as f64)
     }
 
+    #[inline]
     fn estimate_bucket(&self, state: &DscState) -> Option<u32> {
         Some(self.reported_estimate(state) as u32)
     }
 }
 
 impl TickProtocol for DynamicSizeCounting {
+    #[inline]
     fn tick_count(&self, state: &DscState) -> u64 {
         state.ticks
     }

@@ -33,6 +33,7 @@ pub enum Phase {
 
 impl Phase {
     /// The phase of `state` under `config`.
+    #[inline]
     pub fn of(config: &DscConfig, state: &DscState) -> Phase {
         let e = state.effective_max() as i64;
         if state.time >= config.tau2 as i64 * e {

@@ -73,6 +73,9 @@ impl SimplifiedDynamicSizeCounting {
 }
 
 impl Protocol for SimplifiedDynamicSizeCounting {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = DscState;
 
     fn initial_state(&self) -> DscState {
@@ -85,7 +88,7 @@ impl Protocol for SimplifiedDynamicSizeCounting {
         }
     }
 
-    fn interact(&self, u: &mut DscState, v: &mut DscState, rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut DscState, v: &mut DscState, rng: &mut R) {
         let tau1 = self.config.tau1 as i64;
 
         // Lines 1–6.

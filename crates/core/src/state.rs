@@ -41,6 +41,7 @@ impl DscState {
     /// The effective maximum `max{max, lastMax}` that defines phase lengths
     /// and the reported estimate (paper §4.1: "We define all phases using
     /// whichever is larger").
+    #[inline]
     pub fn effective_max(&self) -> u64 {
         self.max.max(self.last_max)
     }

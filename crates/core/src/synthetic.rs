@@ -139,6 +139,9 @@ impl SyntheticDsc {
 }
 
 impl Protocol for SyntheticDsc {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = SyntheticState;
 
     fn initial_state(&self) -> SyntheticState {
@@ -149,7 +152,12 @@ impl Protocol for SyntheticDsc {
         }
     }
 
-    fn interact(&self, u: &mut SyntheticState, v: &mut SyntheticState, _rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(
+        &self,
+        u: &mut SyntheticState,
+        v: &mut SyntheticState,
+        _rng: &mut R,
+    ) {
         let coin = v.parity; // read the responder's parity as the flip
         u.parity = !u.parity; // toggle own parity on initiation
 

@@ -35,6 +35,12 @@ use std::fmt::Debug;
 /// can ignore it and harvest *synthetic coins* from interaction parity
 /// instead (see `pp-protocols`' coin module and the paper's §3 discussion).
 ///
+/// The RNG parameter is generic (`R: Rng + ?Sized`) so that simulator hot
+/// loops monomorphize the whole transition over the concrete generator —
+/// no vtable call per coin flip. `?Sized` keeps `&mut dyn Rng` callers
+/// working where dynamism is genuinely wanted; the price is that `Protocol`
+/// itself is not dyn-compatible (simulators are generic over `P` anyway).
+///
 /// # Examples
 ///
 /// A one-way max epidemic (Lemma 4.2 of the paper):
@@ -48,7 +54,7 @@ use std::fmt::Debug;
 /// impl Protocol for MaxEpidemic {
 ///     type State = u64;
 ///     fn initial_state(&self) -> u64 { 0 }
-///     fn interact(&self, u: &mut u64, v: &mut u64, _rng: &mut dyn Rng) {
+///     fn interact<R: Rng + ?Sized>(&self, u: &mut u64, v: &mut u64, _rng: &mut R) {
 ///         *u = (*u).max(*v);
 ///     }
 /// }
@@ -62,6 +68,17 @@ pub trait Protocol {
     /// The per-agent state.
     type State: Clone + Debug + PartialEq;
 
+    /// Asserts that [`Protocol::interact`] never mutates the responder `v`.
+    ///
+    /// The paper's protocols are all one-way; observers exploit the claim
+    /// to skip responder-side bookkeeping (for the estimate tracker, half
+    /// of its per-interaction work). The default `false` is always safe;
+    /// setting `true` for a protocol that does mutate `v` silently
+    /// desynchronizes incremental metrics, so only set it where a test
+    /// pins the one-way property (e.g. `dsc_core`'s
+    /// `responder_is_never_mutated`).
+    const ONE_WAY: bool = false;
+
     /// The state of a newly added agent.
     ///
     /// In the dynamic model of Doty & Eftekhari 2022 (adopted by the paper),
@@ -72,7 +89,7 @@ pub trait Protocol {
     ///
     /// `u` is the initiator and `v` the responder; one-way protocols only
     /// mutate `u`.
-    fn interact(&self, u: &mut Self::State, v: &mut Self::State, rng: &mut dyn Rng);
+    fn interact<R: Rng + ?Sized>(&self, u: &mut Self::State, v: &mut Self::State, rng: &mut R);
 }
 
 /// A protocol whose agents report an estimate of `log2 n`.
@@ -154,7 +171,7 @@ mod tests {
         fn initial_state(&self) -> bool {
             false
         }
-        fn interact(&self, u: &mut bool, v: &mut bool, _rng: &mut dyn Rng) {
+        fn interact<R: Rng + ?Sized>(&self, u: &mut bool, v: &mut bool, _rng: &mut R) {
             *u = *u || *v;
         }
     }

@@ -51,13 +51,16 @@ impl Chvp {
 }
 
 impl Protocol for Chvp {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = i64;
 
     fn initial_state(&self) -> i64 {
         0
     }
 
-    fn interact(&self, u: &mut i64, v: &mut i64, _rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut i64, v: &mut i64, _rng: &mut R) {
         *u = ((*u).max(*v) - 1).max(0);
     }
 }
@@ -95,13 +98,16 @@ impl BoundedChvp {
 }
 
 impl Protocol for BoundedChvp {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = u32;
 
     fn initial_state(&self) -> u32 {
         self.start
     }
 
-    fn interact(&self, u: &mut u32, v: &mut u32, _rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut u32, v: &mut u32, _rng: &mut R) {
         *u = (*u).max(*v).saturating_sub(1);
     }
 }
@@ -152,13 +158,16 @@ impl Clvp {
 }
 
 impl Protocol for Clvp {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = u32;
 
     fn initial_state(&self) -> u32 {
         0
     }
 
-    fn interact(&self, u: &mut u32, v: &mut u32, _rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut u32, v: &mut u32, _rng: &mut R) {
         *u = ((*u).min(*v) + 1).min(self.cap);
     }
 }

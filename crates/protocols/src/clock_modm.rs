@@ -82,13 +82,21 @@ impl ModMClock {
 }
 
 impl Protocol for ModMClock {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = ModClockState;
 
     fn initial_state(&self) -> ModClockState {
         ModClockState { time: 0, ticks: 0 }
     }
 
-    fn interact(&self, u: &mut ModClockState, v: &mut ModClockState, _rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(
+        &self,
+        u: &mut ModClockState,
+        v: &mut ModClockState,
+        _rng: &mut R,
+    ) {
         if v.time > u.time && v.time - u.time > self.m / 2 {
             // The responder already wrapped into the next revolution;
             // follow it across — that crossing is this agent's signal.

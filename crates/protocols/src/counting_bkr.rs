@@ -125,7 +125,7 @@ impl Protocol for BkrCounting {
         }
     }
 
-    fn interact(&self, u: &mut BkrState, v: &mut BkrState, _rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut BkrState, v: &mut BkrState, _rng: &mut R) {
         // Leader election: the initiator abdicates, the winner absorbs.
         if u.role == BkrRole::Leader && v.role == BkrRole::Leader {
             v.tokens += u.tokens;

@@ -75,6 +75,9 @@ impl De19Averaging {
 }
 
 impl Protocol for De19Averaging {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = De19State;
 
     fn initial_state(&self) -> De19State {
@@ -84,7 +87,7 @@ impl Protocol for De19Averaging {
         }
     }
 
-    fn interact(&self, u: &mut De19State, v: &mut De19State, rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut De19State, v: &mut De19State, rng: &mut R) {
         if !u.sampled {
             u.sampled = true;
             for slot in u.slots.iter_mut() {
@@ -140,18 +143,34 @@ mod tests {
     }
 
     /// The headline: averaging beats a single maximum on *additive* error.
+    ///
+    /// Reads the *continuous* per-agent estimate (`estimate_log2`), not the
+    /// integer histogram bucket: quantizing to buckets used to eat most of
+    /// the averaging advantage and made the comparison a coin flip on the
+    /// single-max's luck (an RNG-stream change flipped it once). The
+    /// deviations are averaged over 16 independent runs; a single max of n
+    /// GRVs has constant-order deviation (~1.4 mean absolute) while the
+    /// 32-slot average concentrates within ~1/√32 of the extreme-value
+    /// center, so the margin here is structural, not seed luck.
     #[test]
     fn averaging_tightens_the_estimate() {
         let n = 4_096; // log2 = 12
         let log_n = (n as f64).log2();
         let spread_of = |slots: u32, seed: u64| {
-            // Estimate deviation across independent runs.
+            // Mean absolute deviation across independent runs.
             let mut devs = Vec::new();
-            for s in 0..6 {
-                let mut sim = Simulator::tracked(De19Averaging::new(slots), n, seed + s);
+            for s in 0..16 {
+                let p = De19Averaging::new(slots);
+                let mut sim = Simulator::with_seed(p, n, seed + s);
                 sim.run_parallel_time(80.0);
-                let est = sim.observer().histogram().summary().unwrap().median;
-                devs.push((est - log_n).abs());
+                let mut ests: Vec<f64> = sim
+                    .states()
+                    .iter()
+                    .filter_map(|st| sim.protocol().estimate_log2(st))
+                    .collect();
+                ests.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let median = ests[ests.len() / 2];
+                devs.push((median - log_n).abs());
             }
             devs.iter().sum::<f64>() / devs.len() as f64
         };

@@ -119,13 +119,16 @@ impl De22Counting {
 }
 
 impl Protocol for De22Counting {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = De22State;
 
     fn initial_state(&self) -> De22State {
         De22State::default()
     }
 
-    fn interact(&self, u: &mut De22State, v: &mut De22State, rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut De22State, v: &mut De22State, rng: &mut R) {
         // Age and min-propagate: v's knowledge of "value seen recently"
         // flows to u; entries beyond either list count as expired.
         let new_len = u.timers.len().max(v.timers.len());

@@ -62,6 +62,9 @@ impl StaticGrvCounting {
 }
 
 impl Protocol for StaticGrvCounting {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = StaticGrvState;
 
     fn initial_state(&self) -> StaticGrvState {
@@ -71,7 +74,12 @@ impl Protocol for StaticGrvCounting {
         }
     }
 
-    fn interact(&self, u: &mut StaticGrvState, v: &mut StaticGrvState, rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(
+        &self,
+        u: &mut StaticGrvState,
+        v: &mut StaticGrvState,
+        rng: &mut R,
+    ) {
         if !u.sampled {
             u.sampled = true;
             u.max = u.max.max(grv::grv_max(self.k, rng));

@@ -93,7 +93,7 @@ impl Protocol for Detection {
         DetectState::Counter(0)
     }
 
-    fn interact(&self, u: &mut DetectState, v: &mut DetectState, _rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut DetectState, v: &mut DetectState, _rng: &mut R) {
         let w = (u.value().min(v.value()) + 1).min(self.ceiling);
         if let DetectState::Counter(_) = u {
             *u = DetectState::Counter(w);

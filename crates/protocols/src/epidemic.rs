@@ -37,13 +37,16 @@ impl MaxEpidemic {
 }
 
 impl Protocol for MaxEpidemic {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = u64;
 
     fn initial_state(&self) -> u64 {
         0
     }
 
-    fn interact(&self, u: &mut u64, v: &mut u64, _rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut u64, v: &mut u64, _rng: &mut R) {
         *u = (*u).max(*v);
     }
 }
@@ -74,13 +77,16 @@ impl Infection {
 }
 
 impl Protocol for Infection {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = bool;
 
     fn initial_state(&self) -> bool {
         false
     }
 
-    fn interact(&self, u: &mut bool, v: &mut bool, _rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut bool, v: &mut bool, _rng: &mut R) {
         *u = *u || *v;
     }
 }
@@ -128,13 +134,16 @@ impl BoundedMaxEpidemic {
 }
 
 impl Protocol for BoundedMaxEpidemic {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = u32;
 
     fn initial_state(&self) -> u32 {
         0
     }
 
-    fn interact(&self, u: &mut u32, v: &mut u32, _rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut u32, v: &mut u32, _rng: &mut R) {
         *u = (*u).max(*v).min(self.bound);
     }
 }

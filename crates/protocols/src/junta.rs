@@ -51,6 +51,9 @@ impl JuntaElection {
 }
 
 impl Protocol for JuntaElection {
+    // One-way (paper model): `interact` never mutates the responder.
+    const ONE_WAY: bool = true;
+
     type State = JuntaState;
 
     fn initial_state(&self) -> JuntaState {
@@ -60,7 +63,7 @@ impl Protocol for JuntaElection {
         }
     }
 
-    fn interact(&self, u: &mut JuntaState, v: &mut JuntaState, rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut JuntaState, v: &mut JuntaState, rng: &mut R) {
         if u.level.is_none() {
             let level = grv::geometric(rng);
             u.level = Some(level);

@@ -53,7 +53,7 @@ impl Protocol for LeaderElection {
         true
     }
 
-    fn interact(&self, u: &mut bool, v: &mut bool, _rng: &mut dyn Rng) {
+    fn interact<R: Rng + ?Sized>(&self, u: &mut bool, v: &mut bool, _rng: &mut R) {
         if *u && *v {
             *u = false;
         }

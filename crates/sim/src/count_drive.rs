@@ -1,0 +1,321 @@
+//! Count-based sweep cells: drive [`CountSimulator`] / [`JumpSimulator`]
+//! through the same horizon / snapshot-grid / adversary-schedule contract
+//! as the agent-array [`Experiment`](crate::Experiment).
+//!
+//! The paper's own protocol has unbounded state space and needs the agent
+//! array, but its *substrates* (epidemics, bounded CHVP, detection) are
+//! finite-state: a sweep cell over state counts runs in O(#states) memory
+//! and O(#occupied) per interaction, so lemma-validation experiments reach
+//! populations the agent array cannot hold. Snapshots are built directly
+//! from the state counts ([`EstimateHistogram::add_many`]), so a snapshot
+//! costs O(#states) regardless of `n`.
+
+use crate::adversary::{AdversarySchedule, PopulationEvent};
+use crate::count_sim::CountSimulator;
+use crate::experiment::{drive_schedule, DrivableSim};
+use crate::histogram::EstimateHistogram;
+use crate::jump_sim::JumpSimulator;
+use crate::series::{EstimateSummary, RunResult, Snapshot};
+use pp_model::{DeterministicProtocol, FiniteProtocol, SizeEstimator};
+
+/// One fully specified count-based run (a sweep task).
+pub(crate) struct CountRunSpec<'a> {
+    pub n: u64,
+    pub seed: u64,
+    pub horizon: f64,
+    pub snapshot_every: f64,
+    pub schedule: &'a AdversarySchedule,
+    /// Explicit initial per-state counts (fresh initialization when absent).
+    pub init: Option<Vec<u64>>,
+}
+
+/// Five-number summary of the estimates implied by per-state counts.
+fn summarize<P>(protocol: &P, counts: &[u64]) -> Option<EstimateSummary>
+where
+    P: FiniteProtocol + SizeEstimator,
+{
+    let mut hist = EstimateHistogram::new();
+    for (idx, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            hist.add_many(protocol.estimate_bucket(&protocol.state_from_index(idx)), c);
+        }
+    }
+    hist.summary()
+}
+
+/// The adversarial removal mode on counts: empty the highest-estimate
+/// states first (agents without an estimate sort lowest and go last),
+/// mirroring `Simulator::remove_largest_estimates`.
+fn remove_largest_estimates<P>(sim: &mut CountSimulator<P>, count: u64)
+where
+    P: FiniteProtocol + SizeEstimator,
+{
+    assert!(
+        count <= sim.population(),
+        "cannot remove {count} of {} agents",
+        sim.population()
+    );
+    let mut order: Vec<usize> = (0..sim.protocol().num_states()).collect();
+    order.sort_by(|&a, &b| {
+        let ea = sim
+            .protocol()
+            .estimate_log2(&sim.protocol().state_from_index(a));
+        let eb = sim
+            .protocol()
+            .estimate_log2(&sim.protocol().state_from_index(b));
+        eb.partial_cmp(&ea).expect("non-NaN estimates")
+    });
+    let mut left = count;
+    for idx in order {
+        if left == 0 {
+            break;
+        }
+        let have = sim.count(idx);
+        let take = have.min(left);
+        if take > 0 {
+            sim.set_count(idx, have - take);
+            left -= take;
+        }
+    }
+    debug_assert_eq!(left, 0);
+}
+
+/// Adapts a [`CountSimulator`] to the shared schedule driver, so counted
+/// cells execute exactly `experiment::drive_schedule`'s boundary and
+/// event-ordering semantics.
+struct CountDriver<'a, P: FiniteProtocol + SizeEstimator> {
+    sim: &'a mut CountSimulator<P>,
+}
+
+impl<P: FiniteProtocol + SizeEstimator> DrivableSim for CountDriver<'_, P> {
+    fn parallel_time(&self) -> f64 {
+        self.sim.parallel_time()
+    }
+    fn run_parallel_time(&mut self, duration: f64) {
+        self.sim.run_parallel_time(duration);
+    }
+    fn apply_event(&mut self, event: PopulationEvent) {
+        match event {
+            PopulationEvent::ResizeTo(target) => self.sim.resize_to(target as u64),
+            PopulationEvent::Add(count) => self.sim.add_agents(count as u64),
+            PopulationEvent::RemoveUniform(count) => self.sim.remove_uniform(count as u64),
+            PopulationEvent::RemoveLargestEstimates(count) => {
+                remove_largest_estimates(self.sim, count as u64)
+            }
+        }
+    }
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            parallel_time: self.sim.parallel_time(),
+            interactions: self.sim.interactions(),
+            n: self.sim.population() as usize,
+            estimates: summarize(self.sim.protocol(), self.sim.counts()),
+            memory: None,
+        }
+    }
+}
+
+/// Runs one count-based cell through the shared schedule driver.
+pub(crate) fn run_counted_cell<P>(protocol: P, spec: &CountRunSpec<'_>) -> RunResult
+where
+    P: FiniteProtocol + SizeEstimator,
+{
+    let mut sim = match &spec.init {
+        Some(counts) => CountSimulator::from_counts(protocol, counts.clone(), spec.seed),
+        None => CountSimulator::with_seed(protocol, spec.n, spec.seed),
+    };
+    debug_assert_eq!(sim.population(), spec.n, "init counts must sum to n");
+    let snapshots = drive_schedule(
+        &mut CountDriver { sim: &mut sim },
+        spec.horizon,
+        spec.snapshot_every,
+        spec.schedule,
+    );
+    let final_n = sim.population() as usize;
+    RunResult {
+        seed: spec.seed,
+        snapshots,
+        ticks: Vec::new(),
+        final_n,
+    }
+}
+
+/// Runs one event-jump cell (static schedules only): no-op runs are skipped
+/// in closed form, so late-epidemic horizons cost only their effective
+/// interactions. Snapshot boundaries crossed inside a jump record the
+/// pre-jump configuration — exactly the configuration the model holds at
+/// that instant, since skipped interactions change nothing — with the
+/// interaction count the boundary time implies (`t·n`).
+pub(crate) fn run_jumped_cell<P>(protocol: P, spec: &CountRunSpec<'_>) -> RunResult
+where
+    P: DeterministicProtocol + SizeEstimator,
+{
+    let (n, seed) = (spec.n, spec.seed);
+    let (horizon, snapshot_every) = (spec.horizon, spec.snapshot_every);
+    let mut sim = match &spec.init {
+        Some(counts) => JumpSimulator::from_counts(protocol, counts.clone(), seed),
+        None => JumpSimulator::with_seed(protocol, n, seed),
+    };
+    debug_assert_eq!(sim.population(), n, "init counts must sum to n");
+    let snap = |t: f64, interactions: u64, counts: &[u64], p: &P| Snapshot {
+        parallel_time: t,
+        interactions,
+        n: n as usize,
+        estimates: summarize(p, counts),
+        memory: None,
+    };
+    let mut snapshots = Vec::with_capacity((horizon / snapshot_every) as usize + 2);
+    {
+        let (p, c) = (sim.protocol(), sim.counts());
+        snapshots.push(snap(0.0, 0, c, p));
+    }
+    let mut next_snapshot = snapshot_every;
+    while sim.parallel_time() < horizon {
+        let before = sim.counts().to_vec();
+        let advanced = sim.step_event();
+        let now = if advanced {
+            sim.parallel_time()
+        } else {
+            horizon
+        };
+        // Fill every grid point the jump (or quiescence) carried us past
+        // with the configuration that was current during that span.
+        while next_snapshot <= now.min(horizon) + 1e-12 {
+            let implied = (next_snapshot * n as f64).round() as u64;
+            snapshots.push(snap(next_snapshot, implied, &before, sim.protocol()));
+            next_snapshot += snapshot_every;
+        }
+        if !advanced {
+            break;
+        }
+    }
+    RunResult {
+        seed,
+        snapshots,
+        ticks: Vec::new(),
+        final_n: n as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_model::Protocol;
+    use rand::Rng;
+
+    /// Binary OR-infection fixture; infected agents report estimate 1.
+    #[derive(Clone)]
+    struct Or;
+    impl Protocol for Or {
+        type State = bool;
+        fn initial_state(&self) -> bool {
+            false
+        }
+        fn interact<R: Rng + ?Sized>(&self, u: &mut bool, v: &mut bool, _: &mut R) {
+            *u = *u || *v;
+        }
+    }
+    impl FiniteProtocol for Or {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_index(&self, s: &bool) -> usize {
+            usize::from(*s)
+        }
+        fn state_from_index(&self, i: usize) -> bool {
+            i == 1
+        }
+    }
+    impl SizeEstimator for Or {
+        fn estimate_log2(&self, s: &bool) -> Option<f64> {
+            s.then_some(1.0)
+        }
+    }
+    impl DeterministicProtocol for Or {}
+
+    #[test]
+    fn counted_cell_snapshots_land_on_grid() {
+        let spec = CountRunSpec {
+            n: 100,
+            seed: 1,
+            horizon: 10.0,
+            snapshot_every: 1.0,
+            schedule: &AdversarySchedule::new(),
+            init: None,
+        };
+        let r = run_counted_cell(Or, &spec);
+        assert_eq!(r.snapshots.len(), 11);
+        assert_eq!(r.final_n, 100);
+        for (i, s) in r.snapshots.iter().enumerate() {
+            assert!((s.parallel_time - i as f64).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn counted_cell_applies_adversary_events() {
+        let schedule = AdversarySchedule::new().at(3.0, PopulationEvent::ResizeTo(10));
+        let spec = CountRunSpec {
+            n: 200,
+            seed: 2,
+            horizon: 6.0,
+            snapshot_every: 1.0,
+            schedule: &schedule,
+            init: None,
+        };
+        let r = run_counted_cell(Or, &spec);
+        assert_eq!(r.final_n, 10);
+        assert_eq!(r.snapshot_at(2.0).n, 200);
+        assert_eq!(r.snapshot_at(5.0).n, 10);
+    }
+
+    #[test]
+    fn remove_largest_estimates_empties_top_states_first() {
+        let mut sim = CountSimulator::from_counts(Or, vec![5, 3], 3);
+        remove_largest_estimates(&mut sim, 4);
+        // The 3 infected (estimate 1) go first, then 1 susceptible (None).
+        assert_eq!(sim.count(1), 0);
+        assert_eq!(sim.count(0), 4);
+    }
+
+    #[test]
+    fn jumped_quiescent_run_fills_the_grid() {
+        // Fresh init for Or is all-susceptible: quiescent from the start.
+        let n = 1_000_000u64;
+        let spec = CountRunSpec {
+            n,
+            seed: 7,
+            horizon: 5.0,
+            snapshot_every: 1.0,
+            schedule: &AdversarySchedule::new(),
+            init: None,
+        };
+        let r = run_jumped_cell(Or, &spec);
+        assert_eq!(r.snapshots.len(), 6, "quiescent run still fills the grid");
+        assert!(r.snapshots.iter().all(|s| s.estimates.is_none()));
+        assert_eq!(r.snapshots[3].interactions, 3 * n);
+    }
+
+    #[test]
+    fn jumped_epidemic_completes_at_agent_array_hostile_scale() {
+        // One infected among a million: the jump chain materializes only
+        // the n − 1 effective interactions, so this finishes instantly.
+        let n = 1_000_000u64;
+        let spec = CountRunSpec {
+            n,
+            seed: 9,
+            horizon: 60.0,
+            snapshot_every: 10.0,
+            schedule: &AdversarySchedule::new(),
+            init: Some(vec![n - 1, 1]),
+        };
+        let r = run_jumped_cell(Or, &spec);
+        let last = r.snapshots.last().unwrap().estimates.unwrap();
+        assert_eq!(last.min, 1.0, "epidemic must have reached everyone");
+        assert_eq!(last.without_estimate, 0);
+        // Early snapshots still show susceptible agents.
+        assert!(
+            r.snapshots[0].estimates.is_none()
+                || r.snapshots[0].estimates.unwrap().without_estimate > 0
+        );
+    }
+}

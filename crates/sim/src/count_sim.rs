@@ -4,16 +4,20 @@
 //! CHVP), the configuration is fully described by one counter per state.
 //! [`CountSimulator`] samples each interaction directly from the counters —
 //! exactly the same distribution as the agent-array simulator, verified by
-//! cross-checking integration tests — with O(#states) work per interaction
-//! and O(#states) memory regardless of `n`. This enables validating the
-//! paper's substrate lemmas (4.2–4.4) at populations far beyond what an
-//! agent array would hold.
+//! cross-checking integration tests — with O(#occupied states) work per
+//! interaction and O(#states) memory regardless of `n`. This enables
+//! validating the paper's substrate lemmas (4.2–4.4) at populations far
+//! beyond what an agent array would hold.
 
 use pp_model::FiniteProtocol;
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, RngExt, SeedableRng};
 
 /// An execution of a finite-state protocol represented by state counts.
+///
+/// The generator type parameter `R` defaults to [`SmallRng`]; tests inject
+/// an instrumented RNG via [`CountSimulator::from_counts_with_rng`] to pin
+/// down the exact number of random words a step consumes.
 ///
 /// # Examples
 ///
@@ -26,7 +30,7 @@ use rand::{RngExt, SeedableRng};
 /// impl Protocol for Or {
 ///     type State = bool;
 ///     fn initial_state(&self) -> bool { false }
-///     fn interact(&self, u: &mut bool, v: &mut bool, _: &mut dyn Rng) { *u = *u || *v; }
+///     fn interact<R: Rng + ?Sized>(&self, u: &mut bool, v: &mut bool, _: &mut R) { *u = *u || *v; }
 /// }
 /// impl FiniteProtocol for Or {
 ///     fn num_states(&self) -> usize { 2 }
@@ -41,22 +45,28 @@ use rand::{RngExt, SeedableRng};
 /// assert_eq!(sim.count(1), 10_000);
 /// ```
 #[derive(Debug)]
-pub struct CountSimulator<P: FiniteProtocol> {
+pub struct CountSimulator<P: FiniteProtocol, R: Rng = SmallRng> {
     protocol: P,
     counts: Vec<u64>,
     n: u64,
-    rng: SmallRng,
+    rng: R,
     interactions: u64,
     parallel_time: f64,
+    /// Exclusive upper bound on occupied state indices; bounds the
+    /// weighted-sampling scan. Grows eagerly when a state becomes
+    /// occupied and shrinks lazily when the top states empty out.
+    occupied_hi: usize,
 }
 
-impl<P: FiniteProtocol> CountSimulator<P> {
+impl<P: FiniteProtocol> CountSimulator<P, SmallRng> {
     /// Creates a simulator of `n` agents in the protocol's initial state.
     pub fn with_seed(protocol: P, n: u64, seed: u64) -> Self {
         let mut counts = vec![0u64; protocol.num_states()];
+        let mut occupied_hi = 0;
         if n > 0 {
             let init = protocol.state_index(&protocol.initial_state());
             counts[init] = n;
+            occupied_hi = init + 1;
         }
         CountSimulator {
             protocol,
@@ -65,6 +75,7 @@ impl<P: FiniteProtocol> CountSimulator<P> {
             rng: SmallRng::seed_from_u64(seed),
             interactions: 0,
             parallel_time: 0.0,
+            occupied_hi,
         }
     }
 
@@ -74,19 +85,33 @@ impl<P: FiniteProtocol> CountSimulator<P> {
     ///
     /// Panics if `counts.len() != protocol.num_states()`.
     pub fn from_counts(protocol: P, counts: Vec<u64>, seed: u64) -> Self {
+        Self::from_counts_with_rng(protocol, counts, SmallRng::seed_from_u64(seed))
+    }
+}
+
+impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
+    /// Creates a simulator from explicit per-state counts and an explicit
+    /// generator (the instrumentation entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != protocol.num_states()`.
+    pub fn from_counts_with_rng(protocol: P, counts: Vec<u64>, rng: R) -> Self {
         assert_eq!(
             counts.len(),
             protocol.num_states(),
             "counts must cover every state"
         );
         let n = counts.iter().sum();
+        let occupied_hi = counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
         CountSimulator {
             protocol,
             counts,
             n,
-            rng: SmallRng::seed_from_u64(seed),
+            rng,
             interactions: 0,
             parallel_time: 0.0,
+            occupied_hi,
         }
     }
 
@@ -115,15 +140,27 @@ impl<P: FiniteProtocol> CountSimulator<P> {
         self.counts[i]
     }
 
+    /// The simulator's generator (read-only; instrumented RNGs injected via
+    /// [`CountSimulator::from_counts_with_rng`] expose their counters here).
+    pub fn rng(&self) -> &R {
+        &self.rng
+    }
+
     /// All per-state counts.
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
 
     /// Overwrites the count of state `i` (population setup).
+    ///
+    /// O(1): the population total is adjusted by the delta instead of
+    /// re-summing every state.
     pub fn set_count(&mut self, i: usize, count: u64) {
+        self.n = self.n - self.counts[i] + count;
         self.counts[i] = count;
-        self.n = self.counts.iter().sum();
+        if count > 0 {
+            self.occupied_hi = self.occupied_hi.max(i + 1);
+        }
     }
 
     /// Smallest state index with a nonzero count.
@@ -133,14 +170,25 @@ impl<P: FiniteProtocol> CountSimulator<P> {
 
     /// Largest state index with a nonzero count.
     pub fn max_occupied(&self) -> Option<usize> {
-        self.counts.iter().rposition(|&c| c > 0)
+        self.counts[..self.occupied_hi].iter().rposition(|&c| c > 0)
     }
 
     /// Draws a state index weighted by `counts`, given their current total.
+    ///
+    /// The scan is bounded by the tracked occupied range, not the full
+    /// state space — for a protocol like bounded CHVP whose occupation
+    /// collapses to a narrow band, this is the difference between
+    /// O(#states) and O(#occupied) per interaction.
+    #[inline]
     fn sample_state(&mut self, total: u64) -> usize {
         debug_assert!(total > 0);
+        // Lazily tighten the bound: decrements in `step` may have emptied
+        // the top of the range.
+        while self.occupied_hi > 0 && self.counts[self.occupied_hi - 1] == 0 {
+            self.occupied_hi -= 1;
+        }
         let mut r = self.rng.random_range(0..total);
-        for (i, &c) in self.counts.iter().enumerate() {
+        for (i, &c) in self.counts[..self.occupied_hi].iter().enumerate() {
             if r < c {
                 return i;
             }
@@ -163,8 +211,11 @@ impl<P: FiniteProtocol> CountSimulator<P> {
         let mut u = self.protocol.state_from_index(si);
         let mut v = self.protocol.state_from_index(sj);
         self.protocol.interact(&mut u, &mut v, &mut self.rng);
-        self.counts[self.protocol.state_index(&u)] += 1;
-        self.counts[self.protocol.state_index(&v)] += 1;
+        let oi = self.protocol.state_index(&u);
+        let oj = self.protocol.state_index(&v);
+        self.counts[oi] += 1;
+        self.counts[oj] += 1;
+        self.occupied_hi = self.occupied_hi.max(oi.max(oj) + 1);
         self.interactions += 1;
         self.parallel_time += 1.0 / self.n as f64;
     }
@@ -177,10 +228,81 @@ impl<P: FiniteProtocol> CountSimulator<P> {
     }
 
     /// Runs for `duration` units of parallel time.
+    ///
+    /// With a population of fewer than two agents, time passes without
+    /// interactions (matching the agent-array simulator's convention).
     pub fn run_parallel_time(&mut self, duration: f64) {
         let target = self.parallel_time + duration;
+        if self.n < 2 {
+            self.parallel_time = target;
+            return;
+        }
         while self.parallel_time < target {
             self.step();
+        }
+    }
+
+    /// Adds `count` agents in the protocol's initial state (the dynamic
+    /// adversary's *add*).
+    pub fn add_agents(&mut self, count: u64) {
+        let init = self.protocol.state_index(&self.protocol.initial_state());
+        self.counts[init] += count;
+        self.n += count;
+        self.occupied_hi = self.occupied_hi.max(init + 1);
+    }
+
+    /// Removes `count` agents chosen uniformly at random (weighted state
+    /// sampling — the count representation of uniform agent removal).
+    ///
+    /// Cost is O(min(count, n − count)) draws: removing `count` agents
+    /// uniformly without replacement is the same distribution as choosing
+    /// the `n − count` *survivors* uniformly without replacement, so a
+    /// near-total crash (the paper's Fig. 4 removes all but 500 of 10⁶)
+    /// samples the survivors instead of performing ~n removal draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the population size.
+    pub fn remove_uniform(&mut self, count: u64) {
+        assert!(
+            count <= self.n,
+            "cannot remove {count} of {} agents",
+            self.n
+        );
+        let keep = self.n - count;
+        if count <= keep {
+            for _ in 0..count {
+                let si = self.sample_state(self.n);
+                self.counts[si] -= 1;
+                self.n -= 1;
+            }
+        } else {
+            // Draw the survivors without replacement from the current
+            // configuration, then swap the survivor counts in.
+            let mut survivors = vec![0u64; self.counts.len()];
+            for _ in 0..keep {
+                let si = self.sample_state(self.n);
+                self.counts[si] -= 1;
+                self.n -= 1;
+                survivors[si] += 1;
+            }
+            self.counts = survivors;
+            self.n = keep;
+            self.occupied_hi = self
+                .counts
+                .iter()
+                .rposition(|&c| c > 0)
+                .map_or(0, |i| i + 1);
+        }
+    }
+
+    /// Resizes the population to `target`: grows with fresh agents or
+    /// shrinks by uniform removal.
+    pub fn resize_to(&mut self, target: u64) {
+        if target > self.n {
+            self.add_agents(target - self.n);
+        } else {
+            self.remove_uniform(self.n - target);
         }
     }
 }
@@ -197,7 +319,7 @@ mod tests {
         fn initial_state(&self) -> bool {
             false
         }
-        fn interact(&self, u: &mut bool, v: &mut bool, _: &mut dyn Rng) {
+        fn interact<R: Rng + ?Sized>(&self, u: &mut bool, v: &mut bool, _: &mut R) {
             *u = *u || *v;
         }
     }
@@ -211,6 +333,45 @@ mod tests {
         fn state_from_index(&self, i: usize) -> bool {
             i == 1
         }
+    }
+
+    /// An RNG wrapper counting the 64-bit words drawn through it.
+    struct CountingRng {
+        inner: SmallRng,
+        words: u64,
+    }
+
+    impl CountingRng {
+        fn seeded(seed: u64) -> Self {
+            CountingRng {
+                inner: SmallRng::seed_from_u64(seed),
+                words: 0,
+            }
+        }
+    }
+
+    impl Rng for CountingRng {
+        fn next_u64(&mut self) -> u64 {
+            self.words += 1;
+            self.inner.next_u64()
+        }
+    }
+
+    /// Regression guard for the per-step randomness budget: one step of an
+    /// RNG-free protocol draws exactly two words (one weighted state draw
+    /// for the initiator, one for the responder). Lemire rejection could in
+    /// principle add retries, but its per-draw probability is `total/2^64`
+    /// and the seed is fixed, so the count is deterministic. If this test
+    /// starts failing after an engine change, the change altered how much
+    /// randomness a step consumes — which silently breaks every recorded
+    /// trace — so account for it deliberately, don't just bump the number.
+    #[test]
+    fn step_consumes_exactly_two_rng_words() {
+        let steps = 1_000u64;
+        let mut sim =
+            CountSimulator::from_counts_with_rng(Or, vec![600, 400], CountingRng::seeded(12));
+        sim.step_n(steps);
+        assert_eq!(sim.rng().words, 2 * steps);
     }
 
     #[test]
@@ -248,6 +409,43 @@ mod tests {
         sim.set_count(1, 2);
         assert_eq!(sim.max_occupied(), Some(1));
         assert_eq!(sim.population(), 5);
+    }
+
+    #[test]
+    fn set_count_adjusts_population_incrementally() {
+        let mut sim = CountSimulator::from_counts(Or, vec![10, 5], 11);
+        sim.set_count(0, 3); // shrink
+        assert_eq!(sim.population(), 8);
+        sim.set_count(1, 50); // grow
+        assert_eq!(sim.population(), 53);
+        sim.set_count(1, 0); // empty the top state
+        assert_eq!(sim.population(), 3);
+        assert_eq!(sim.max_occupied(), Some(0), "bound tightens past zeros");
+    }
+
+    #[test]
+    fn near_total_removal_samples_survivors() {
+        // Removing all but 10 of a million must cost ~10 draws, not ~10^6
+        // (the count representation of the paper's Fig. 4 crash).
+        let mut sim = CountSimulator::from_counts(Or, vec![500_000, 500_000], 21);
+        sim.remove_uniform(999_990);
+        assert_eq!(sim.population(), 10);
+        assert_eq!(sim.counts().iter().sum::<u64>(), 10);
+        // With a 50/50 configuration the survivors almost surely straddle
+        // both states less often than not — just check bounds invariants.
+        assert!(sim.max_occupied().is_some());
+        sim.set_count(0, sim.count(0)); // no-op; exercises bound upkeep
+        assert_eq!(sim.population(), 10);
+    }
+
+    #[test]
+    fn small_and_survivor_removal_branches_conserve_population() {
+        let mut sim = CountSimulator::from_counts(Or, vec![60, 40], 22);
+        sim.remove_uniform(30); // small branch (30 <= 70 kept)
+        assert_eq!(sim.population(), 70);
+        sim.remove_uniform(60); // survivor branch (keep 10 < remove 60)
+        assert_eq!(sim.population(), 10);
+        assert_eq!(sim.counts().iter().sum::<u64>(), 10);
     }
 
     #[test]

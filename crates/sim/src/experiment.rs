@@ -44,7 +44,7 @@ impl<S> std::fmt::Debug for InitMode<S> {
 /// # impl Protocol for Max {
 /// #     type State = u32;
 /// #     fn initial_state(&self) -> u32 { 1 }
-/// #     fn interact(&self, u: &mut u32, v: &mut u32, _: &mut dyn Rng) { *u = (*u).max(*v); }
+/// #     fn interact<R: Rng + ?Sized>(&self, u: &mut u32, v: &mut u32, _: &mut R) { *u = (*u).max(*v); }
 /// # }
 /// # impl SizeEstimator for Max {
 /// #     fn estimate_log2(&self, s: &u32) -> Option<f64> { Some(*s as f64) }
@@ -255,34 +255,43 @@ where
     }
 }
 
+/// The minimal simulator interface [`drive_schedule`] needs: clock access,
+/// advancing by parallel time, applying an adversary event, and taking a
+/// snapshot. Implemented for the agent-array simulator here and for the
+/// count-based simulator in `count_drive`, so both execute the *same*
+/// boundary/ordering/tolerance semantics for a given schedule.
+pub(crate) trait DrivableSim {
+    /// Parallel time elapsed.
+    fn parallel_time(&self) -> f64;
+    /// Advances by `duration` units of parallel time.
+    fn run_parallel_time(&mut self, duration: f64);
+    /// Applies one adversary event.
+    fn apply_event(&mut self, event: PopulationEvent);
+    /// Snapshots the current configuration.
+    fn snapshot(&self) -> Snapshot;
+}
+
 /// Shared run loop: advances the simulator between snapshot and event
 /// boundaries, applying events in order and snapshotting on the grid.
-fn drive<P, O>(
-    sim: &mut Simulator<P, O>,
+///
+/// This is the single source of truth for schedule semantics (time-zero
+/// events fire before the first step; events apply the moment the clock
+/// passes them; snapshots land on the grid within a 1e-12 tolerance) —
+/// agent-array experiments and count-based sweep cells both run through
+/// it, which keeps the two paths cross-checkable.
+pub(crate) fn drive_schedule<S: DrivableSim>(
+    sim: &mut S,
     horizon: f64,
     snapshot_every: f64,
     schedule: &AdversarySchedule,
-    summarize: impl Fn(&Simulator<P, O>) -> Option<crate::series::EstimateSummary>,
-    memory: impl Fn(&Simulator<P, O>) -> Option<MemorySummary>,
-) -> Vec<Snapshot>
-where
-    P: SizeEstimator,
-    O: Observer<P>,
-{
+) -> Vec<Snapshot> {
     let mut snapshots = Vec::with_capacity((horizon / snapshot_every) as usize + 2);
     let mut next_event = 0usize;
-    let take = |sim: &Simulator<P, O>| Snapshot {
-        parallel_time: sim.parallel_time(),
-        interactions: sim.interactions(),
-        n: sim.population(),
-        estimates: summarize(sim),
-        memory: memory(sim),
-    };
-    snapshots.push(take(sim));
+    snapshots.push(sim.snapshot());
     let mut next_snapshot = snapshot_every;
     // Fire any events scheduled at time zero before the first step.
     while schedule.next_time(next_event).is_some_and(|t| t <= 0.0) {
-        apply_event(sim, schedule.events()[next_event].event);
+        sim.apply_event(schedule.events()[next_event].event);
         next_event += 1;
     }
     while sim.parallel_time() < horizon {
@@ -296,28 +305,80 @@ where
             .next_time(next_event)
             .is_some_and(|t| t <= sim.parallel_time())
         {
-            apply_event(sim, schedule.events()[next_event].event);
+            sim.apply_event(schedule.events()[next_event].event);
             next_event += 1;
         }
         if sim.parallel_time() + 1e-12 >= next_snapshot {
-            snapshots.push(take(sim));
+            snapshots.push(sim.snapshot());
             next_snapshot += snapshot_every;
         }
     }
     snapshots
 }
 
-fn apply_event<P, O>(sim: &mut Simulator<P, O>, event: PopulationEvent)
+/// Adapts a [`Simulator`] plus its snapshot readouts to [`DrivableSim`].
+struct SimDriver<'a, P, O, F1, F2>
 where
     P: SizeEstimator,
     O: Observer<P>,
 {
-    match event {
-        PopulationEvent::ResizeTo(target) => sim.resize_to(target),
-        PopulationEvent::Add(count) => sim.add_agents(count),
-        PopulationEvent::RemoveUniform(count) => sim.remove_uniform(count),
-        PopulationEvent::RemoveLargestEstimates(count) => sim.remove_largest_estimates(count),
+    sim: &'a mut Simulator<P, O>,
+    summarize: F1,
+    memory: F2,
+}
+
+impl<P, O, F1, F2> DrivableSim for SimDriver<'_, P, O, F1, F2>
+where
+    P: SizeEstimator,
+    O: Observer<P>,
+    F1: Fn(&Simulator<P, O>) -> Option<crate::series::EstimateSummary>,
+    F2: Fn(&Simulator<P, O>) -> Option<MemorySummary>,
+{
+    fn parallel_time(&self) -> f64 {
+        self.sim.parallel_time()
     }
+    fn run_parallel_time(&mut self, duration: f64) {
+        self.sim.run_parallel_time(duration);
+    }
+    fn apply_event(&mut self, event: PopulationEvent) {
+        match event {
+            PopulationEvent::ResizeTo(target) => self.sim.resize_to(target),
+            PopulationEvent::Add(count) => self.sim.add_agents(count),
+            PopulationEvent::RemoveUniform(count) => self.sim.remove_uniform(count),
+            PopulationEvent::RemoveLargestEstimates(count) => {
+                self.sim.remove_largest_estimates(count)
+            }
+        }
+    }
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            parallel_time: self.sim.parallel_time(),
+            interactions: self.sim.interactions(),
+            n: self.sim.population(),
+            estimates: (self.summarize)(self.sim),
+            memory: (self.memory)(self.sim),
+        }
+    }
+}
+
+fn drive<P, O>(
+    sim: &mut Simulator<P, O>,
+    horizon: f64,
+    snapshot_every: f64,
+    schedule: &AdversarySchedule,
+    summarize: impl Fn(&Simulator<P, O>) -> Option<crate::series::EstimateSummary>,
+    memory: impl Fn(&Simulator<P, O>) -> Option<MemorySummary>,
+) -> Vec<Snapshot>
+where
+    P: SizeEstimator,
+    O: Observer<P>,
+{
+    let mut driver = SimDriver {
+        sim,
+        summarize,
+        memory,
+    };
+    drive_schedule(&mut driver, horizon, snapshot_every, schedule)
 }
 
 #[cfg(test)]
@@ -333,7 +394,7 @@ mod tests {
         fn initial_state(&self) -> u32 {
             1
         }
-        fn interact(&self, u: &mut u32, v: &mut u32, _: &mut dyn Rng) {
+        fn interact<R: Rng + ?Sized>(&self, u: &mut u32, v: &mut u32, _: &mut R) {
             *u = (*u).max(*v);
         }
     }

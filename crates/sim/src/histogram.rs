@@ -39,6 +39,7 @@ impl EstimateHistogram {
     }
 
     /// Records one agent with the given estimate bucket.
+    #[inline]
     pub fn add(&mut self, bucket: Option<u32>) {
         match bucket {
             Some(b) => {
@@ -53,12 +54,29 @@ impl EstimateHistogram {
         }
     }
 
+    /// Records `count` agents with the given estimate bucket at once (the
+    /// count-based fast path builds summaries straight from state counts).
+    pub fn add_many(&mut self, bucket: Option<u32>, count: u64) {
+        match bucket {
+            Some(b) => {
+                let b = b as usize;
+                if b >= self.counts.len() {
+                    self.counts.resize(b + 1, 0);
+                }
+                self.counts[b] += count;
+                self.with_estimate += count;
+            }
+            None => self.none += count,
+        }
+    }
+
     /// Removes one agent with the given estimate bucket.
     ///
     /// # Panics
     ///
     /// Panics if no agent with that bucket is currently recorded — this
     /// indicates a tracker/simulator desynchronization bug.
+    #[inline]
     pub fn remove(&mut self, bucket: Option<u32>) {
         match bucket {
             Some(b) => {
@@ -81,6 +99,7 @@ impl EstimateHistogram {
     }
 
     /// Moves one agent between buckets (no-op when equal).
+    #[inline]
     pub fn update(&mut self, old: Option<u32>, new: Option<u32>) {
         if old != new {
             self.remove(old);

@@ -40,7 +40,7 @@ use rand::{Rng, RngExt, SeedableRng};
 /// impl Protocol for Or {
 ///     type State = bool;
 ///     fn initial_state(&self) -> bool { false }
-///     fn interact(&self, u: &mut bool, v: &mut bool, _: &mut dyn Rng) { *u = *u || *v; }
+///     fn interact<R: Rng + ?Sized>(&self, u: &mut bool, v: &mut bool, _: &mut R) { *u = *u || *v; }
 /// }
 /// impl FiniteProtocol for Or {
 ///     fn num_states(&self) -> usize { 2 }
@@ -243,7 +243,7 @@ mod tests {
         fn initial_state(&self) -> bool {
             false
         }
-        fn interact(&self, u: &mut bool, v: &mut bool, _: &mut dyn rand::Rng) {
+        fn interact<R: rand::Rng + ?Sized>(&self, u: &mut bool, v: &mut bool, _: &mut R) {
             *u = *u || *v;
         }
     }
@@ -267,7 +267,7 @@ mod tests {
         fn initial_state(&self) -> bool {
             false
         }
-        fn interact(&self, u: &mut bool, _v: &mut bool, rng: &mut dyn rand::Rng) {
+        fn interact<R: rand::Rng + ?Sized>(&self, u: &mut bool, _v: &mut bool, rng: &mut R) {
             *u = rng.random();
         }
     }

@@ -14,7 +14,9 @@
 //!   analysis.
 //! * [`CountSimulator`] — an exact count-based simulator for finite-state
 //!   protocols (one counter per state, no agent array); used to cross-check
-//!   the agent simulator on substrates such as epidemics and bounded CHVP.
+//!   the agent simulator on substrates such as epidemics and bounded CHVP,
+//!   and to drive sweep cells ([`Sweep::run_counted`] /
+//!   [`Sweep::run_jumped`]) at populations the agent array can't hold.
 //! * [`adversary`] — the dynamic-population adversary of Doty & Eftekhari
 //!   2022: timed events that add agents (in the protocol's initial state) or
 //!   remove arbitrary agents.
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+mod count_drive;
 pub mod count_sim;
 pub mod experiment;
 pub mod histogram;

@@ -112,13 +112,20 @@ impl<P: SizeEstimator> Observer<P> for EstimateTracker {
     #[inline]
     fn pre_interact(&mut self, p: &P, u: &P::State, v: &P::State, _: usize, _: usize, _: u64) {
         self.pre_u = p.estimate_bucket(u);
-        self.pre_v = p.estimate_bucket(v);
+        // One-way protocols guarantee v never changes, so its histogram
+        // update would be a no-op by construction — skip both bucket
+        // evaluations (half the tracker's per-interaction work).
+        if !P::ONE_WAY {
+            self.pre_v = p.estimate_bucket(v);
+        }
     }
 
     #[inline]
     fn post_interact(&mut self, p: &P, u: &P::State, v: &P::State, _: usize, _: usize, _: u64) {
         self.hist.update(self.pre_u, p.estimate_bucket(u));
-        self.hist.update(self.pre_v, p.estimate_bucket(v));
+        if !P::ONE_WAY {
+            self.hist.update(self.pre_v, p.estimate_bucket(v));
+        }
     }
 
     #[inline]
@@ -169,7 +176,11 @@ impl<P: TickProtocol> Observer<P> for TickRecorder {
     #[inline]
     fn pre_interact(&mut self, p: &P, u: &P::State, v: &P::State, _: usize, _: usize, _: u64) {
         self.pre_u_ticks = p.tick_count(u);
-        self.pre_v_ticks = p.tick_count(v);
+        // One-way protocols: v's tick counter cannot advance (see
+        // EstimateTracker for the same shortcut).
+        if !P::ONE_WAY {
+            self.pre_v_ticks = p.tick_count(v);
+        }
     }
 
     #[inline]
@@ -188,7 +199,7 @@ impl<P: TickProtocol> Observer<P> for TickRecorder {
                 agent: ui as u32,
             });
         }
-        if p.tick_count(v) > self.pre_v_ticks {
+        if !P::ONE_WAY && p.tick_count(v) > self.pre_v_ticks {
             self.events.push(TickEvent {
                 interaction: interactions,
                 agent: vi as u32,
@@ -217,7 +228,12 @@ mod tests {
         fn initial_state(&self) -> Self::State {
             (0, 0)
         }
-        fn interact(&self, u: &mut Self::State, v: &mut Self::State, _rng: &mut dyn Rng) {
+        fn interact<R: Rng + ?Sized>(
+            &self,
+            u: &mut Self::State,
+            v: &mut Self::State,
+            _rng: &mut R,
+        ) {
             if v.0 > u.0 {
                 u.0 = v.0;
                 u.1 += 1;

@@ -12,7 +12,7 @@
 //! setup.
 
 use crate::observer::{EstimateTracker, Observer};
-use pp_model::{random_ordered_pair, Configuration, Protocol, SizeEstimator};
+use pp_model::{fill_random_ordered_pairs, Configuration, Protocol, SizeEstimator};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -32,7 +32,7 @@ use rand::{RngExt, SeedableRng};
 /// impl Protocol for OrEpidemic {
 ///     type State = bool;
 ///     fn initial_state(&self) -> bool { false }
-///     fn interact(&self, u: &mut bool, v: &mut bool, _: &mut dyn Rng) {
+///     fn interact<R: Rng + ?Sized>(&self, u: &mut bool, v: &mut bool, _: &mut R) {
 ///         *u = *u || *v;
 ///     }
 /// }
@@ -169,37 +169,86 @@ impl<P: Protocol, O: Observer<P>> Simulator<P, O> {
     /// Panics if the population has fewer than two agents.
     #[inline]
     pub fn step(&mut self) {
-        let n = self.config.len();
-        let (i, j) = random_ordered_pair(n, &mut self.rng);
-        let (u, v) = self.config.pair_mut(i, j);
-        self.observer
-            .pre_interact(&self.protocol, u, v, i, j, self.interactions);
-        self.protocol.interact(u, v, &mut self.rng);
-        self.observer
-            .post_interact(&self.protocol, u, v, i, j, self.interactions);
-        self.interactions += 1;
-        self.parallel_time += self.inv_n;
+        self.step_block(1);
     }
 
     /// Simulates `count` interactions.
     pub fn step_n(&mut self, count: u64) {
-        for _ in 0..count {
-            self.step();
+        self.step_block(count);
+    }
+
+    /// Simulates a block of `count` interactions in one tight loop.
+    ///
+    /// This is the engine's hot path. Pairs are drawn a chunk at a time
+    /// into a small local buffer (a single Lemire draw per pair; the RNG
+    /// dependency chain runs tight and the apply loop's agent-state loads
+    /// overlap across iterations instead of serializing behind each
+    /// transition), the per-step work is pure integer bookkeeping (the
+    /// float parallel-time update happens once per block), and both the
+    /// protocol's transition and the observer hooks are monomorphized over
+    /// `SmallRng` — for `O = ()` the hooks compile away entirely.
+    ///
+    /// Within a chunk the scheduler's pair draws precede the transitions'
+    /// own coin flips in the RNG word stream; pairs and protocol coins are
+    /// independent uniform words either way, so any chunking yields an
+    /// exact sampling of the model. The executed trace is a function of
+    /// the seed and the sequence of calls alone (`tests/golden_trace.rs`
+    /// pins it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 0` and the population has fewer than two agents.
+    pub fn step_block(&mut self, count: u64) {
+        if count == 0 {
+            return;
         }
+        let n = self.config.len();
+        assert!(
+            n >= 2,
+            "an interaction needs at least two agents, got n={n}"
+        );
+        const CHUNK: usize = 64;
+        let mut pairs = [(0usize, 0usize); CHUNK];
+        let base = self.interactions;
+        let mut done = 0u64;
+        while done < count {
+            let chunk = ((count - done) as usize).min(CHUNK);
+            fill_random_ordered_pairs(n, &mut self.rng, &mut pairs[..chunk]);
+            for &(i, j) in &pairs[..chunk] {
+                let (u, v) = self.config.pair_mut(i, j);
+                self.observer
+                    .pre_interact(&self.protocol, u, v, i, j, base + done);
+                self.protocol.interact(u, v, &mut self.rng);
+                self.observer
+                    .post_interact(&self.protocol, u, v, i, j, base + done);
+                done += 1;
+            }
+        }
+        self.interactions = base + count;
+        self.parallel_time += count as f64 * self.inv_n;
     }
 
     /// Runs for `duration` units of parallel time.
+    ///
+    /// Computes the required interaction count once per population epoch
+    /// (`⌈(target − t)·n⌉`) and dispatches to [`Simulator::step_block`],
+    /// replacing the old per-step float add-and-compare loop.
     ///
     /// With a population of fewer than two agents, time passes without
     /// interactions (a lone bird cannot interact, but its clock still runs).
     pub fn run_parallel_time(&mut self, duration: f64) {
         let target = self.parallel_time + duration;
-        if self.config.len() < 2 {
+        let n = self.config.len();
+        if n < 2 {
             self.parallel_time = target;
             return;
         }
+        // One iteration almost always suffices; the loop only re-enters
+        // when float rounding leaves the clock a hair short of the target.
         while self.parallel_time < target {
-            self.step();
+            let deficit = target - self.parallel_time;
+            let needed = (deficit * n as f64).ceil().max(1.0) as u64;
+            self.step_block(needed);
         }
     }
 
@@ -313,14 +362,16 @@ mod tests {
     use pp_model::Protocol;
     use rand::Rng;
 
-    /// One-way max epidemic fixture.
+    /// One-way max epidemic fixture. `ONE_WAY` exercises the observers'
+    /// skip-the-responder fast path in `tracked_simulator_histogram_matches_scan`.
     struct Max;
     impl Protocol for Max {
         type State = u32;
+        const ONE_WAY: bool = true;
         fn initial_state(&self) -> u32 {
             0
         }
-        fn interact(&self, u: &mut u32, v: &mut u32, _: &mut dyn Rng) {
+        fn interact<R: Rng + ?Sized>(&self, u: &mut u32, v: &mut u32, _: &mut R) {
             *u = (*u).max(*v);
         }
     }

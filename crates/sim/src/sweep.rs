@@ -27,7 +27,7 @@
 //! # impl Protocol for Max {
 //! #     type State = u32;
 //! #     fn initial_state(&self) -> u32 { 1 }
-//! #     fn interact(&self, u: &mut u32, v: &mut u32, _: &mut dyn Rng) { *u = (*u).max(*v); }
+//! #     fn interact<R: Rng + ?Sized>(&self, u: &mut u32, v: &mut u32, _: &mut R) { *u = (*u).max(*v); }
 //! # }
 //! # impl SizeEstimator for Max {
 //! #     fn estimate_log2(&self, s: &u32) -> Option<f64> { Some(*s as f64) }
@@ -44,10 +44,11 @@
 //! ```
 
 use crate::adversary::AdversarySchedule;
+use crate::count_drive::{run_counted_cell, run_jumped_cell, CountRunSpec};
 use crate::experiment::{Experiment, InitMode};
 use crate::runner::{parallel_map, run_seed};
 use crate::series::RunResult;
-use pp_model::{MemoryFootprint, SizeEstimator};
+use pp_model::{DeterministicProtocol, FiniteProtocol, MemoryFootprint, SizeEstimator};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -68,6 +69,7 @@ pub struct Sweep<P: SizeEstimator> {
     horizon: Arc<dyn Fn(usize) -> f64 + Send + Sync>,
     snapshot_every: f64,
     init: Option<InitFn<P::State>>,
+    init_counts: Option<Arc<dyn Fn(u64) -> Vec<u64> + Send + Sync>>,
 }
 
 impl<P: SizeEstimator + std::fmt::Debug> std::fmt::Debug for Sweep<P> {
@@ -169,6 +171,7 @@ where
             horizon: Arc::new(|_| 1000.0),
             snapshot_every: 1.0,
             init: None,
+            init_counts: None,
         }
     }
 
@@ -239,6 +242,16 @@ where
     /// Starts every agent in `f(i)` instead of the protocol's initial state.
     pub fn init_with(mut self, f: impl Fn(usize) -> P::State + Send + Sync + 'static) -> Self {
         self.init = Some(Arc::new(f));
+        self
+    }
+
+    /// Sets the initial per-state counts for the count-based fast paths
+    /// ([`Sweep::run_counted`] / [`Sweep::run_jumped`]): `f(n)` must return
+    /// one count per state, summing to `n` (e.g. `|n| vec![n - 1, 1]` for
+    /// an epidemic seeded with one infected agent). Ignored by the
+    /// agent-array [`Sweep::run`].
+    pub fn init_counts(mut self, f: impl Fn(u64) -> Vec<u64> + Send + Sync + 'static) -> Self {
+        self.init_counts = Some(Arc::new(f));
         self
     }
 
@@ -363,6 +376,88 @@ where
     }
 }
 
+impl<P> Sweep<P>
+where
+    P: SizeEstimator + FiniteProtocol + Clone + Send + Sync,
+    P::State: Clone + Send + Sync + 'static,
+{
+    /// Like [`Sweep::run`], but drives every cell with the count-based
+    /// [`CountSimulator`](crate::CountSimulator): O(#states) memory per
+    /// run, so finite-state substrates sweep at populations the agent
+    /// array can't hold. Supports the full adversary-schedule grid;
+    /// per-agent `init_with` initializers do not apply (use
+    /// [`Sweep::init_counts`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no populations were configured or a per-agent initializer
+    /// was set.
+    pub fn run_counted(self) -> SweepResults {
+        assert!(
+            self.init.is_none(),
+            "count-based sweeps have no per-agent indices; use init_counts(..)"
+        );
+        let (schedules, tasks) = self.build_tasks();
+        let start = Instant::now();
+        let results = parallel_map(tasks.len(), self.threads, |t| {
+            let task = &tasks[t];
+            run_counted_cell(self.protocol.clone(), &self.count_spec(task, &schedules))
+        });
+        let wall = start.elapsed();
+        self.collect(schedules, tasks, results, wall)
+    }
+
+    fn count_spec<'a>(
+        &self,
+        task: &TaskSpec,
+        schedules: &'a [(String, AdversarySchedule)],
+    ) -> CountRunSpec<'a> {
+        CountRunSpec {
+            n: task.n as u64,
+            seed: task.seed,
+            horizon: task.horizon,
+            snapshot_every: self.snapshot_every,
+            schedule: &schedules[task.schedule_index].1,
+            init: self.init_counts.as_ref().map(|f| f(task.n as u64)),
+        }
+    }
+}
+
+impl<P> Sweep<P>
+where
+    P: SizeEstimator + DeterministicProtocol + Clone + Send + Sync,
+    P::State: Clone + Send + Sync + 'static,
+{
+    /// Like [`Sweep::run_counted`], but with the event-jump simulator:
+    /// no-op interactions are skipped in closed form, so long horizons on
+    /// nearly-quiescent substrates (late epidemics) cost only their
+    /// effective interactions. Static schedules only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no populations were configured, a per-agent initializer
+    /// was set, or any schedule carries events (the jump chain's closed
+    /// form assumes a fixed population).
+    pub fn run_jumped(self) -> SweepResults {
+        assert!(
+            self.init.is_none(),
+            "count-based sweeps have no per-agent indices; use init_counts(..)"
+        );
+        let (schedules, tasks) = self.build_tasks();
+        assert!(
+            schedules.iter().all(|(_, s)| s.is_empty()),
+            "run_jumped supports static schedules only; use run_counted for adversaries"
+        );
+        let start = Instant::now();
+        let results = parallel_map(tasks.len(), self.threads, |t| {
+            let task = &tasks[t];
+            run_jumped_cell(self.protocol.clone(), &self.count_spec(task, &schedules))
+        });
+        let wall = start.elapsed();
+        self.collect(schedules, tasks, results, wall)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,7 +473,7 @@ mod tests {
         fn initial_state(&self) -> u32 {
             1
         }
-        fn interact(&self, u: &mut u32, v: &mut u32, _: &mut dyn Rng) {
+        fn interact<R: Rng + ?Sized>(&self, u: &mut u32, v: &mut u32, _: &mut R) {
             *u = (*u).max(*v);
         }
     }
@@ -483,6 +578,127 @@ mod tests {
         let last_t = |cell: &SweepCell| cell.runs[0].snapshots.last().unwrap().parallel_time;
         assert!(last_t(&r.cells[0]) < 4.0);
         assert!(last_t(&r.cells[1]) > 6.0);
+    }
+
+    /// Binary OR-infection fixture for the count-based fast paths.
+    #[derive(Debug, Clone)]
+    struct Or;
+    impl Protocol for Or {
+        type State = bool;
+        fn initial_state(&self) -> bool {
+            false
+        }
+        fn interact<R: Rng + ?Sized>(&self, u: &mut bool, v: &mut bool, _: &mut R) {
+            *u = *u || *v;
+        }
+    }
+    impl pp_model::FiniteProtocol for Or {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_index(&self, s: &bool) -> usize {
+            usize::from(*s)
+        }
+        fn state_from_index(&self, i: usize) -> bool {
+            i == 1
+        }
+    }
+    impl SizeEstimator for Or {
+        fn estimate_log2(&self, s: &bool) -> Option<f64> {
+            s.then_some(1.0)
+        }
+    }
+    impl pp_model::DeterministicProtocol for Or {}
+
+    #[test]
+    fn counted_sweep_matches_grid_shape_and_applies_schedules() {
+        let r = Sweep::new(Or)
+            .populations([50, 100])
+            .schedule("static", AdversarySchedule::new())
+            .schedule(
+                "halve@2",
+                AdversarySchedule::new().at(2.0, PopulationEvent::ResizeTo(25)),
+            )
+            .runs(3)
+            .master_seed(7)
+            .horizon(8.0)
+            .init_counts(|n| vec![n - 1, 1])
+            .run_counted();
+        assert_eq!(r.cells.len(), 4);
+        assert_eq!(r.total_runs(), 12);
+        assert_eq!(r.cell(100, "static").unwrap().runs[0].final_n, 100);
+        assert_eq!(r.cell(100, "halve@2").unwrap().runs[0].final_n, 25);
+    }
+
+    #[test]
+    fn counted_sweep_is_bit_identical_across_thread_counts() {
+        let sweep_with = |threads| {
+            Sweep::new(Or)
+                .populations([64, 128])
+                .runs(3)
+                .master_seed(11)
+                .horizon(20.0)
+                .threads(threads)
+                .init_counts(|n| vec![n - 1, 1])
+                .run_counted()
+        };
+        assert_eq!(sweep_with(1).cells, sweep_with(4).cells);
+    }
+
+    #[test]
+    fn counted_sweep_runs_agent_array_hostile_populations() {
+        // 10^8 agents would need ~100 MB of agent array per run just for
+        // bools; the count representation is two u64s.
+        let n = 100_000_000usize;
+        let r = Sweep::new(Or)
+            .populations([n])
+            .runs(1)
+            .horizon(0.0)
+            .init_counts(|n| vec![n / 2, n / 2 + n % 2])
+            .run_counted();
+        assert_eq!(r.cells[0].runs[0].snapshots[0].n, n);
+    }
+
+    #[test]
+    fn jumped_sweep_completes_epidemics_at_scale() {
+        let n = 1_000_000usize;
+        let r = Sweep::new(Or)
+            .populations([n])
+            .runs(2)
+            .master_seed(13)
+            .horizon(60.0)
+            .snapshot_every(10.0)
+            .init_counts(|n| vec![n - 1, 1])
+            .run_jumped();
+        for run in &r.cells[0].runs {
+            let last = run.snapshots.last().unwrap().estimates.unwrap();
+            assert_eq!(last.without_estimate, 0, "epidemic finished within 60 pt");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "static schedules only")]
+    fn jumped_sweep_rejects_adversaries() {
+        let _ = Sweep::new(Or)
+            .populations([16])
+            .schedule(
+                "crash",
+                AdversarySchedule::new().at(1.0, PopulationEvent::ResizeTo(8)),
+            )
+            .runs(1)
+            .horizon(2.0)
+            .run_jumped();
+    }
+
+    #[test]
+    #[should_panic(expected = "use init_counts")]
+    fn counted_sweep_rejects_per_agent_init() {
+        let _ = Sweep::new(Or)
+            .populations([16])
+            .runs(1)
+            .horizon(2.0)
+            .init_with(|i| i == 0)
+            .run_counted();
     }
 
     #[test]

@@ -40,8 +40,22 @@ fn payload_budgets_track_estimate_changes_after_resize() {
         .run();
     // After the crash the payloads must have been restarted with smaller
     // budgets — indirectly visible through the estimate they were sized by.
+    // Loose stabilization (paper Theorem 2.1) only promises a correct
+    // estimate for *most* of the time after convergence: a rare high GRV
+    // transiently re-spikes the whole population's estimate (max values
+    // spread by epidemic) before the next reset clears it. A single-instant
+    // readout therefore flakes on unlucky seeds/RNG streams; read the
+    // median over the final 200 parallel-time units instead (the same fix
+    // as tests/baselines.rs::de22_adapts_but_uses_more_memory).
     let before = r.snapshot_at(390.0).estimates.unwrap().median;
-    let after = r.snapshot_at(1_990.0).estimates.unwrap().median;
+    let mut window: Vec<f64> = r
+        .snapshots
+        .iter()
+        .filter(|s| s.parallel_time >= 1_800.0)
+        .filter_map(|s| s.estimates.as_ref().map(|e| e.median))
+        .collect();
+    window.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN medians"));
+    let after = window[window.len() / 2];
     assert!(after < before, "estimate (and payload sizing) must shrink");
 }
 

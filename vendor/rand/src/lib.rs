@@ -5,13 +5,13 @@
 //! (`random`, `random_range`, `rand::rng()`, `SmallRng`, `SeedableRng`).
 //!
 //! One deliberate deviation from upstream: [`Rng`] is **object-safe**. The
-//! population-protocol [`Protocol`](../pp_model/protocol) trait passes
-//! `&mut dyn Rng` through every transition function so protocols stay
-//! dyn-compatible; the typed convenience helpers (`random`, `random_range`,
-//! …) live on the blanket extension trait [`RngExt`] — the rand 0.8
-//! `RngCore`/`Rng` split — whose `?Sized` blanket impl makes them callable
-//! on concrete generators, generic `R: Rng + ?Sized` receivers, and
-//! `dyn Rng` alike.
+//! population-protocol `Protocol::interact` is generic over
+//! `R: Rng + ?Sized`, so simulator hot loops monomorphize over the
+//! concrete generator; the typed convenience helpers (`random`,
+//! `random_range`, …) live on the blanket extension trait [`RngExt`] — the
+//! rand 0.8 `RngCore`/`Rng` split — whose `?Sized` blanket impl makes them
+//! callable on concrete generators, generic `R: Rng + ?Sized` receivers,
+//! and `dyn Rng` alike.
 //!
 //! The generator behind [`rngs::SmallRng`] is xoshiro256++ (the same family
 //! upstream `SmallRng` uses on 64-bit targets), seeded via SplitMix64 —

@@ -11,20 +11,43 @@
 //!
 //! Each row reports the observed statistic and the lemma's bound; the
 //! observed violation count should be zero at these scales.
+//!
+//! Lemma 4.1 samples GRVs directly (no simulator). Lemmas 4.2–4.4 run on
+//! the [`Sweep`] count-based fast paths — 4.2 through the event-jump
+//! engine (`run_jumped`: only the epidemic's effective interactions are
+//! materialized), 4.3/4.4 through `run_counted` — so every grid cell runs
+//! from one flattened parallel batch with derived seeds instead of the
+//! former hand-rolled `CountSimulator` loops, and full-scale populations
+//! (2¹⁸ and beyond) cost O(#states) memory per run.
 
 use crate::{f2, log2n, Scale};
 use pp_analysis::{write_csv, Table};
 use pp_model::grv;
 use pp_protocols::{BoundedChvp, Infection};
-use pp_sim::CountSimulator;
+use pp_sim::{RunResult, Sweep};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+/// Parallel time at which a run's epidemic first covered the population:
+/// the first snapshot with no susceptible (estimate-less) agent left.
+fn completion_time(run: &RunResult) -> Option<f64> {
+    run.snapshots
+        .iter()
+        .find(|s| s.estimates.is_some_and(|e| e.without_estimate == 0))
+        .map(|s| s.parallel_time)
+}
+
 /// Runs E11 and writes `lemmas.csv`.
 pub fn run(scale: &Scale) {
-    println!("== Substrate validation: Lemmas 4.1–4.4 ==");
+    println!("== Substrate validation: Lemmas 4.1-4.4 ==");
     let mut rows: Vec<Vec<String>> = Vec::new();
-    let trials = if scale.full { 500 } else { 100 };
+    let (trials, grv_exps): (u32, &[u32]) = if scale.smoke {
+        (20, &[8, 10])
+    } else if scale.full {
+        (500, &[8, 12, 16])
+    } else {
+        (100, &[8, 12, 16])
+    };
 
     // Lemma 4.1.
     println!("-- Lemma 4.1: max of k·n GRVs in [0.5 log n, 2(k+1) log n] --");
@@ -38,7 +61,7 @@ pub fn run(scale: &Scale) {
         "violations",
     ]);
     let mut rng = SmallRng::seed_from_u64(scale.seed);
-    for exp in [8u32, 12, 16] {
+    for &exp in grv_exps {
         let n = 1u64 << exp;
         let k = 2u32;
         let lo = 0.5 * log2n(n as usize);
@@ -73,7 +96,8 @@ pub fn run(scale: &Scale) {
     }
     table.print();
 
-    // Lemma 4.2: epidemic completion time on the count simulator.
+    // Lemma 4.2: epidemic completion time, swept on the event-jump engine
+    // (one infected agent among n; only effective interactions cost time).
     println!("-- Lemma 4.2: epidemic completes within 4(k+1)·log n parallel time (k = 1) --");
     let mut table = Table::new(vec![
         "n",
@@ -81,47 +105,58 @@ pub fn run(scale: &Scale) {
         "bound (pt)",
         "violations",
     ]);
-    let reps = if scale.full { 20 } else { 5 };
-    for exp in [10u32, 14, 18] {
-        let n = 1u64 << exp;
-        let bound = 4.0 * 2.0 * log2n(n as usize);
+    let (reps, epi_exps): (usize, &[u32]) = if scale.smoke {
+        (2, &[8, 10])
+    } else if scale.full {
+        (20, &[10, 14, 18])
+    } else {
+        (5, &[10, 14, 18])
+    };
+    let bound_of = |n: usize| 4.0 * 2.0 * log2n(n);
+    let results = Sweep::new(Infection::new())
+        .populations(epi_exps.iter().map(|&e| 1usize << e))
+        .runs(reps)
+        .master_seed(scale.seed)
+        .threads(scale.threads)
+        .horizon_with(move |n| 10.0 * bound_of(n))
+        .snapshot_every(1.0)
+        .init_counts(|n| vec![n - 1, 1])
+        .run_jumped();
+    for (exp, cell) in epi_exps.iter().zip(results.cells.iter()) {
+        let n = cell.n;
+        let bound = bound_of(n);
         let mut total = 0.0;
         let mut violations = 0;
-        for rep in 0..reps {
-            let mut sim = CountSimulator::from_counts(
-                Infection::new(),
-                vec![n - 1, 1],
-                scale.seed ^ (u64::from(exp) << 32) ^ rep,
-            );
-            // Step until complete, tracking parallel time.
-            while sim.count(1) < n {
-                sim.step_n(n / 10 + 1);
-                if sim.parallel_time() > 10.0 * bound {
-                    break;
-                }
-            }
-            if sim.parallel_time() > bound {
+        for run in &cell.runs {
+            // The jump engine always finishes the epidemic within the
+            // 10×bound horizon; treat a (never observed) incompletion as
+            // a violation at the horizon.
+            let t = completion_time(run).unwrap_or(10.0 * bound);
+            if t > bound {
                 violations += 1;
             }
-            total += sim.parallel_time();
+            total += t;
         }
         table.row(vec![
             format!("2^{exp}"),
-            f2(total / reps as f64),
+            f2(total / cell.runs.len() as f64),
             f2(bound),
             violations.to_string(),
         ]);
         rows.push(vec![
             "lemma4.2".into(),
             n.to_string(),
-            f2(total / reps as f64),
+            f2(total / cell.runs.len() as f64),
             f2(bound),
             violations.to_string(),
         ]);
     }
     table.print();
 
-    // Lemmas 4.3 / 4.4 on bounded CHVP.
+    // Lemmas 4.3 / 4.4 on bounded CHVP, swept on the count engine. The
+    // snapshot summaries of a count-based sweep report the min/max
+    // *occupied value* (BoundedChvp's estimate is its countdown value),
+    // which is exactly the statistic both lemmas bound.
     println!("-- Lemmas 4.3/4.4: CHVP max-drop and min-catch-up windows (k = 2) --");
     let mut table = Table::new(vec![
         "n",
@@ -131,27 +166,58 @@ pub fn run(scale: &Scale) {
         "4.4 bound (>=)",
     ]);
     let k = 2.0;
-    for exp in [10u32, 14] {
-        let n = 1u64 << exp;
-        let m = 400u32;
-        let delta = 60.0;
-        let window = delta + k * log2n(n as usize);
-        let budget = (7.0 * n as f64 * window) as u64;
-        // 4.3: all start at m; after the budget the max dropped by ≥ Δ.
-        let mut counts = vec![0u64; m as usize + 1];
-        counts[m as usize] = n;
-        let mut sim = CountSimulator::from_counts(BoundedChvp::new(m), counts, scale.seed + 7);
-        sim.step_n(budget);
-        let max_after = sim.max_occupied().unwrap() as f64;
-        // 4.4: one agent at m, the rest at 0; after the budget the min is
-        // within 12(Δ + k log n) of m.
-        let mut counts = vec![0u64; m as usize + 1];
-        counts[0] = n - 1;
-        counts[m as usize] = 1;
-        let mut sim = CountSimulator::from_counts(BoundedChvp::new(m), counts, scale.seed + 8);
-        sim.step_n(budget);
-        let min_after = sim.min_occupied().unwrap() as f64;
-        let bound_44 = f64::from(m) - 12.0 * window;
+    let (chvp_exps, m, delta): (&[u32], u32, f64) = if scale.smoke {
+        (&[8], 100, 30.0)
+    } else {
+        (&[10, 14], 400, 60.0)
+    };
+    let window_of = move |n: usize| delta + k * log2n(n);
+    // Budget: 7n(Δ + k log n) interactions = 7(Δ + k log n) parallel time.
+    let chvp_sweep = |init: fn(u64, u32) -> Vec<u64>, seed: u64| {
+        Sweep::new(BoundedChvp::new(m))
+            .populations(chvp_exps.iter().map(|&e| 1usize << e))
+            .runs(1)
+            .master_seed(seed)
+            .threads(scale.threads)
+            .horizon_with(move |n| 7.0 * window_of(n))
+            .snapshot_every(1.0)
+            .init_counts(move |n| init(n, m))
+            .run_counted()
+    };
+    // 4.3: all start at m; after the budget the max dropped by ≥ Δ.
+    let drop_results = chvp_sweep(
+        |n, m| {
+            let mut counts = vec![0u64; m as usize + 1];
+            counts[m as usize] = n;
+            counts
+        },
+        scale.seed + 7,
+    );
+    // 4.4: one agent at m, the rest at 0; after the budget the min is
+    // within 12(Δ + k log n) of m.
+    let catchup_results = chvp_sweep(
+        |n, m| {
+            let mut counts = vec![0u64; m as usize + 1];
+            counts[0] = n - 1;
+            counts[m as usize] = 1;
+            counts
+        },
+        scale.seed + 8,
+    );
+    for (exp, (drop_cell, catch_cell)) in chvp_exps
+        .iter()
+        .zip(drop_results.cells.iter().zip(catchup_results.cells.iter()))
+    {
+        let n = drop_cell.n;
+        let final_summary = |run: &RunResult| {
+            run.snapshots
+                .last()
+                .and_then(|s| s.estimates)
+                .expect("bounded CHVP agents always report a value")
+        };
+        let max_after = final_summary(&drop_cell.runs[0]).max;
+        let min_after = final_summary(&catch_cell.runs[0]).min;
+        let bound_44 = f64::from(m) - 12.0 * window_of(n);
         table.row(vec![
             format!("2^{exp}"),
             f2(max_after),

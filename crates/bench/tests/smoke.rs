@@ -1,7 +1,7 @@
 //! Smoke coverage for the Sweep-ported bench entry points: `--smoke` runs
 //! must complete in seconds and emit non-empty CSV output.
 
-use pp_bench::experiments::{accuracy, compare, convergence, holding};
+use pp_bench::experiments::{accuracy, compare, convergence, holding, lemmas};
 use pp_bench::Scale;
 
 /// A per-test output directory under the system temp dir.
@@ -58,5 +58,22 @@ fn compare_smoke_completes_and_emits_csv() {
     let scale = smoke_scale("compare");
     compare::run(&scale);
     assert_csv_nonempty(&scale, "compare.csv");
+    let _ = std::fs::remove_dir_all(&scale.out_dir);
+}
+
+#[test]
+fn lemmas_smoke_completes_and_emits_csv() {
+    let scale = smoke_scale("lemmas");
+    lemmas::run(&scale);
+    let path = scale.out_path("lemmas.csv");
+    let contents = std::fs::read_to_string(&path).expect("lemmas.csv written");
+    assert_csv_nonempty(&scale, "lemmas.csv");
+    // All three Sweep-driven lemma families must contribute rows.
+    for family in ["lemma4.1", "lemma4.2", "lemma4.3/4.4"] {
+        assert!(
+            contents.contains(family),
+            "lemmas.csv should contain {family} rows"
+        );
+    }
     let _ = std::fs::remove_dir_all(&scale.out_dir);
 }

@@ -26,18 +26,29 @@ use crate::config::DscConfig;
 use crate::full::DynamicSizeCounting;
 use crate::phase::Phase;
 use crate::state::DscState;
-use pp_model::{bit_len, grv, MemoryFootprint, Protocol, SizeEstimator, TickProtocol};
+use pp_model::{bit_len, grv, InlineVec, MemoryFootprint, Protocol, SizeEstimator, TickProtocol};
 use rand::Rng;
 
+/// Hard upper bound on the number of averaged slots.
+///
+/// Sized by the empirical slot counts (the experiments and the original's
+/// `A = Θ(log n)` choice use at most 32 at simulated scales); the inline
+/// array keeps the whole agent state contiguous, so stepping performs no
+/// pointer chases and no heap allocation.
+pub const MAX_SLOTS: usize = 32;
+
+/// Inline per-slot storage of an averaging agent.
+pub type SlotVec = InlineVec<u32, MAX_SLOTS>;
+
 /// State of an averaging agent: the Algorithm 2 state plus estimate slots.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AveragedState {
     /// The Algorithm 2 variables (drive the clock).
     pub dsc: DscState,
     /// Per-slot current maxima (refilled on reset, spread in exchange).
-    pub slots: Vec<u32>,
+    pub slots: SlotVec,
     /// Per-slot trailing maxima (the `lastMax` of each slot).
-    pub last_slots: Vec<u32>,
+    pub last_slots: SlotVec,
 }
 
 /// Algorithm 2 with `A` averaged estimate slots (the §6 extension).
@@ -65,9 +76,14 @@ impl AveragedDsc {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid or `slots == 0`.
+    /// Panics if the configuration is invalid, `slots == 0`, or `slots`
+    /// exceeds the inline capacity [`MAX_SLOTS`].
     pub fn new(config: DscConfig, slots: u32) -> Self {
         assert!(slots > 0, "need at least one slot");
+        assert!(
+            slots as usize <= MAX_SLOTS,
+            "at most {MAX_SLOTS} slots fit the inline state, got {slots}"
+        );
         AveragedDsc {
             inner: DynamicSizeCounting::new(config),
             slots,
@@ -96,7 +112,7 @@ impl AveragedDsc {
     }
 
     fn refill_slots<R: Rng + ?Sized>(&self, s: &mut AveragedState, rng: &mut R) {
-        s.last_slots.clone_from(&s.slots);
+        s.last_slots = s.slots;
         for slot in s.slots.iter_mut() {
             *slot = grv::geometric(rng);
         }
@@ -112,8 +128,8 @@ impl Protocol for AveragedDsc {
     fn initial_state(&self) -> AveragedState {
         AveragedState {
             dsc: self.inner.initial_state(),
-            slots: vec![1; self.slots as usize],
-            last_slots: vec![1; self.slots as usize],
+            slots: SlotVec::from_elem(1, self.slots as usize),
+            last_slots: SlotVec::from_elem(1, self.slots as usize),
         }
     }
 
@@ -138,7 +154,7 @@ impl Protocol for AveragedDsc {
             for (us, vs) in u.slots.iter_mut().zip(&v.slots) {
                 *us = (*us).max(*vs);
             }
-            u.last_slots.clone_from(&v.last_slots);
+            u.last_slots = v.last_slots;
         } else if u.dsc.max == v.dsc.max && !(u_exchange && Phase::of(c, &v.dsc) == Phase::Reset) {
             // Mirror lines 13–14: same round ⇒ merge slot-wise, trailing
             // included.
@@ -160,7 +176,7 @@ impl SizeEstimator for AveragedDsc {
 
 impl TickProtocol for AveragedDsc {
     fn tick_count(&self, state: &AveragedState) -> u64 {
-        state.dsc.ticks
+        u64::from(state.dsc.ticks)
     }
 }
 
@@ -189,11 +205,11 @@ mod tests {
     fn reset_refills_slots_and_keeps_trailing() {
         let p = proto(4);
         let mut u = p.initial_state();
-        u.slots = vec![9, 9, 9, 9];
+        u.slots = SlotVec::from_slice(&[9, 9, 9, 9]);
         u.dsc.time = 0; // force a reset
         let mut v = p.initial_state();
         p.interact(&mut u, &mut v, &mut rand::rng());
-        assert_eq!(u.last_slots, vec![9, 9, 9, 9], "trailing copy kept");
+        assert_eq!(u.last_slots, [9, 9, 9, 9], "trailing copy kept");
         assert!(u.slots.iter().all(|&s| s >= 1), "fresh samples drawn");
     }
 
@@ -257,5 +273,11 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_rejected() {
         let _ = proto(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32 slots")]
+    fn oversized_slot_count_rejected() {
+        let _ = proto(MAX_SLOTS as u32 + 1);
     }
 }

@@ -39,7 +39,7 @@ impl DynamicSizeCounting {
             phase: self.phase(state),
             time: state.time,
             estimate: self.reported_estimate(state),
-            ticks: state.ticks,
+            ticks: u64::from(state.ticks),
         }
     }
 

@@ -44,7 +44,10 @@ pub trait SizedPayload {
 
 /// State of a composed agent: counting state + payload state + the estimate
 /// the payload was last initialized with.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Copy` when the payload is (all in-tree payloads are inline/`Copy`, so
+/// the stepping engine moves composed states with plain memcpy).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComposedState<S> {
     /// The size-counting layer.
     pub dsc: DscState,

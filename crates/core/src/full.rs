@@ -30,7 +30,7 @@
 
 use crate::config::DscConfig;
 use crate::phase::Phase;
-use crate::state::DscState;
+use crate::state::{narrow_max, DscState};
 use pp_model::{grv, Protocol, SizeEstimator, TickProtocol};
 use rand::Rng;
 
@@ -86,11 +86,11 @@ impl DynamicSizeCounting {
     /// Panics if `estimate == 0`.
     pub fn state_with_estimate(&self, estimate: u64) -> DscState {
         assert!(estimate >= 1, "an initial estimate must be at least 1");
-        let scaled = estimate * self.config.overestimate;
+        let scaled = narrow_max(estimate * self.config.overestimate);
         DscState {
             max: scaled,
             last_max: scaled,
-            time: (self.config.tau1 * scaled) as i64,
+            time: self.config.tau1 as i64 * i64::from(scaled),
             interactions: 0,
             ticks: 0,
         }
@@ -107,9 +107,9 @@ impl DynamicSizeCounting {
             // The empirical configuration: descaling is the identity, and
             // this method sits on the estimate-tracking hot path (four
             // calls per interaction) — skip the hardware division.
-            return state.effective_max();
+            return u64::from(state.effective_max());
         }
-        (state.effective_max() + ovr / 2) / ovr
+        (u64::from(state.effective_max()) + ovr / 2) / ovr
     }
 }
 
@@ -149,9 +149,9 @@ impl Protocol for DynamicSizeCounting {
             || (pu == Phase::Reset && pv == Phase::Exchange)
             || (pu != Phase::Exchange && u.max != v.max)
         {
-            let grv = c.overestimate * u64::from(grv::grv_max(c.k, rng));
+            let grv = narrow_max(c.overestimate * u64::from(grv::grv_max(c.k, rng)));
             // Tuple assignment: every right-hand side reads the *old* state.
-            u.time = tau1 * u.max.max(grv) as i64;
+            u.time = tau1 * i64::from(u.max.max(grv));
             u.interactions = 0;
             u.last_max = u.max;
             u.max = grv;
@@ -160,14 +160,15 @@ impl Protocol for DynamicSizeCounting {
         }
 
         // Lines 7–10: backup GRV generation.
-        if u.interactions > c.tau_prime * u.max.max(u.last_max) {
+        if u64::from(u.interactions) > c.tau_prime * u64::from(u.max.max(u.last_max)) {
             u.interactions = 0;
-            let grv = u64::from(grv::grv_max(c.k, rng));
+            let grv = grv::grv_max(c.k, rng);
             // Only adopt when larger than the (overestimated) maximum, to
             // preserve synchronization (paper §3).
             if grv > u.max {
-                u.time = tau1 * (c.overestimate * grv) as i64;
-                u.max = c.overestimate * grv;
+                let scaled = narrow_max(c.overestimate * u64::from(grv));
+                u.time = tau1 * i64::from(scaled);
+                u.max = scaled;
                 u.ticks += 1; // sets max, time, interactions ⇒ also a reset
                 pu = self.phase(u);
             }
@@ -175,7 +176,7 @@ impl Protocol for DynamicSizeCounting {
 
         // Lines 11–12: exchange the maximum (both in the exchange phase).
         if pu == Phase::Exchange && pv == Phase::Exchange && u.max < v.max {
-            u.time = tau1 * v.max as i64;
+            u.time = tau1 * i64::from(v.max);
             u.max = v.max;
             u.last_max = v.last_max;
             pu = self.phase(u);
@@ -188,16 +189,22 @@ impl Protocol for DynamicSizeCounting {
             u.last_max = u.last_max.max(v.last_max);
         }
 
-        // Line 15: CHVP time synchronization + interaction counting.
+        // Line 15: CHVP time synchronization + interaction counting. The
+        // counter saturates instead of wrapping: under any configuration
+        // whose backup threshold `τ′·max` fits the packed u32 the trigger
+        // above zeroes it long before the cap; for configurations beyond
+        // that (τ′·max ≥ 2³², far outside the analyzed ranges) saturation
+        // pins the counter and quietly disables the backup mechanism
+        // rather than corrupting it with a wrap.
         u.time = u.time.max(v.time) - 1;
-        u.interactions += 1;
+        u.interactions = u.interactions.saturating_add(1);
     }
 }
 
 impl SizeEstimator for DynamicSizeCounting {
     #[inline]
     fn estimate_log2(&self, state: &DscState) -> Option<f64> {
-        Some(state.effective_max() as f64 / self.config.overestimate as f64)
+        Some(f64::from(state.effective_max()) / self.config.overestimate as f64)
     }
 
     #[inline]
@@ -209,7 +216,7 @@ impl SizeEstimator for DynamicSizeCounting {
 impl TickProtocol for DynamicSizeCounting {
     #[inline]
     fn tick_count(&self, state: &DscState) -> u64 {
-        state.ticks
+        u64::from(state.ticks)
     }
 }
 
@@ -223,7 +230,7 @@ mod tests {
         DynamicSizeCounting::new(DscConfig::empirical())
     }
 
-    fn state(max: u64, last_max: u64, time: i64, interactions: u64) -> DscState {
+    fn state(max: u32, last_max: u32, time: i64, interactions: u32) -> DscState {
         DscState {
             max,
             last_max,
@@ -255,7 +262,7 @@ mod tests {
         assert!(u.max >= 1, "max is a fresh GRV");
         // Line 6 set time = τ1·max{old max, grv}; line 15 then applied CHVP
         // against v.time = 30 < τ1·9 ⇒ time = τ1·max{9, grv} − 1.
-        assert_eq!(u.time, 6 * u.max.max(9) as i64 - 1);
+        assert_eq!(u.time, 6 * i64::from(u.max.max(9)) - 1);
         assert_eq!(u.interactions, 1, "zeroed by reset, then line 15's +1");
     }
 
@@ -346,7 +353,7 @@ mod tests {
         let grv = u.max / 5;
         assert!(grv > 1);
         // time = τ1·5·grv − 1 after line 15 (v.time = 45 is smaller).
-        assert_eq!(u.time, 6 * 5 * grv as i64 - 1);
+        assert_eq!(u.time, 6 * 5 * i64::from(grv) - 1);
     }
 
     /// Lines 13–14: equal maxima merge trailing estimates…
@@ -424,11 +431,11 @@ mod tests {
 
         fn arb_state() -> impl Strategy<Value = DscState> {
             (
-                1u64..1_000,
-                0u64..1_000,
+                1u32..1_000,
+                0u32..1_000,
                 -100i64..10_000,
-                0u64..100_000,
-                0u64..5,
+                0u32..100_000,
+                0u32..5,
             )
                 .prop_map(|(max, last_max, time, interactions, ticks)| DscState {
                     max,
@@ -486,7 +493,7 @@ mod tests {
                     // A lines-5–6 reset: time was rewound relative to the
                     // larger of the old max and the fresh GRV.
                     prop_assert!(
-                        uu.time >= p.config().tau1 as i64 * old.max.max(uu.max) as i64 - 1
+                        uu.time >= p.config().tau1 as i64 * i64::from(old.max.max(uu.max)) - 1
                     );
                 }
             }
@@ -510,12 +517,12 @@ mod tests {
             /// whatever the overestimation factor.
             #[test]
             fn reported_estimate_descale_roundtrip(
-                est in 1u64..500,
-                trailing in 0u64..500,
-                ovr in 1u64..400,
+                est in 1u32..500,
+                trailing in 0u32..500,
+                ovr in 1u32..400,
             ) {
                 let p = DynamicSizeCounting::new(
-                    DscConfig::empirical().with_overestimate(ovr),
+                    DscConfig::empirical().with_overestimate(u64::from(ovr)),
                 );
                 let s = DscState {
                     max: est * ovr,
@@ -524,7 +531,7 @@ mod tests {
                     interactions: 0,
                     ticks: 0,
                 };
-                prop_assert_eq!(p.reported_estimate(&s), est.max(trailing));
+                prop_assert_eq!(p.reported_estimate(&s), u64::from(est.max(trailing)));
             }
 
             /// Phase classification is consistent between the protocol's

@@ -48,7 +48,7 @@ pub mod simplified;
 pub mod state;
 pub mod synthetic;
 
-pub use averaged::{AveragedDsc, AveragedState};
+pub use averaged::{AveragedDsc, AveragedState, SlotVec, MAX_SLOTS};
 pub use clock::{ClockReading, PhaseCensus};
 pub use compose::{Composed, ComposedState, RumorState, SizedPayload, TimedRumor};
 pub use config::{ConfigError, DscConfig};

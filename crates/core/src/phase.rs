@@ -35,7 +35,7 @@ impl Phase {
     /// The phase of `state` under `config`.
     #[inline]
     pub fn of(config: &DscConfig, state: &DscState) -> Phase {
-        let e = state.effective_max() as i64;
+        let e = i64::from(state.effective_max());
         if state.time >= config.tau2 as i64 * e {
             Phase::Exchange
         } else if state.time >= config.tau3 as i64 * e {
@@ -62,7 +62,7 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn state(max: u64, last_max: u64, time: i64) -> DscState {
+    fn state(max: u32, last_max: u32, time: i64) -> DscState {
         DscState {
             max,
             last_max,
@@ -106,7 +106,7 @@ mod tests {
         /// is monotone in `time`: more time never moves an agent backwards
         /// through exchange → hold → reset.
         #[test]
-        fn phase_total_and_monotone(max in 1u64..1_000, lm in 0u64..1_000, time in -100i64..10_000) {
+        fn phase_total_and_monotone(max in 1u32..1_000, lm in 0u32..1_000, time in -100i64..10_000) {
             let c = DscConfig::empirical();
             let here = Phase::of(&c, &state(max, lm, time));
             let above = Phase::of(&c, &state(max, lm, time + 1));
@@ -120,10 +120,10 @@ mod tests {
 
         /// The interval boundaries match the paper's set definitions exactly.
         #[test]
-        fn boundaries_match_set_definitions(max in 1u64..500, time in -10i64..5_000) {
+        fn boundaries_match_set_definitions(max in 1u32..500, time in -10i64..5_000) {
             let c = DscConfig::empirical();
             let s = state(max, 0, time);
-            let e = max as i64;
+            let e = i64::from(max);
             let expected = if time >= c.tau2 as i64 * e {
                 Phase::Exchange
             } else if time >= c.tau3 as i64 * e {

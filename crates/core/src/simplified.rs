@@ -96,15 +96,15 @@ impl Protocol for SimplifiedDynamicSizeCounting {
             || (self.phase(u) == Phase::Reset && self.phase(v) == Phase::Exchange)
             || (self.phase(u) != Phase::Exchange && u.max != v.max)
         {
-            let g = u64::from(grv::geometric(rng));
-            u.time = tau1 * u.max.max(g) as i64;
+            let g = grv::geometric(rng);
+            u.time = tau1 * i64::from(u.max.max(g));
             u.max = g;
             u.ticks += 1;
         }
 
         // Lines 7–8.
         if self.phase(u) == Phase::Exchange && self.phase(v) == Phase::Exchange && u.max < v.max {
-            u.time = tau1 * v.max as i64;
+            u.time = tau1 * i64::from(v.max);
             u.max = v.max;
         }
 
@@ -115,17 +115,17 @@ impl Protocol for SimplifiedDynamicSizeCounting {
 
 impl SizeEstimator for SimplifiedDynamicSizeCounting {
     fn estimate_log2(&self, state: &DscState) -> Option<f64> {
-        Some(state.max as f64)
+        Some(f64::from(state.max))
     }
 
     fn estimate_bucket(&self, state: &DscState) -> Option<u32> {
-        Some(state.max.min(u64::from(u32::MAX)) as u32)
+        Some(state.max)
     }
 }
 
 impl TickProtocol for SimplifiedDynamicSizeCounting {
     fn tick_count(&self, state: &DscState) -> u64 {
-        state.ticks
+        u64::from(state.ticks)
     }
 }
 
@@ -139,7 +139,7 @@ mod tests {
         SimplifiedDynamicSizeCounting::new(DscConfig::empirical())
     }
 
-    fn state(max: u64, time: i64) -> DscState {
+    fn state(max: u32, time: i64) -> DscState {
         DscState {
             max,
             last_max: 0,

@@ -119,18 +119,18 @@ impl SyntheticDsc {
         let tau1 = c.tau1 as i64;
         match pending {
             Pending::Reset => {
-                let grv = c.overestimate * u64::from(grv);
-                u.time = tau1 * u.max.max(grv) as i64;
+                let grv = crate::state::narrow_max(c.overestimate * u64::from(grv));
+                u.time = tau1 * i64::from(u.max.max(grv));
                 u.interactions = 0;
                 u.last_max = u.max;
                 u.max = grv;
                 u.ticks += 1;
             }
             Pending::Backup => {
-                let grv = u64::from(grv);
                 if grv > u.max {
-                    u.time = tau1 * (c.overestimate * grv) as i64;
-                    u.max = c.overestimate * grv;
+                    let scaled = crate::state::narrow_max(c.overestimate * u64::from(grv));
+                    u.time = tau1 * i64::from(scaled);
+                    u.max = scaled;
                     u.ticks += 1;
                 }
             }
@@ -185,7 +185,7 @@ impl Protocol for SyntheticDsc {
         }
 
         // Lines 7–8: backup trigger enters limbo.
-        if du.interactions > c.tau_prime * du.max.max(du.last_max) {
+        if u64::from(du.interactions) > c.tau_prime * u64::from(du.max.max(du.last_max)) {
             du.interactions = 0;
             u.sampler = Some((GrvSampler::new(c.k), Pending::Backup));
             return;
@@ -196,7 +196,7 @@ impl Protocol for SyntheticDsc {
             && Phase::of(c, dv) == Phase::Exchange
             && du.max < dv.max
         {
-            du.time = c.tau1 as i64 * dv.max as i64;
+            du.time = c.tau1 as i64 * i64::from(dv.max);
             du.max = dv.max;
             du.last_max = dv.last_max;
         }
@@ -208,9 +208,10 @@ impl Protocol for SyntheticDsc {
             du.last_max = du.last_max.max(dv.last_max);
         }
 
-        // Line 15.
+        // Line 15 (saturating, as in `full.rs`: a counter at the cap means
+        // the backup threshold cannot fit the packed width anyway).
         du.time = du.time.max(dv.time) - 1;
-        du.interactions += 1;
+        du.interactions = du.interactions.saturating_add(1);
     }
 }
 
@@ -226,7 +227,7 @@ impl SizeEstimator for SyntheticDsc {
 
 impl TickProtocol for SyntheticDsc {
     fn tick_count(&self, state: &SyntheticState) -> u64 {
-        state.dsc.ticks
+        u64::from(state.dsc.ticks)
     }
 }
 

@@ -1,0 +1,306 @@
+//! Fixed-capacity inline vectors for agent-state payloads.
+//!
+//! Payload-carrying protocols (the averaged-slot counters, the
+//! Doty–Eftekhari timer lists) used to store their per-agent lists in a
+//! `Vec`, which puts every agent's payload behind a pointer on the heap:
+//! the simulator's random agent accesses then cost *two* dependent cache
+//! misses (state, then payload), and every state construction or restart
+//! allocates. [`InlineVec`] is a small-vec-style replacement — a length
+//! plus a fixed-size array stored *inside* the state — sized at compile
+//! time by the empirical payload bounds, so agent arrays are contiguous
+//! and steady-state stepping performs zero heap allocations.
+//!
+//! The capacity is a hard bound: exceeding it panics (the protocols
+//! assert their configured payload sizes against it up front).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A vector of at most `N` elements stored inline (no heap allocation).
+///
+/// Dereferences to a slice, so iteration, indexing, and all slice methods
+/// work as on a `Vec`. Equality considers only the live `len` prefix —
+/// dead capacity is never observed. (`Hash`/`Ord` are not implemented; if
+/// they ever are, they must follow the same prefix-only contract rather
+/// than deriving over the full backing array.)
+///
+/// # Examples
+///
+/// ```
+/// use pp_model::InlineVec;
+///
+/// let mut v: InlineVec<u32, 8> = InlineVec::new();
+/// v.push(3);
+/// v.push(5);
+/// assert_eq!(v.as_slice(), &[3, 5]);
+/// v.resize(4, 0);
+/// assert_eq!(v.len(), 4);
+/// assert_eq!(v[2], 0);
+/// ```
+#[derive(Clone, Copy)]
+pub struct InlineVec<T, const N: usize> {
+    len: u32,
+    data: [T; N],
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        InlineVec {
+            len: 0,
+            data: [T::default(); N],
+        }
+    }
+
+    /// Creates a vector of `len` copies of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > N`.
+    pub fn from_elem(value: T, len: usize) -> Self {
+        assert!(len <= N, "InlineVec capacity {N} exceeded: len {len}");
+        let mut v = Self::new();
+        v.data[..len].fill(value);
+        v.len = len as u32;
+        v
+    }
+
+    /// Creates a vector from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() > N`.
+    pub fn from_slice(slice: &[T]) -> Self {
+        assert!(
+            slice.len() <= N,
+            "InlineVec capacity {N} exceeded: len {}",
+            slice.len()
+        );
+        let mut v = Self::new();
+        v.data[..slice.len()].copy_from_slice(slice);
+        v.len = slice.len() as u32;
+        v
+    }
+
+    /// Appends an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is full.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        assert!((self.len as usize) < N, "InlineVec capacity {N} exceeded");
+        self.data[self.len as usize] = value;
+        self.len += 1;
+    }
+
+    /// Resizes to `len`, filling new slots with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > N`.
+    #[inline]
+    pub fn resize(&mut self, len: usize, value: T) {
+        assert!(len <= N, "InlineVec capacity {N} exceeded: len {len}");
+        if len > self.len as usize {
+            self.data[self.len as usize..len].fill(value);
+        }
+        self.len = len as u32;
+    }
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    /// The fixed capacity `N`.
+    pub const CAPACITY: usize = N;
+
+    /// Number of live elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Shortens the vector to `len` (no-op when already shorter).
+    #[inline]
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len as usize {
+            self.len = len as u32;
+        }
+    }
+
+    /// Removes all elements.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The live elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data[..self.len as usize]
+    }
+
+    /// The live elements as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data[..self.len as usize]
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T, const N: usize> DerefMut for InlineVec<T, N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a mut InlineVec<T, N> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: PartialEq, const N: usize, const M: usize> PartialEq<[T; M]> for InlineVec<T, N> {
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty_and_pushes() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(7);
+        v.push(9);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.as_slice(), &[7, 9]);
+    }
+
+    #[test]
+    fn from_elem_and_from_slice_agree() {
+        let a: InlineVec<u32, 8> = InlineVec::from_elem(1, 3);
+        let b: InlineVec<u32, 8> = InlineVec::from_slice(&[1, 1, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a, [1, 1, 1]);
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks() {
+        let mut v: InlineVec<u32, 8> = InlineVec::from_slice(&[5, 6]);
+        v.resize(4, 0);
+        assert_eq!(v, [5, 6, 0, 0]);
+        v.resize(1, 9);
+        assert_eq!(v, [5]);
+    }
+
+    #[test]
+    fn truncate_beyond_len_is_noop() {
+        let mut v: InlineVec<u32, 4> = InlineVec::from_slice(&[1, 2]);
+        v.truncate(10);
+        assert_eq!(v.len(), 2);
+        v.truncate(1);
+        assert_eq!(v, [1]);
+    }
+
+    #[test]
+    fn slice_methods_work_through_deref() {
+        let mut v: InlineVec<u32, 8> = InlineVec::from_slice(&[3, 1, 2]);
+        v.sort_unstable();
+        assert_eq!(v[0], 1);
+        assert_eq!(v.iter().sum::<u32>(), 6);
+        for x in &mut v {
+            *x += 1;
+        }
+        assert_eq!(v, [2, 3, 4]);
+    }
+
+    #[test]
+    fn equality_ignores_dead_capacity() {
+        let mut a: InlineVec<u32, 4> = InlineVec::from_slice(&[1, 2, 3]);
+        a.truncate(2);
+        let b: InlineVec<u32, 4> = InlineVec::from_slice(&[1, 2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let v: InlineVec<u32, 8> = (0..5).collect();
+        assert_eq!(v, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity 2 exceeded")]
+    fn push_past_capacity_panics() {
+        let mut v: InlineVec<u32, 2> = InlineVec::from_slice(&[1, 2]);
+        v.push(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity 2 exceeded")]
+    fn from_slice_past_capacity_panics() {
+        let _: InlineVec<u32, 2> = InlineVec::from_slice(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn no_heap_allocation_in_size() {
+        // The whole payload lives inline: size = array + length (+ padding).
+        assert!(std::mem::size_of::<InlineVec<u32, 8>>() <= 8 * 4 + 4);
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`grv`] — geometrically distributed random variables (`Geom(1/2)`),
 //!   the paper's Algorithm 3 `GRV(k)`, and distribution math for Lemma 4.1.
 //! * [`memory`] — space accounting in bits (the metric of Theorem 2.1).
+//! * [`inline`] — fixed-capacity inline vectors for payload states, so
+//!   agent arrays stay contiguous and stepping never allocates.
 //!
 //! ## Model recap
 //!
@@ -36,6 +38,7 @@
 pub mod agent;
 pub mod config;
 pub mod grv;
+pub mod inline;
 pub mod memory;
 pub mod protocol;
 pub mod scheduler;
@@ -43,6 +46,7 @@ pub mod scheduler;
 pub use agent::AgentId;
 pub use config::Configuration;
 pub use grv::{geometric, grv_max};
+pub use inline::InlineVec;
 pub use memory::{bit_len, MemoryFootprint};
 pub use protocol::{DeterministicProtocol, FiniteProtocol, Protocol, SizeEstimator, TickProtocol};
 pub use scheduler::{

@@ -72,11 +72,15 @@ pub trait Protocol {
     ///
     /// The paper's protocols are all one-way; observers exploit the claim
     /// to skip responder-side bookkeeping (for the estimate tracker, half
-    /// of its per-interaction work). The default `false` is always safe;
-    /// setting `true` for a protocol that does mutate `v` silently
-    /// desynchronizes incremental metrics, so only set it where a test
-    /// pins the one-way property (e.g. `dsc_core`'s
-    /// `responder_is_never_mutated`).
+    /// of its per-interaction work), and the agent-array simulator's
+    /// gather/scatter pipeline exploits it twice more: responder slots are
+    /// neither hazard-marked (responder-responder repetitions within a
+    /// chunk are read-read, not conflicts) nor scattered back (half the
+    /// write traffic). The default `false` is always safe; setting `true`
+    /// for a protocol that does mutate `v` silently desynchronizes
+    /// incremental metrics *and* drops the responder's writes in gathered
+    /// chunks, so only set it where a test pins the one-way property
+    /// (e.g. `dsc_core`'s `responder_is_never_mutated`).
     const ONE_WAY: bool = false;
 
     /// The state of a newly added agent.

@@ -109,7 +109,10 @@ pub fn random_ordered_pair<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (usize, us
 /// draw loop is a tight RNG-only dependency chain, and the apply loop reads
 /// its agent indices from a small local buffer, so the CPU can overlap the
 /// (cache-missing) agent-state loads of many upcoming interactions instead
-/// of serializing address generation behind each transition.
+/// of serializing address generation behind each transition. (The
+/// gather/scatter engine in `pp-sim` interleaves [`random_ordered_pair`]
+/// calls with its read-gather pass instead — same word stream, same
+/// trajectory — and uses this helper for cache-resident populations.)
 ///
 /// # Panics
 ///

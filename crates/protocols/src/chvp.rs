@@ -112,6 +112,15 @@ impl Protocol for BoundedChvp {
     }
 }
 
+impl SizeEstimator for BoundedChvp {
+    /// The countdown value itself (as for [`Chvp`]): snapshot summaries of
+    /// a count-based sweep then report the min/max *occupied value*, which
+    /// is exactly the window statistic Lemmas 4.3/4.4 bound.
+    fn estimate_log2(&self, state: &u32) -> Option<f64> {
+        Some(f64::from(*state))
+    }
+}
+
 /// Event-jump simulable: the countdown rule is deterministic.
 impl pp_model::DeterministicProtocol for BoundedChvp {}
 

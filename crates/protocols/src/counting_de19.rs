@@ -19,16 +19,21 @@
 //! this averaging with its dynamic protocol as an open question;
 //! `dsc-core`'s `averaged` module prototypes exactly that.
 
-use pp_model::{bit_len, grv, MemoryFootprint, Protocol, SizeEstimator};
+use pp_model::{bit_len, grv, InlineVec, MemoryFootprint, Protocol, SizeEstimator};
 use rand::Rng;
 
+/// Hard upper bound on the slot count, sized by the empirical use
+/// (`A ≤ 32` at simulated scales). Inline storage keeps agent states
+/// contiguous — no per-agent heap pointer, no allocation per interaction.
+pub const DE19_MAX_SLOTS: usize = 32;
+
 /// State of an averaging agent: one running maximum per slot.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct De19State {
     /// Whether the agent has contributed its own samples yet.
     pub sampled: bool,
     /// Per-slot running maxima.
-    pub slots: Vec<u32>,
+    pub slots: InlineVec<u32, DE19_MAX_SLOTS>,
 }
 
 /// The averaged max-GRV counter.
@@ -62,9 +67,14 @@ impl De19Averaging {
     ///
     /// # Panics
     ///
-    /// Panics if `slots == 0`.
+    /// Panics if `slots == 0` or `slots` exceeds the inline capacity
+    /// [`DE19_MAX_SLOTS`].
     pub fn new(slots: u32) -> Self {
         assert!(slots > 0, "need at least one slot");
+        assert!(
+            slots as usize <= DE19_MAX_SLOTS,
+            "at most {DE19_MAX_SLOTS} slots fit the inline state, got {slots}"
+        );
         De19Averaging { slots }
     }
 
@@ -83,7 +93,7 @@ impl Protocol for De19Averaging {
     fn initial_state(&self) -> De19State {
         De19State {
             sampled: false,
-            slots: vec![0; self.slots as usize],
+            slots: InlineVec::from_elem(0, self.slots as usize),
         }
     }
 
@@ -134,12 +144,12 @@ mod tests {
         let mut u = p.initial_state();
         let mut v = De19State {
             sampled: true,
-            slots: vec![9, 1, 1, 1],
+            slots: InlineVec::from_slice(&[9, 1, 1, 1]),
         };
         p.interact(&mut u, &mut v, &mut rand::rng());
         assert!(u.sampled);
         assert!(u.slots[0] >= 9, "slot 0 adopts v's larger maximum");
-        assert_eq!(v.slots, vec![9, 1, 1, 1], "one-way");
+        assert_eq!(v.slots, [9, 1, 1, 1], "one-way");
     }
 
     /// The headline: averaging beats a single maximum on *additive* error.

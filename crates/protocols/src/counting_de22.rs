@@ -37,14 +37,23 @@
 //! `threshold(i + 1) = c·(i+1) + c0`; a saturated entry means "value
 //! missing". The estimate is `first_missing − 1`.
 
-use pp_model::{bit_len, grv, MemoryFootprint, Protocol, SizeEstimator};
+use pp_model::{bit_len, grv, InlineVec, MemoryFootprint, Protocol, SizeEstimator};
 use rand::Rng;
 
+/// Hard upper bound on the tracked-value list. The list length stays near
+/// `log2 n + window` (pruning, tested below at ≤ 40); a single entry per
+/// tracked GRV value means 96 entries would correspond to a population of
+/// ~2⁸⁶ agents, far beyond anything an agent array can hold. Values above
+/// the capacity are recorded *as* the capacity — an approximation at
+/// probability `2^-96` per sample. Inline storage removes the per-agent
+/// heap pointer and the allocation on every list extension.
+pub const DE22_MAX_VALUES: usize = 96;
+
 /// State of a Doty–Eftekhari agent: the per-value detection timers.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct De22State {
     /// `timers[i]`: own-interaction-aged detection timer for value `i + 1`.
-    pub timers: Vec<u32>,
+    pub timers: InlineVec<u32, DE22_MAX_VALUES>,
 }
 
 /// The Doty–Eftekhari 2022 baseline protocol.
@@ -141,8 +150,9 @@ impl Protocol for De22Counting {
             *t = ((*t).min(vt) + 1).min(thr);
         }
 
-        // Continuous re-sampling: one fresh GRV per interaction.
-        let g = grv::geometric(rng) as usize;
+        // Continuous re-sampling: one fresh GRV per interaction. Samples
+        // beyond the inline capacity (probability 2^-96) clamp to it.
+        let g = (grv::geometric(rng) as usize).min(DE22_MAX_VALUES);
         if u.timers.len() < g {
             u.timers.resize(g, 0);
         }

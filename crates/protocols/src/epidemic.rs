@@ -91,6 +91,15 @@ impl Protocol for Infection {
     }
 }
 
+impl SizeEstimator for Infection {
+    /// Infected agents "report" 1, susceptible agents report nothing —
+    /// snapshot summaries of a sweep then expose the infected count via
+    /// `without_estimate` (Lemma 4.2 reads epidemic completion off it).
+    fn estimate_log2(&self, state: &bool) -> Option<f64> {
+        state.then_some(1.0)
+    }
+}
+
 /// Event-jump simulable: binary infection is deterministic.
 impl pp_model::DeterministicProtocol for Infection {}
 

@@ -16,6 +16,42 @@ use pp_model::{fill_random_ordered_pairs, Configuration, Protocol, SizeEstimator
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
+/// Pairs per stepping chunk: drawn, gathered, computed, and scattered as
+/// one batch. 64 pairs × 2 agents keeps the gather buffer a few KB (L1)
+/// while giving the memory system ~128 independent agent loads to overlap.
+const CHUNK: usize = 64;
+
+/// Agent-array footprint above which [`Simulator::step_block`] switches
+/// from in-place sequential application to the gather/compute/scatter
+/// pipeline. Below ~2 MB the array is L2-resident and random loads are
+/// cheap — the gather's copy traffic would only cost; above it they are
+/// L3/DRAM misses whose latency the read-gather pass overlaps. Both paths
+/// execute the identical trajectory, so the cutover is purely a
+/// performance decision (measured on the reference box; the crossover is
+/// flat between 1 and 4 MB).
+const GATHER_THRESHOLD_BYTES: usize = 2 << 20;
+
+/// Tests one agent index in the chunk hazard bitmap.
+#[inline]
+fn test_mark(words: &[u64], mask: usize, idx: usize) -> bool {
+    let b = idx & mask;
+    words[b >> 6] & (1u64 << (b & 63)) != 0
+}
+
+/// Marks one agent index in the chunk hazard bitmap.
+#[inline]
+fn set_mark(words: &mut [u64], mask: usize, idx: usize) {
+    let b = idx & mask;
+    words[b >> 6] |= 1u64 << (b & 63);
+}
+
+/// Clears one agent index from the chunk hazard bitmap.
+#[inline]
+fn clear_mark(words: &mut [u64], mask: usize, idx: usize) {
+    let b = idx & mask;
+    words[b >> 6] &= !(1u64 << (b & 63));
+}
+
 /// An in-progress execution of a population protocol.
 ///
 /// The observer type parameter `O` defaults to `()` (no instrumentation);
@@ -51,6 +87,13 @@ pub struct Simulator<P: Protocol, O: Observer<P> = ()> {
     interactions: u64,
     parallel_time: f64,
     inv_n: f64,
+    /// Dense gather buffer: the states of one chunk's drawn pairs
+    /// (`2·CHUNK` slots), reused across chunks — no steady-state allocation.
+    scratch: Vec<P::State>,
+    /// Hazard bitmap for the within-chunk index-collision scan. Sized to a
+    /// power of two (indices are masked; aliases only cause a harmless
+    /// sequential fallback), capped so it stays cache-resident at large n.
+    marks: Vec<u64>,
 }
 
 impl<P: Protocol> Simulator<P, ()> {
@@ -98,7 +141,8 @@ impl<P: Protocol, O: Observer<P>> Simulator<P, O> {
         } else {
             1.0 / config.len() as f64
         };
-        Simulator {
+        let scratch = vec![protocol.initial_state(); 2 * CHUNK];
+        let mut sim = Simulator {
             protocol,
             config,
             observer,
@@ -106,6 +150,22 @@ impl<P: Protocol, O: Observer<P>> Simulator<P, O> {
             interactions: 0,
             parallel_time: 0.0,
             inv_n,
+            scratch,
+            marks: Vec::new(),
+        };
+        sim.grow_marks();
+        sim
+    }
+
+    /// Ensures the hazard bitmap covers the current population (grow-only;
+    /// the mask is derived from the allocated size). Capped at 2¹⁹ bits
+    /// (64 KB): beyond that, masked aliases merely trigger the sequential
+    /// fallback on ~1–2 % of chunks, which is cheaper than a bitmap that
+    /// no longer fits L2.
+    fn grow_marks(&mut self) {
+        let bits = self.config.len().next_power_of_two().clamp(64, 1 << 19);
+        if self.marks.len() < bits / 64 {
+            self.marks.resize(bits / 64, 0);
         }
     }
 
@@ -177,23 +237,49 @@ impl<P: Protocol, O: Observer<P>> Simulator<P, O> {
         self.step_block(count);
     }
 
-    /// Simulates a block of `count` interactions in one tight loop.
+    /// Simulates a block of `count` interactions as a
+    /// gather/compute/scatter pipeline.
     ///
-    /// This is the engine's hot path. Pairs are drawn a chunk at a time
-    /// into a small local buffer (a single Lemire draw per pair; the RNG
-    /// dependency chain runs tight and the apply loop's agent-state loads
-    /// overlap across iterations instead of serializing behind each
-    /// transition), the per-step work is pure integer bookkeeping (the
-    /// float parallel-time update happens once per block), and both the
-    /// protocol's transition and the observer hooks are monomorphized over
-    /// `SmallRng` — for `O = ()` the hooks compile away entirely.
+    /// This is the engine's hot path. Per chunk of [`CHUNK`] pairs:
+    ///
+    /// 1. **Draw** — all pair indices up front (a single Lemire draw per
+    ///    pair; the RNG dependency chain runs tight, untangled from the
+    ///    agent loads).
+    /// 2. **Gather** — the drawn agents' states are copied into a dense
+    ///    L1-resident scratch buffer. This is the safe read-gather pass
+    ///    that stands in for explicit prefetches: the copy loop has no
+    ///    per-iteration dependencies, so the out-of-order core overlaps
+    ///    up to `2·CHUNK` independent (cache-missing) agent loads instead
+    ///    of serializing each miss behind the previous transition —
+    ///    exactly the latency that dominates once the agent array
+    ///    outgrows L2 (n ≥ 10⁵ at 24 bytes per state). The same loop runs
+    ///    the **index-collision scan**: a chunk-local hazard bitmap marks
+    ///    each pair's written agents and flags the first pair that touches
+    ///    an agent an earlier pair wrote (for a [`Protocol::ONE_WAY`]
+    ///    protocol, only initiators write, so responder-responder
+    ///    repetitions are harmless and not flagged).
+    /// 3. **Compute** — the hazard-free prefix runs the protocol's
+    ///    transitions (and observer hooks) on the scratch buffer in drawn
+    ///    order, touching only L1.
+    /// 4. **Scatter** — the prefix's post-states are written back
+    ///    (initiators only, for one-way protocols); then the colliding
+    ///    tail of the chunk *falls back to plain sequential order* in
+    ///    place, so the executed trajectory is bit-identical to the
+    ///    sequential semantics regardless of where the pipeline cuts over
+    ///    (`tests/golden_trace.rs` pins it).
+    ///
+    /// Per-step work is pure integer bookkeeping (the float parallel-time
+    /// update happens once per block); transitions and observer hooks are
+    /// monomorphized over `SmallRng` — for `O = ()` the hooks compile away
+    /// entirely. Steady-state stepping performs **zero heap allocations**:
+    /// the scratch buffer and hazard bitmap are preallocated and reused
+    /// (`tests/alloc.rs` pins this with a counting allocator).
     ///
     /// Within a chunk the scheduler's pair draws precede the transitions'
     /// own coin flips in the RNG word stream; pairs and protocol coins are
     /// independent uniform words either way, so any chunking yields an
     /// exact sampling of the model. The executed trace is a function of
-    /// the seed and the sequence of calls alone (`tests/golden_trace.rs`
-    /// pins it).
+    /// the seed and the sequence of calls alone.
     ///
     /// # Panics
     ///
@@ -207,14 +293,95 @@ impl<P: Protocol, O: Observer<P>> Simulator<P, O> {
             n >= 2,
             "an interaction needs at least two agents, got n={n}"
         );
-        const CHUNK: usize = 64;
         let mut pairs = [(0usize, 0usize); CHUNK];
+        let mask = self.marks.len() * 64 - 1;
         let base = self.interactions;
+        // Cache-resident agent arrays skip the pipeline: every load is an
+        // L1/L2 hit, so the gather's copy traffic could only lose. The two
+        // paths run the same pairs against the same RNG stream — identical
+        // trajectories, purely a throughput decision.
+        let gathered = n.saturating_mul(std::mem::size_of::<P::State>()) > GATHER_THRESHOLD_BYTES;
         let mut done = 0u64;
         while done < count {
             let chunk = ((count - done) as usize).min(CHUNK);
-            fill_random_ordered_pairs(n, &mut self.rng, &mut pairs[..chunk]);
-            for &(i, j) in &pairs[..chunk] {
+
+            // Draw + gather: each pair is drawn and its two agents' states
+            // are immediately copied into the dense scratch buffer (the
+            // word stream is exactly the one `fill_random_ordered_pairs`
+            // followed by a separate gather would consume, so the
+            // trajectory is unchanged). The copies have no cross-iteration
+            // dependencies, so the out-of-order core overlaps up to
+            // 2·CHUNK random (L3/DRAM-missing) loads while the serial RNG
+            // chain computes ahead — neither the memory system nor the
+            // generator ever waits for the other. When the agent array is
+            // cache-resident the gather is skipped and the whole chunk
+            // takes the in-place path below.
+            let mut clean = 0;
+            if gathered {
+                let states = self.config.as_slice();
+                for (slot, pair) in self
+                    .scratch
+                    .chunks_exact_mut(2)
+                    .zip(pairs[..chunk].iter_mut())
+                {
+                    let (i, j) = pp_model::random_ordered_pair(n, &mut self.rng);
+                    *pair = (i, j);
+                    slot[0].clone_from(&states[i]);
+                    slot[1].clone_from(&states[j]);
+                }
+
+                // Collision scan, on indices only (the bitmap stays
+                // cache-resident): `clean` becomes the hazard-free prefix —
+                // the pairs up to the first one that touches an agent an
+                // earlier pair wrote. One-way protocols write initiators
+                // only, so responder-responder repeats are not hazards.
+                clean = chunk;
+                for (k, &(i, j)) in pairs[..chunk].iter().enumerate() {
+                    if test_mark(&self.marks, mask, i) || test_mark(&self.marks, mask, j) {
+                        clean = k;
+                        break;
+                    }
+                    set_mark(&mut self.marks, mask, i);
+                    if !P::ONE_WAY {
+                        set_mark(&mut self.marks, mask, j);
+                    }
+                }
+            } else {
+                fill_random_ordered_pairs(n, &mut self.rng, &mut pairs[..chunk]);
+            }
+
+            // Compute: transitions on the dense scratch buffer, in drawn
+            // order (the RNG word stream is position-for-position the one
+            // the sequential loop would consume).
+            for (slot, &(i, j)) in self.scratch.chunks_exact_mut(2).zip(pairs[..clean].iter()) {
+                let (a, b) = slot.split_at_mut(1);
+                let u = &mut a[0];
+                let v = &mut b[0];
+                self.observer
+                    .pre_interact(&self.protocol, u, v, i, j, base + done);
+                self.protocol.interact(u, v, &mut self.rng);
+                self.observer
+                    .post_interact(&self.protocol, u, v, i, j, base + done);
+                done += 1;
+            }
+
+            // Scatter the prefix's post-states back to the agent array,
+            // resetting exactly the hazard bits this chunk set (clearing
+            // the whole bitmap would cost O(n) per chunk). One-way
+            // protocols never mutate the responder, so only initiator
+            // slots are written (half the scatter traffic).
+            for (slot, &(i, j)) in self.scratch.chunks_exact(2).zip(pairs[..clean].iter()) {
+                self.config.get_mut(i).clone_from(&slot[0]);
+                clear_mark(&mut self.marks, mask, i);
+                if !P::ONE_WAY {
+                    self.config.get_mut(j).clone_from(&slot[1]);
+                    clear_mark(&mut self.marks, mask, j);
+                }
+            }
+
+            // Colliding tail: sequential order, in place — the trajectory
+            // the gathered path must (and does) reproduce exactly.
+            for &(i, j) in &pairs[clean..chunk] {
                 let (u, v) = self.config.pair_mut(i, j);
                 self.observer
                     .pre_interact(&self.protocol, u, v, i, j, base + done);
@@ -299,6 +466,7 @@ impl<P: Protocol, O: Observer<P>> Simulator<P, O> {
         } else {
             1.0 / self.config.len() as f64
         };
+        self.grow_marks();
     }
 }
 
@@ -444,6 +612,122 @@ mod tests {
         sim.run_parallel_time(5.0);
         assert!((sim.parallel_time() - 5.0).abs() < 1e-9);
         assert_eq!(sim.interactions(), 0);
+    }
+
+    /// The gather/compute/scatter path and the in-place sequential path
+    /// must execute the *same* trajectory. Two protocols with identical
+    /// transition semantics but different state sizes — one above the
+    /// gather threshold, one far below — consume the same RNG stream
+    /// (transitions draw no randomness), so after the same number of steps
+    /// their value arrays must be equal element-for-element. At n = 5 000
+    /// most 64-pair chunks contain index collisions, so this also stresses
+    /// the hazard scan, the prefix split, and the bitmap clearing.
+    #[test]
+    fn gathered_and_sequential_paths_execute_the_same_trajectory() {
+        /// > 512 bytes: 5 000 agents ≈ 2.6 MB, beyond the gather threshold.
+        #[derive(Clone, Debug, PartialEq)]
+        struct Padded {
+            v: u32,
+            _pad: [u64; 64],
+        }
+        /// Two-way max over the padded state (exercises responder marks
+        /// and responder scatter).
+        struct BigMax;
+        impl Protocol for BigMax {
+            type State = Padded;
+            fn initial_state(&self) -> Padded {
+                Padded {
+                    v: 0,
+                    _pad: [0; 64],
+                }
+            }
+            fn interact<R: Rng + ?Sized>(&self, u: &mut Padded, v: &mut Padded, _: &mut R) {
+                let m = u.v.max(v.v);
+                u.v = m;
+                v.v = m;
+            }
+        }
+        /// The same transition on a 4-byte state (sequential path).
+        struct SmallMax;
+        impl Protocol for SmallMax {
+            type State = u32;
+            fn initial_state(&self) -> u32 {
+                0
+            }
+            fn interact<R: Rng + ?Sized>(&self, u: &mut u32, v: &mut u32, _: &mut R) {
+                let m = (*u).max(*v);
+                *u = m;
+                *v = m;
+            }
+        }
+        let n = 5_000;
+        let steps = 20_000;
+        let mut big = Simulator::with_seed(BigMax, n, 99);
+        let mut small = Simulator::with_seed(SmallMax, n, 99);
+        for i in 0..10 {
+            big.state_mut(i * 97).v = i as u32 + 1;
+            *small.state_mut(i * 97) = i as u32 + 1;
+        }
+        big.step_n(steps);
+        small.step_n(steps);
+        let big_values: Vec<u32> = big.states().iter().map(|s| s.v).collect();
+        let small_values: Vec<u32> = small.states().to_vec();
+        assert_eq!(big_values, small_values);
+    }
+
+    /// The one-way specialization of the gathered path — initiator-only
+    /// hazard marking and initiator-only scatter — against the sequential
+    /// path, same construction as the two-way test above. This is the
+    /// branch every DSC benchmark at n ≥ 10⁵ runs (`ONE_WAY = true`), so
+    /// its equivalence gets its own pin.
+    #[test]
+    fn one_way_gathered_path_matches_sequential() {
+        #[derive(Clone, Debug, PartialEq)]
+        struct Padded {
+            v: u32,
+            _pad: [u64; 64],
+        }
+        /// One-way max epidemic over the padded state (gathered at 5 000
+        /// agents).
+        struct BigMax;
+        impl Protocol for BigMax {
+            type State = Padded;
+            const ONE_WAY: bool = true;
+            fn initial_state(&self) -> Padded {
+                Padded {
+                    v: 0,
+                    _pad: [0; 64],
+                }
+            }
+            fn interact<R: Rng + ?Sized>(&self, u: &mut Padded, v: &mut Padded, _: &mut R) {
+                u.v = u.v.max(v.v);
+            }
+        }
+        /// The same one-way transition on a 4-byte state (sequential path).
+        struct SmallMax;
+        impl Protocol for SmallMax {
+            type State = u32;
+            const ONE_WAY: bool = true;
+            fn interact<R: Rng + ?Sized>(&self, u: &mut u32, v: &mut u32, _: &mut R) {
+                *u = (*u).max(*v);
+            }
+            fn initial_state(&self) -> u32 {
+                0
+            }
+        }
+        let n = 5_000;
+        let steps = 20_000;
+        let mut big = Simulator::with_seed(BigMax, n, 1234);
+        let mut small = Simulator::with_seed(SmallMax, n, 1234);
+        for i in 0..10 {
+            big.state_mut(i * 131).v = i as u32 + 1;
+            *small.state_mut(i * 131) = i as u32 + 1;
+        }
+        big.step_n(steps);
+        small.step_n(steps);
+        let big_values: Vec<u32> = big.states().iter().map(|s| s.v).collect();
+        let small_values: Vec<u32> = small.states().to_vec();
+        assert_eq!(big_values, small_values);
     }
 
     #[test]

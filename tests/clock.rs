@@ -71,7 +71,7 @@ fn ticks_are_monotone_and_roughly_uniform_across_agents() {
     let p = DynamicSizeCounting::new(DscConfig::empirical());
     let mut sim = Simulator::with_seed(p, n, 23);
     sim.run_parallel_time(3_000.0);
-    let ticks: Vec<u64> = sim.states().iter().map(|s| s.ticks).collect();
+    let ticks: Vec<u64> = sim.states().iter().map(|s| u64::from(s.ticks)).collect();
     let min = *ticks.iter().min().unwrap();
     let max = *ticks.iter().max().unwrap();
     assert!(min >= 1, "every agent must have ticked");

@@ -62,10 +62,10 @@ impl Observer<DynamicSizeCounting> for Recorder {
         self.entries.push(Entry {
             u: ui as u32,
             v: vi as u32,
-            max: u.max,
-            last_max: u.last_max,
+            max: u64::from(u.max),
+            last_max: u64::from(u.last_max),
             time: u.time,
-            interactions: u.interactions,
+            interactions: u64::from(u.interactions),
         });
     }
     fn agent_added(&mut self, _: &DynamicSizeCounting, _: &DscState) {}

@@ -15,6 +15,8 @@
 //! * [`memory`] — per-agent bit footprints (Theorem 2.1's space bound).
 //! * [`table`] / [`csv`] / [`sparkline`](mod@sparkline) — output: ASCII tables, plot-ready
 //!   CSV, and terminal sparklines.
+//! * [`report`] — named row tables ([`TableSpec`]) and the single shared
+//!   CSV emission point every bench experiment routes through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +26,7 @@ pub mod convergence;
 pub mod csv;
 pub mod memory;
 pub mod relative_error;
+pub mod report;
 pub mod series;
 pub mod sparkline;
 pub mod stats;
@@ -34,6 +37,7 @@ pub use convergence::{convergence_time, holding_time, Band, HoldingTime};
 pub use csv::write_csv;
 pub use memory::{memory_profile, theorem_bound_bits, MemoryProfile};
 pub use relative_error::{relative_deviation, RelativeDeviation};
+pub use report::{write_tables, TableSpec};
 pub use series::{PooledPoint, PooledSeries};
 pub use sparkline::{render_band, sparkline};
 pub use stats::{mean, median, quantile, std_dev, Summary};

@@ -1,0 +1,109 @@
+//! Schema-consistent experiment output: named row tables and one shared
+//! CSV emission point.
+//!
+//! Every experiment in the bench harness produces its results as
+//! [`TableSpec`]s — a target file name, a header row, and data rows — and
+//! the driver writes them all through [`write_tables`]. Routing every
+//! experiment through one writer keeps the output schema uniform (RFC 4180
+//! escaping, header-first layout, one directory per invocation) and gives
+//! the harness a single place to assert on: the registry smoke test
+//! compares `TableSpec` rows across thread counts without touching the
+//! filesystem.
+
+use crate::csv::write_csv;
+use std::path::Path;
+
+/// One named output table: the in-memory form of an experiment CSV.
+///
+/// # Examples
+///
+/// ```
+/// use pp_analysis::TableSpec;
+///
+/// let mut t = TableSpec::new("fig2.csv", &["t", "median"]);
+/// t.push(vec!["0".into(), "1.00".into()]);
+/// assert_eq!(t.rows.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSpec {
+    /// File name the table is written to (relative to the output
+    /// directory), e.g. `"fig2.csv"`.
+    pub file: String,
+    /// Header cells.
+    pub headers: Vec<String>,
+    /// Data rows; every row should have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableSpec {
+    /// Creates an empty table targeting `file` with the given headers.
+    pub fn new(file: impl Into<String>, headers: &[&str]) -> Self {
+        TableSpec {
+            file: file.into(),
+            headers: headers.iter().map(|h| (*h).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width — schema
+    /// consistency is the point of routing output through one type.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "{}: row width {} != header width {}",
+            self.file,
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+}
+
+/// Writes every table under `dir` (creating it as needed) and returns the
+/// written paths in table order.
+///
+/// # Errors
+///
+/// Returns the first I/O error from directory creation or file writing.
+pub fn write_tables(dir: impl AsRef<Path>, tables: &[TableSpec]) -> std::io::Result<Vec<String>> {
+    let dir = dir.as_ref();
+    let mut paths = Vec::with_capacity(tables.len());
+    for table in tables {
+        let path = dir.join(&table.file);
+        let headers: Vec<&str> = table.headers.iter().map(String::as_str).collect();
+        write_csv(&path, &headers, &table.rows)?;
+        paths.push(path.display().to_string());
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_every_table_and_returns_paths() {
+        let dir = std::env::temp_dir().join(format!("pp_analysis_report_{}", std::process::id()));
+        let mut a = TableSpec::new("a.csv", &["x", "y"]);
+        a.push(vec!["1".into(), "2".into()]);
+        let mut b = TableSpec::new("b.csv", &["z"]);
+        b.push(vec!["3".into()]);
+        let paths = write_tables(&dir, &[a, b]).unwrap();
+        assert_eq!(paths.len(), 2);
+        let contents = std::fs::read_to_string(&paths[0]).unwrap();
+        assert_eq!(contents, "x,y\n1,2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn push_rejects_ragged_rows() {
+        let mut t = TableSpec::new("t.csv", &["a", "b"]);
+        t.push(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,78 @@
+//! `dsc-bench` — the one driver for every registered experiment.
+//!
+//! ```text
+//! dsc-bench <EXPERIMENT>… [flags]   run the named experiments, in order
+//! dsc-bench all [flags]             run the whole registry (repro order)
+//! dsc-bench repro [flags]           alias for `all`
+//! dsc-bench list                    print the registry and exit
+//! ```
+//!
+//! Flags are the shared `Scale` flags: `--full | --smoke`, `--runs N`,
+//! `--seed S`, `--threads T` (0 = machine parallelism), `--out DIR`
+//! (CSV output, default `results/`). Every experiment executes its grid
+//! on the `pp_sim::Sweep` engine — parallel, and bit-identical across
+//! thread counts — and emits its CSV tables through the shared
+//! `pp_analysis` writer.
+
+use pp_bench::experiments::{self, ExperimentSpec};
+use pp_bench::Scale;
+
+fn print_registry() {
+    println!("registered experiments:");
+    for spec in experiments::REGISTRY {
+        println!(
+            "  {:<14} {:<22} {}",
+            spec.name, spec.paper_ref, spec.description
+        );
+    }
+    println!("\nusage: dsc-bench <experiment>… | all | repro | list  [--full | --smoke] [--runs N] [--seed S] [--threads T] [--out DIR]");
+}
+
+fn main() {
+    let (scale, names) = Scale::parse_args(std::env::args().skip(1));
+    if names.is_empty() {
+        print_registry();
+        std::process::exit(2);
+    }
+    if names.iter().any(|n| n == "list") {
+        if names.len() > 1 {
+            eprintln!("`list` cannot be combined with experiment names: {names:?}");
+            std::process::exit(2);
+        }
+        print_registry();
+        return;
+    }
+
+    // Validate every name up front — a typo must be diagnosed even when
+    // an `all`/`repro` in the same invocation would run everything anyway.
+    let mut run_all = false;
+    let mut picked = Vec::new();
+    for name in &names {
+        if name == "all" || name == "repro" {
+            run_all = true;
+        } else if let Some(spec) = experiments::find(name) {
+            picked.push(spec);
+        } else {
+            eprintln!("unknown experiment: {name}\n");
+            print_registry();
+            std::process::exit(2);
+        }
+    }
+    let selected: Vec<&ExperimentSpec> = if run_all {
+        experiments::REGISTRY.iter().collect()
+    } else {
+        picked
+    };
+
+    let t0 = std::time::Instant::now();
+    for spec in &selected {
+        experiments::run_and_write(spec, &scale);
+    }
+    if selected.len() > 1 {
+        println!(
+            "{} experiment(s) finished in {:.1?}",
+            selected.len(),
+            t0.elapsed()
+        );
+    }
+}

@@ -22,12 +22,18 @@
 //!   exactly the per-interaction work every §5 convergence experiment pays
 //!   (this is the workload behind `Experiment::run` and all figures).
 //!
+//! A chunk-size sweep rides along: `step_block`'s pairs-per-chunk constant
+//! (production: 64) is measured against 32 and 128 on the memory-bound
+//! populations via [`Simulator::step_n_with_chunk`], alternated A/B/C over
+//! several rounds against the shared-vCPU noise, and recorded under
+//! `"chunk_sweep"` in the JSON so the choice of `CHUNK` stays auditable.
+//!
 //! Flags: the shared `Scale` flags; `--smoke` shrinks the measurement
 //! budget so CI can exercise the harness (and validate the JSON schema)
 //! in seconds.
 
 use pp_bench::Scale;
-use pp_sim::Simulator;
+use pp_sim::{ChunkSize, Simulator};
 use std::io::Write;
 use std::time::Instant;
 
@@ -92,6 +98,73 @@ fn measure(mut sim_step: impl FnMut(u64), budget_secs: f64) -> f64 {
             return total as f64 / elapsed;
         }
     }
+}
+
+/// Measures plain stepping at each chunk size on the memory-bound
+/// populations, alternating the three sizes per round (A/B/C/A/B/C…) so
+/// box-level throughput swings hit all of them alike. Returns one JSON
+/// object per population.
+fn chunk_sweep(scale: &Scale, warm: f64, budget: f64, rounds: usize) -> Vec<String> {
+    const CHUNKS: [(ChunkSize, &str); 3] = [
+        (ChunkSize::C32, "c32"),
+        (ChunkSize::C64, "c64"),
+        (ChunkSize::C128, "c128"),
+    ];
+    let ns: &[usize] = if scale.smoke {
+        &[100_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
+    let mut lines = Vec::new();
+    for &n in ns {
+        // One warmed steady-state simulator per chunk size, re-measured
+        // every round.
+        let mut sims: Vec<Simulator<_, ()>> = CHUNKS
+            .iter()
+            .map(|_| {
+                let mut sim = Simulator::with_seed(pp_bench::paper_protocol(), n, scale.seed);
+                sim.run_parallel_time(warm);
+                sim
+            })
+            .collect();
+        let mut rates: Vec<Vec<f64>> = vec![Vec::new(); CHUNKS.len()];
+        for _ in 0..rounds {
+            for (k, &(chunk, _)) in CHUNKS.iter().enumerate() {
+                rates[k].push(measure(|c| sims[k].step_n_with_chunk(c, chunk), budget));
+            }
+        }
+        let medians: Vec<f64> = rates
+            .iter()
+            .map(|r| pp_analysis::median(r).expect("at least one round"))
+            .collect();
+        let winner = CHUNKS[medians
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite rates"))
+            .expect("nonempty")
+            .0]
+            .1;
+        println!(
+            "chunk sweep n = {:>7}: c32 {:6.2} M/s  c64 {:6.2} M/s  c128 {:6.2} M/s  -> {winner}",
+            n,
+            medians[0] / 1e6,
+            medians[1] / 1e6,
+            medians[2] / 1e6,
+        );
+        lines.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"n\": {},\n",
+                "      \"c32_interactions_per_sec\": {:.1},\n",
+                "      \"c64_interactions_per_sec\": {:.1},\n",
+                "      \"c128_interactions_per_sec\": {:.1},\n",
+                "      \"winner\": \"{}\"\n",
+                "    }}"
+            ),
+            n, medians[0], medians[1], medians[2], winner,
+        ));
+    }
+    lines
 }
 
 fn main() {
@@ -166,6 +239,16 @@ fn main() {
         ));
     }
 
+    // The chunk-size sweep: fewer rounds in smoke mode, where only the
+    // schema matters.
+    let chunk_rounds = if scale.smoke { 1 } else { 5 };
+    let chunk_lines = chunk_sweep(
+        &scale,
+        if scale.smoke { 1.0 } else { warm },
+        budget,
+        chunk_rounds,
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -178,11 +261,17 @@ fn main() {
             "in-place sequential application\",\n",
             "  \"seed_engine\": \"e6ffe7a: dyn Rng, two draws per pair\",\n",
             "  \"master_seed\": {},\n",
-            "  \"points\": [\n{}\n  ]\n",
+            "  \"points\": [\n{}\n  ],\n",
+            "  \"chunk_sweep_note\": \"plain stepping at 32/64/128 pairs per step_block ",
+            "chunk, alternated per round, medians of {} rounds; the winner justifies ",
+            "the production CHUNK constant\",\n",
+            "  \"chunk_sweep\": [\n{}\n  ]\n",
             "}}\n"
         ),
         scale.seed,
         lines.join(",\n"),
+        chunk_rounds,
+        chunk_lines.join(",\n"),
     );
     // Smoke runs must not clobber the committed paper-scale record.
     let path = if scale.smoke {

@@ -1,8 +1,9 @@
 //! E10: ablations of the protocol's design choices.
 //!
-//! Each variant runs the same converge-then-crash scenario; measured are
-//! convergence time, stability (band violations between convergence and
-//! the crash), and whether the estimate adapts after the crash.
+//! Each variant runs the same converge-then-crash scenario — a single-cell
+//! [`Sweep`](pp_sim::Sweep) grid under the crash schedule — and measured
+//! are convergence time, stability (band violations between convergence
+//! and the crash), and whether the estimate adapts after the crash.
 //!
 //! Variants and what they probe:
 //!
@@ -21,9 +22,16 @@
 
 use crate::{f2, log2n, Scale};
 use dsc_core::{DscConfig, DynamicSizeCounting, SimplifiedDynamicSizeCounting};
-use pp_analysis::{convergence_time, mean, write_csv, Band, PooledSeries, Table};
+use pp_analysis::{convergence_time, mean, Band, PooledSeries, Table, TableSpec};
 use pp_model::SizeEstimator;
 use pp_sim::{AdversarySchedule, PopulationEvent};
+
+struct Scenario {
+    n: usize,
+    survivors: usize,
+    crash_at: f64,
+    horizon: f64,
+}
 
 struct Measured {
     convergence: f64,
@@ -31,21 +39,21 @@ struct Measured {
     post_crash: Option<f64>,
 }
 
-fn measure<P>(
-    scale: &Scale,
-    protocol: P,
-    n: usize,
-    crash_at: f64,
-    survivors: usize,
-    horizon: f64,
-) -> Measured
+fn measure<P>(scale: &Scale, protocol: P, sc: &Scenario) -> Measured
 where
     P: SizeEstimator + Clone + Send + Sync,
     P::State: Clone + Send + Sync + 'static,
 {
-    let schedule = AdversarySchedule::new().at(crash_at, PopulationEvent::ResizeTo(survivors));
-    let runs = crate::run_many_protocol(scale, protocol, n, horizon, 5.0, schedule);
-    let band = Band::around_log_n(n, 0.4, 6.0);
+    let schedule =
+        AdversarySchedule::new().at(sc.crash_at, PopulationEvent::ResizeTo(sc.survivors));
+    let results = crate::sweep_of(scale, protocol)
+        .populations([sc.n])
+        .schedule("crash", schedule)
+        .horizon(sc.horizon)
+        .snapshot_every(5.0)
+        .run();
+    let runs = &results.cells[0].runs;
+    let band = Band::around_log_n(sc.n, 0.4, 6.0);
     let conv: Vec<f64> = runs
         .iter()
         .filter_map(|r| convergence_time(r, band))
@@ -53,12 +61,12 @@ where
     let convergence = mean(&conv).unwrap_or(f64::NAN);
     // Violations: snapshots between convergence and crash outside the band.
     let mut violations = 0usize;
-    for r in &runs {
+    for r in runs {
         let Some(c) = convergence_time(r, band) else {
             continue;
         };
         for s in &r.snapshots {
-            if s.parallel_time <= c || s.parallel_time >= crash_at {
+            if s.parallel_time <= c || s.parallel_time >= sc.crash_at {
                 continue;
             }
             match &s.estimates {
@@ -68,7 +76,7 @@ where
         }
     }
     // Post-crash adaptation: median at the horizon.
-    let pooled = PooledSeries::pool(&runs);
+    let pooled = PooledSeries::pool(runs);
     let post_crash = pooled.points.last().map(|p| p.median);
     Measured {
         convergence,
@@ -77,148 +85,50 @@ where
     }
 }
 
-/// Runs E10 and writes `ablation.csv`.
-pub fn run(scale: &Scale) {
-    let n = if scale.full { 8_192 } else { 2_048 };
-    let survivors = 64;
-    let crash_at = 800.0;
-    let horizon = 2_500.0;
+/// Runs E10, returning the `ablation.csv` table.
+pub fn run(scale: &Scale) -> Vec<TableSpec> {
+    let sc = if scale.smoke {
+        Scenario {
+            n: 128,
+            survivors: 16,
+            crash_at: 200.0,
+            horizon: 600.0,
+        }
+    } else {
+        Scenario {
+            n: if scale.full { 8_192 } else { 2_048 },
+            survivors: 64,
+            crash_at: 800.0,
+            horizon: 2_500.0,
+        }
+    };
     println!(
-        "== Ablations (n = {n} → {survivors} at t = {crash_at}, {} runs) ==",
-        scale.runs
+        "== Ablations (n = {} → {} at t = {}, {} runs) ==",
+        sc.n, sc.survivors, sc.crash_at, scale.runs
     );
     println!(
         "   references: log2(n) = {}, log2(survivors) = {}",
-        f2(log2n(n)),
-        f2(log2n(survivors))
+        f2(log2n(sc.n)),
+        f2(log2n(sc.survivors))
     );
 
     let base = DscConfig::empirical();
-    type Variant<'a> = (&'a str, Box<dyn Fn() -> Measured>);
-    let variants: Vec<Variant> = vec![
-        (
-            "full (6,4,2) k=16",
-            Box::new({
-                let scale = scale.clone();
-                move || {
-                    measure(
-                        &scale,
-                        DynamicSizeCounting::new(base),
-                        n,
-                        crash_at,
-                        survivors,
-                        horizon,
-                    )
-                }
-            }),
-        ),
-        (
-            "Algorithm 1 (simplified)",
-            Box::new({
-                let scale = scale.clone();
-                move || {
-                    measure(
-                        &scale,
-                        SimplifiedDynamicSizeCounting::new(base),
-                        n,
-                        crash_at,
-                        survivors,
-                        horizon,
-                    )
-                }
-            }),
-        ),
-        (
-            "k=1",
-            Box::new({
-                let scale = scale.clone();
-                move || {
-                    measure(
-                        &scale,
-                        DynamicSizeCounting::new(base.with_k(1)),
-                        n,
-                        crash_at,
-                        survivors,
-                        horizon,
-                    )
-                }
-            }),
-        ),
-        (
-            "k=4",
-            Box::new({
-                let scale = scale.clone();
-                move || {
-                    measure(
-                        &scale,
-                        DynamicSizeCounting::new(base.with_k(4)),
-                        n,
-                        crash_at,
-                        survivors,
-                        horizon,
-                    )
-                }
-            }),
-        ),
-        (
-            "backup disabled",
-            Box::new({
-                let scale = scale.clone();
-                move || {
-                    measure(
-                        &scale,
-                        DynamicSizeCounting::new(base.with_tau_prime(u64::MAX / 1_000_000)),
-                        n,
-                        crash_at,
-                        survivors,
-                        horizon,
-                    )
-                }
-            }),
-        ),
-        (
-            "taus (12,8,4)",
-            Box::new({
-                let scale = scale.clone();
-                move || {
-                    measure(
-                        &scale,
-                        DynamicSizeCounting::new(base.with_taus(12, 8, 4)),
-                        n,
-                        crash_at,
-                        survivors,
-                        horizon,
-                    )
-                }
-            }),
-        ),
-        (
-            "taus (3,2,1)",
-            Box::new({
-                let scale = scale.clone();
-                move || {
-                    measure(
-                        &scale,
-                        DynamicSizeCounting::new(base.with_taus(3, 2, 1)),
-                        n,
-                        crash_at,
-                        survivors,
-                        horizon,
-                    )
-                }
-            }),
-        ),
-    ];
-
     let mut table = Table::new(vec![
         "variant",
         "conv. time",
         "violations",
         "median after crash",
     ]);
-    let mut rows = Vec::new();
-    for (name, f) in variants {
-        let m = f();
+    let mut csv = TableSpec::new(
+        "ablation.csv",
+        &[
+            "variant",
+            "convergence_time",
+            "violations",
+            "median_after_crash",
+        ],
+    );
+    let mut add = |name: &str, m: Measured| {
         let post = m.post_crash.map(f2).unwrap_or_else(|| "-".into());
         table.row(vec![
             name.to_string(),
@@ -226,24 +136,55 @@ pub fn run(scale: &Scale) {
             m.violations.to_string(),
             post.clone(),
         ]);
-        rows.push(vec![
+        csv.push(vec![
             name.to_string(),
             format!("{}", m.convergence),
             m.violations.to_string(),
             post,
         ]);
-    }
+    };
+
+    add(
+        "full (6,4,2) k=16",
+        measure(scale, DynamicSizeCounting::new(base), &sc),
+    );
+    add(
+        "Algorithm 1 (simplified)",
+        measure(scale, SimplifiedDynamicSizeCounting::new(base), &sc),
+    );
+    add(
+        "k=1",
+        measure(scale, DynamicSizeCounting::new(base.with_k(1)), &sc),
+    );
+    add(
+        "k=4",
+        measure(scale, DynamicSizeCounting::new(base.with_k(4)), &sc),
+    );
+    add(
+        "backup disabled",
+        measure(
+            scale,
+            DynamicSizeCounting::new(base.with_tau_prime(u64::MAX / 1_000_000)),
+            &sc,
+        ),
+    );
+    add(
+        "taus (12,8,4)",
+        measure(
+            scale,
+            DynamicSizeCounting::new(base.with_taus(12, 8, 4)),
+            &sc,
+        ),
+    );
+    add(
+        "taus (3,2,1)",
+        measure(
+            scale,
+            DynamicSizeCounting::new(base.with_taus(3, 2, 1)),
+            &sc,
+        ),
+    );
+
     table.print();
-    write_csv(
-        scale.out_path("ablation.csv"),
-        &[
-            "variant",
-            "convergence_time",
-            "violations",
-            "median_after_crash",
-        ],
-        &rows,
-    )
-    .expect("write ablation.csv");
-    println!();
+    vec![csv]
 }

@@ -19,7 +19,7 @@
 
 use crate::{f2, log2n, Scale};
 use dsc_core::{AveragedDsc, DscConfig};
-use pp_analysis::{mean, std_dev, write_csv, Table};
+use pp_analysis::{mean, std_dev, Table, TableSpec};
 use pp_model::{MemoryFootprint, SizeEstimator};
 use pp_protocols::De19Averaging;
 
@@ -76,8 +76,8 @@ where
     }
 }
 
-/// Runs E13 and writes `accuracy.csv`.
-pub fn run(scale: &Scale) {
+/// Runs E13, returning the `accuracy.csv` table.
+pub fn run(scale: &Scale) -> Vec<TableSpec> {
     let n = if scale.full {
         65_536
     } else if scale.smoke {
@@ -117,7 +117,10 @@ pub fn run(scale: &Scale) {
         "round jitter σ",
         "bits/agent",
     ]);
-    let mut csv = Vec::new();
+    let mut csv = TableSpec::new(
+        "accuracy.csv",
+        &["protocol", "bias", "jitter", "bits_per_agent"],
+    );
     for r in &rows {
         table.row(vec![
             r.name.clone(),
@@ -136,11 +139,5 @@ pub fn run(scale: &Scale) {
     println!(
         "\n(the averaged variants trade bits for stability: σ shrinks ~1/√A while\n the plain protocol keeps the minimal O(log log n)-bit footprint)"
     );
-    write_csv(
-        scale.out_path("accuracy.csv"),
-        &["protocol", "bias", "jitter", "bits_per_agent"],
-        &csv,
-    )
-    .expect("write accuracy.csv");
-    println!();
+    vec![csv]
 }

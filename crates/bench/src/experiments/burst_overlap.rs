@@ -7,43 +7,78 @@
 //! dominates the burst width (`t_{i+1} − t_i ≥ 3c·n log n` vs bursts of
 //! width `2c·n log n`).
 //!
+//! Both clocks run as single-cell tick-recording sweeps
+//! ([`Sweep::run_ticked`](pp_sim::Sweep::run_ticked)); warm-up ticks are
+//! discarded by interaction index (`t < warmup·n`), which on a static
+//! population is exactly the parallel-time cutoff the seed harness
+//! implemented by clearing the recorder mid-run.
+//!
 //! The same analysis runs on the non-uniform mod-m baseline clock — the
 //! paper's uniform clock should match its structure without knowing n.
 
 use crate::{f2, log2n, Scale};
-use pp_analysis::{write_csv, ClockDecomposition, ClockVerdict, Table};
-use pp_model::{Protocol, TickProtocol};
+use pp_analysis::{ClockDecomposition, ClockVerdict, Table, TableSpec};
+use pp_model::{SizeEstimator, TickProtocol};
 use pp_protocols::ModMClock;
-use pp_sim::{Simulator, TickRecorder};
+use pp_sim::{RunResult, TickEvent};
 
-fn clock_verdict<P>(
+fn ticked_run<P>(
+    scale: &Scale,
     protocol: P,
     n: usize,
     warmup: f64,
     horizon: f64,
-    seed: u64,
-) -> Option<ClockVerdict>
+    salt: u64,
+) -> RunResult
 where
-    P: Protocol + TickProtocol,
+    P: SizeEstimator + TickProtocol + Clone + Send + Sync,
+    P::State: Clone + Send + Sync + 'static,
 {
-    let mut sim = Simulator::with_observer(protocol, n, seed, TickRecorder::new());
-    sim.run_parallel_time(warmup);
-    sim.observer_mut().clear();
-    sim.run_parallel_time(horizon);
-    let events = sim.observer().events().to_vec();
+    let mut results = crate::sweep_of(scale, protocol)
+        .runs(1)
+        .master_seed(scale.seed ^ salt)
+        .populations([n])
+        .horizon(warmup + horizon)
+        // The snapshot grid is only consumed by the estimate-after-warmup
+        // readout; aligning it to the warm-up time puts a snapshot at
+        // exactly that instant.
+        .snapshot_every(warmup)
+        .run_ticked();
+    results.cells.swap_remove(0).runs.swap_remove(0)
+}
+
+fn clock_verdict(run: &RunResult, n: usize, warmup: f64) -> Option<ClockVerdict> {
+    let cutoff = (warmup * n as f64) as u64;
+    let events: Vec<TickEvent> = run
+        .ticks
+        .iter()
+        .copied()
+        .filter(|e| e.interaction >= cutoff)
+        .collect();
     let d = ClockDecomposition::extract(&events, n);
     ClockVerdict::judge(&d, n)
 }
 
-/// Runs E8 and writes `burst_overlap.csv`.
-pub fn run(scale: &Scale) {
-    let n = if scale.full { 10_000 } else { 1_000 };
-    let horizon = if scale.full { 5_000.0 } else { 2_000.0 };
-    let warmup = 300.0;
+/// Runs E8, returning the `burst_overlap.csv` table.
+pub fn run(scale: &Scale) -> Vec<TableSpec> {
+    let (n, horizon, warmup) = if scale.smoke {
+        (128, 500.0, 60.0)
+    } else if scale.full {
+        (10_000, 5_000.0, 300.0)
+    } else {
+        (1_000, 2_000.0, 300.0)
+    };
     println!("== Theorem 2.2: burst/overlap structure (n = {n}) ==");
 
-    let dsc = crate::paper_protocol();
-    let modm = ModMClock::for_population(n, 8);
+    let dsc_run = ticked_run(scale, crate::paper_protocol(), n, warmup, horizon, 0);
+    let modm_run = ticked_run(
+        scale,
+        ModMClock::for_population(n, 8),
+        n,
+        warmup,
+        horizon,
+        1,
+    );
 
     let mut table = Table::new(vec![
         "clock",
@@ -54,7 +89,17 @@ pub fn run(scale: &Scale) {
         "round (pt)",
         "round/log2 n",
     ]);
-    let mut rows = Vec::new();
+    let mut csv = TableSpec::new(
+        "burst_overlap.csv",
+        &[
+            "clock",
+            "perfect_bursts",
+            "broken_bursts",
+            "burst_width_pt",
+            "overlap_pt",
+            "round_pt",
+        ],
+    );
     let mut judge = |name: &str, v: Option<ClockVerdict>| {
         let Some(v) = v else {
             println!("  {name}: no complete bursts recorded");
@@ -69,7 +114,7 @@ pub fn run(scale: &Scale) {
             f2(v.mean_round),
             f2(v.mean_round / log2n(n)),
         ]);
-        rows.push(vec![
+        csv.push(vec![
             name.to_string(),
             v.perfect_bursts.to_string(),
             v.broken_bursts.to_string(),
@@ -78,21 +123,19 @@ pub fn run(scale: &Scale) {
             format!("{}", v.mean_round),
         ]);
     };
-    judge(
-        "DSC (uniform)",
-        clock_verdict(dsc, n, warmup, horizon, scale.seed),
-    );
-    judge(
-        "mod-m (non-uniform)",
-        clock_verdict(modm, n, warmup, horizon, scale.seed + 1),
-    );
+    judge("DSC (uniform)", clock_verdict(&dsc_run, n, warmup));
+    judge("mod-m (non-uniform)", clock_verdict(&modm_run, n, warmup));
     table.print();
 
     // Sanity note the experiment asserts in EXPERIMENTS.md: the estimate
-    // the DSC clock derives its round length from.
-    let mut sim = Simulator::tracked(dsc, n, scale.seed + 2);
-    sim.run_parallel_time(warmup);
-    if let Some(s) = sim.observer().histogram().summary() {
+    // the DSC clock derives its round length from, read from the DSC run's
+    // own snapshot grid just past the warm-up.
+    if let Some(s) = dsc_run
+        .snapshots
+        .iter()
+        .find(|s| s.parallel_time >= warmup)
+        .and_then(|s| s.estimates)
+    {
         println!(
             "  DSC estimate after warmup: median {} (nominal round ≈ τ1·median = {})",
             f2(s.median),
@@ -100,18 +143,5 @@ pub fn run(scale: &Scale) {
         );
     }
 
-    write_csv(
-        scale.out_path("burst_overlap.csv"),
-        &[
-            "clock",
-            "perfect_bursts",
-            "broken_bursts",
-            "burst_width_pt",
-            "overlap_pt",
-            "round_pt",
-        ],
-        &rows,
-    )
-    .expect("write burst_overlap.csv");
-    println!();
+    vec![csv]
 }

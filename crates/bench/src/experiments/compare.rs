@@ -22,7 +22,7 @@
 //!   halted with a stale count).
 
 use crate::{f2, log2n, Scale};
-use pp_analysis::{write_csv, PooledSeries, Table};
+use pp_analysis::{PooledSeries, Table, TableSpec};
 use pp_model::SizeEstimator;
 use pp_protocols::{BkrCounting, De22Counting, StaticGrvCounting};
 use pp_sim::{AdversarySchedule, PopulationEvent};
@@ -83,8 +83,8 @@ where
     }
 }
 
-/// Runs E9 and writes `compare.csv`.
-pub fn run(scale: &Scale) {
+/// Runs E9, returning the `compare.csv` table.
+pub fn run(scale: &Scale) -> Vec<TableSpec> {
     let sc = if scale.smoke {
         Scenario {
             n: 128,
@@ -132,7 +132,17 @@ pub fn run(scale: &Scale) {
         "target (n')",
         "adapts?",
     ]);
-    let mut rows = Vec::new();
+    let mut csv = TableSpec::new(
+        "compare.csv",
+        &[
+            "protocol",
+            "median_before",
+            "median_after",
+            "median_static_control",
+            "median_target",
+            "adapts",
+        ],
+    );
     for o in &outcomes {
         let fmt = |x: Option<f64>| x.map(f2).unwrap_or_else(|| "-".into());
         // "Adapts" = the estimate covered at least 40% of the gap from its
@@ -159,7 +169,7 @@ pub fn run(scale: &Scale) {
             fmt(o.target),
             adapts.clone(),
         ]);
-        rows.push(vec![
+        csv.push(vec![
             o.name.to_string(),
             fmt(o.before),
             fmt(o.after),
@@ -169,18 +179,5 @@ pub fn run(scale: &Scale) {
         ]);
     }
     table.print();
-    write_csv(
-        scale.out_path("compare.csv"),
-        &[
-            "protocol",
-            "median_before",
-            "median_after",
-            "median_static_control",
-            "median_target",
-            "adapts",
-        ],
-        &rows,
-    )
-    .expect("write compare.csv");
-    println!();
+    vec![csv]
 }

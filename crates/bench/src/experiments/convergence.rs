@@ -15,7 +15,7 @@
 //!    pool together, so large-n runs never wait on a small-n batch.
 
 use crate::{f2, log2n, Scale};
-use pp_analysis::{convergence_time, mean, write_csv, Band, Table};
+use pp_analysis::{convergence_time, mean, Band, Table, TableSpec};
 use pp_sim::SweepResults;
 
 /// The population sweep as a [`Sweep`](pp_sim::Sweep) over every grid cell
@@ -29,8 +29,9 @@ pub fn population_sweep(scale: &Scale, exps: &[u32]) -> SweepResults {
         .run()
 }
 
-/// Runs E5 and writes `convergence_nhat.csv` / `convergence_n.csv`.
-pub fn run(scale: &Scale) {
+/// Runs E5, returning the `convergence_nhat.csv` / `convergence_n.csv`
+/// tables.
+pub fn run(scale: &Scale) -> Vec<TableSpec> {
     println!(
         "== Theorem 2.1: convergence time ({} runs/point) ==",
         scale.runs
@@ -60,7 +61,10 @@ pub fn run(scale: &Scale) {
     };
     println!("-- convergence vs initial estimate (n = {n}) --");
     let mut table = Table::new(vec!["log n-hat", "mean conv. time", "per unit"]);
-    let mut rows = Vec::new();
+    let mut csv_nhat = TableSpec::new(
+        "convergence_nhat.csv",
+        &["log_nhat", "mean_convergence_time", "converged_runs"],
+    );
     let protocol = crate::paper_protocol();
     for &e0 in estimates {
         let horizon = 40.0 * e0 as f64 + 500.0;
@@ -76,19 +80,13 @@ pub fn run(scale: &Scale) {
             .collect();
         let mean_t = mean(&times).unwrap_or(f64::NAN);
         table.row(vec![e0.to_string(), f2(mean_t), f2(mean_t / e0 as f64)]);
-        rows.push(vec![
+        csv_nhat.push(vec![
             e0.to_string(),
             format!("{mean_t}"),
             times.len().to_string(),
         ]);
     }
     table.print();
-    write_csv(
-        scale.out_path("convergence_nhat.csv"),
-        &["log_nhat", "mean_convergence_time", "converged_runs"],
-        &rows,
-    )
-    .expect("write convergence_nhat.csv");
 
     // Sweep 2: population size — one grid, one parallel batch.
     let exps: &[u32] = if scale.full {
@@ -101,7 +99,10 @@ pub fn run(scale: &Scale) {
     println!("-- convergence vs population size (fresh init) --");
     let results = population_sweep(scale, exps);
     let mut table = Table::new(vec!["n", "log2 n", "mean conv. time", "per log n"]);
-    let mut rows = Vec::new();
+    let mut csv_n = TableSpec::new(
+        "convergence_n.csv",
+        &["n", "mean_convergence_time", "converged_runs"],
+    );
     for (cell, &exp) in results.cells.iter().zip(exps) {
         let n = cell.n;
         debug_assert_eq!(n, 1usize << exp);
@@ -116,18 +117,12 @@ pub fn run(scale: &Scale) {
             f2(mean_t),
             f2(mean_t / log2n(n)),
         ]);
-        rows.push(vec![
+        csv_n.push(vec![
             n.to_string(),
             format!("{mean_t}"),
             times.len().to_string(),
         ]);
     }
     table.print();
-    write_csv(
-        scale.out_path("convergence_n.csv"),
-        &["n", "mean_convergence_time", "converged_runs"],
-        &rows,
-    )
-    .expect("write convergence_n.csv");
-    println!();
+    vec![csv_nhat, csv_n]
 }

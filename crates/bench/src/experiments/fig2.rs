@@ -13,12 +13,13 @@
 //! sits slightly above the reference line.
 
 use crate::{f2, log2n, Scale};
-use pp_analysis::{render_band, write_csv, PooledSeries, Table};
-use pp_sim::AdversarySchedule;
+use pp_analysis::{render_band, PooledSeries, Table, TableSpec};
 
-/// Runs E1 and writes `fig2.csv`.
-pub fn run(scale: &Scale) {
-    let (n, horizon) = if scale.full {
+/// Runs E1, returning the `fig2.csv` table.
+pub fn run(scale: &Scale) -> Vec<TableSpec> {
+    let (n, horizon) = if scale.smoke {
+        (128, 120.0)
+    } else if scale.full {
         (1_000_000, 5_000.0)
     } else {
         (20_000, 1_500.0)
@@ -29,15 +30,12 @@ pub fn run(scale: &Scale) {
         scale.runs
     );
 
-    let runs = crate::run_many(
-        scale,
-        n,
-        horizon,
-        snapshot_every,
-        AdversarySchedule::new(),
-        None,
-    );
-    let pooled = PooledSeries::pool(&runs);
+    let results = crate::sweep_of(scale, crate::paper_protocol())
+        .populations([n])
+        .horizon(horizon)
+        .snapshot_every(snapshot_every)
+        .run();
+    let pooled = PooledSeries::pool(&results.cells[0].runs);
 
     let times: Vec<f64> = pooled.points.iter().map(|p| p.parallel_time).collect();
     let mins: Vec<f64> = pooled.points.iter().map(|p| p.min).collect();
@@ -67,12 +65,12 @@ pub fn run(scale: &Scale) {
     }
     table.print();
 
-    let path = scale.out_path("fig2.csv");
-    write_csv(
-        &path,
+    let mut csv = TableSpec::new(
+        "fig2.csv",
         &["parallel_time", "min", "median", "max", "runs"],
-        &pooled.csv_rows(),
-    )
-    .expect("write fig2.csv");
-    println!("wrote {path}\n");
+    );
+    for row in pooled.csv_rows() {
+        csv.push(row);
+    }
+    vec![csv]
 }

@@ -1,7 +1,9 @@
 //! E2 / Figure 3: relative deviation from `log2 n` across population sizes.
 //!
 //! Paper setup: n = 10^1, 10^2, …, 10^6; per n the min/median/max of
-//! `estimate / log2 n` over converged runs.
+//! `estimate / log2 n` over converged runs. All population sizes run as
+//! **one** [`Sweep`](pp_sim::Sweep) grid — the flat task list keeps every
+//! core busy across sizes instead of draining the pool per point.
 //!
 //! Expected shape (paper Fig. 3): the maximum deviation starts large
 //! (≈ 4–5× at n = 10) and falls towards ≈ 1 as n grows; the median
@@ -10,25 +12,34 @@
 //! `log2 k + O(1)`, which is huge relative to `log2 10`.
 
 use crate::{f2, log2n, Scale};
-use pp_analysis::{relative_deviation, write_csv, Table};
-use pp_sim::AdversarySchedule;
+use pp_analysis::{relative_deviation, Table, TableSpec};
 
-/// Runs E2 and writes `fig3.csv`.
-pub fn run(scale: &Scale) {
-    let max_exp = if scale.full { 6 } else { 4 };
-    let horizon = if scale.full { 5_000.0 } else { 1_000.0 };
+/// Runs E2, returning the `fig3.csv` table.
+pub fn run(scale: &Scale) -> Vec<TableSpec> {
+    let (max_exp, horizon) = if scale.smoke {
+        (2, 200.0)
+    } else if scale.full {
+        (6, 5_000.0)
+    } else {
+        (4, 1_000.0)
+    };
     let warmup = horizon / 2.0;
     println!(
         "== Fig. 3: relative deviation from log n (n = 10^1..10^{max_exp}, {} runs) ==",
         scale.runs
     );
 
+    let results = crate::sweep_of(scale, crate::paper_protocol())
+        .populations((1..=max_exp).map(|e| 10usize.pow(e)))
+        .horizon(horizon)
+        .snapshot_every(5.0)
+        .run();
+
     let mut table = Table::new(vec!["n", "log2(n)", "min", "median", "max"]);
-    let mut rows = Vec::new();
-    for exp in 1..=max_exp {
-        let n = 10usize.pow(exp);
-        let runs = crate::run_many(scale, n, horizon, 5.0, AdversarySchedule::new(), None);
-        let dev = relative_deviation(&runs, n, warmup).expect("estimates in window");
+    let mut csv = TableSpec::new("fig3.csv", &["n", "min", "median", "max"]);
+    for (exp, cell) in (1..=max_exp).zip(results.cells_for_schedule("static")) {
+        let n = cell.n;
+        let dev = relative_deviation(&cell.runs, n, warmup).expect("estimates in window");
         table.row(vec![
             format!("10^{exp}"),
             f2(log2n(n)),
@@ -36,7 +47,7 @@ pub fn run(scale: &Scale) {
             f2(dev.median),
             f2(dev.max),
         ]);
-        rows.push(vec![
+        csv.push(vec![
             n.to_string(),
             format!("{}", dev.min),
             format!("{}", dev.median),
@@ -44,8 +55,5 @@ pub fn run(scale: &Scale) {
         ]);
     }
     table.print();
-
-    let path = scale.out_path("fig3.csv");
-    write_csv(&path, &["n", "min", "median", "max"], &rows).expect("write fig3.csv");
-    println!("wrote {path}\n");
+    vec![csv]
 }

@@ -1,7 +1,9 @@
 //! E3 / Figure 4: adaptation to a population crash.
 //!
 //! Paper setup: n ∈ {10^3, 10^4, 10^5, 10^6}; at parallel time 1350 the
-//! adversary removes all but 500 agents; 5000 parallel time horizon.
+//! adversary removes all but 500 agents; 5000 parallel time horizon. All
+//! population sizes run as one [`Sweep`](pp_sim::Sweep) grid under the
+//! crash schedule.
 //!
 //! Expected shape (paper Fig. 4): estimates converge to ≈ `log2(k·n)`,
 //! stay flat until t = 1350, then drop within a few rounds towards
@@ -10,27 +12,36 @@
 //! Fig. 3 findings). The drop is bigger, hence more visible, for larger n.
 
 use crate::{f2, log2n, Scale};
-use pp_analysis::{render_band, write_csv, PooledSeries};
+use pp_analysis::{render_band, PooledSeries, TableSpec};
 use pp_sim::{AdversarySchedule, PopulationEvent};
 
-/// The paper's crash time and survivor count.
-const CRASH_AT: f64 = 1_350.0;
-const SURVIVORS: usize = 500;
-
-/// Runs E3 and writes `fig4_nE.csv` per population size.
-pub fn run(scale: &Scale) {
-    let exps: &[u32] = if scale.full { &[3, 4, 5, 6] } else { &[3, 4] };
-    let horizon = if scale.full { 5_000.0 } else { 3_000.0 };
+/// Runs E3, returning one `fig4_nE.csv` table per population size.
+pub fn run(scale: &Scale) -> Vec<TableSpec> {
+    // The paper's crash time and survivor count; the smoke preset shrinks
+    // the whole scenario so CI proves the pipeline in milliseconds.
+    let (exps, crash_at, survivors, horizon): (&[u32], f64, usize, f64) = if scale.smoke {
+        (&[2], 40.0, 16, 150.0)
+    } else if scale.full {
+        (&[3, 4, 5, 6], 1_350.0, 500, 5_000.0)
+    } else {
+        (&[3, 4], 1_350.0, 500, 3_000.0)
+    };
     println!(
-        "== Fig. 4: all but {SURVIVORS} agents removed at t = {CRASH_AT} ({} runs) ==",
+        "== Fig. 4: all but {survivors} agents removed at t = {crash_at} ({} runs) ==",
         scale.runs
     );
 
-    for &exp in exps {
-        let n = 10usize.pow(exp);
-        let schedule = AdversarySchedule::new().at(CRASH_AT, PopulationEvent::ResizeTo(SURVIVORS));
-        let runs = crate::run_many(scale, n, horizon, 5.0, schedule, None);
-        let pooled = PooledSeries::pool(&runs);
+    let schedule = AdversarySchedule::new().at(crash_at, PopulationEvent::ResizeTo(survivors));
+    let results = crate::sweep_of(scale, crate::paper_protocol())
+        .populations(exps.iter().map(|&e| 10usize.pow(e)))
+        .schedule("crash", schedule)
+        .horizon(horizon)
+        .snapshot_every(if scale.smoke { 2.0 } else { 5.0 })
+        .run();
+
+    let mut tables = Vec::new();
+    for (&exp, cell) in exps.iter().zip(results.cells_for_schedule("crash")) {
+        let pooled = PooledSeries::pool(&cell.runs);
 
         let times: Vec<f64> = pooled.points.iter().map(|p| p.parallel_time).collect();
         let mins: Vec<f64> = pooled.points.iter().map(|p| p.min).collect();
@@ -40,9 +51,9 @@ pub fn run(scale: &Scale) {
             "{}",
             render_band(
                 &format!(
-                    "n = 10^{exp}  [log2(n) = {}, post-crash log2({SURVIVORS}) = {}]",
-                    f2(log2n(n)),
-                    f2(log2n(SURVIVORS))
+                    "n = 10^{exp}  [log2(n) = {}, post-crash log2({survivors}) = {}]",
+                    f2(log2n(cell.n)),
+                    f2(log2n(survivors))
                 ),
                 &times,
                 &mins,
@@ -53,7 +64,7 @@ pub fn run(scale: &Scale) {
 
         // Quantify the drop: median estimate just before the crash vs at the end.
         let before = pooled
-            .window(CRASH_AT - 200.0, CRASH_AT)
+            .window(crash_at - 200.0, crash_at)
             .last()
             .map(|p| p.median);
         let after = pooled.points.last().map(|p| p.median);
@@ -66,14 +77,14 @@ pub fn run(scale: &Scale) {
             );
         }
 
-        let path = scale.out_path(&format!("fig4_n1e{exp}.csv"));
-        write_csv(
-            &path,
+        let mut csv = TableSpec::new(
+            format!("fig4_n1e{exp}.csv"),
             &["parallel_time", "min", "median", "max", "runs"],
-            &pooled.csv_rows(),
-        )
-        .expect("write fig4 csv");
-        println!("  wrote {path}");
+        );
+        for row in pooled.csv_rows() {
+            csv.push(row);
+        }
+        tables.push(csv);
     }
-    println!();
+    tables
 }

@@ -1,7 +1,9 @@
 //! E4 / Figure 5 (appendix): recovery from an initial over-estimate of 60.
 //!
 //! Paper setup: every agent starts with `max = lastMax = 60`
-//! (`time = τ1·60`), n = 10^1 … 10^6, 5000 parallel time.
+//! (`time = τ1·60`), n = 10^1 … 10^6, 5000 parallel time. The seeded
+//! initial configuration rides the [`Sweep`](pp_sim::Sweep) init hook, so
+//! every population size runs from one flat grid.
 //!
 //! Expected shape (paper Fig. 5): the estimate stays pinned at 60 for a
 //! time proportional to the over-estimate (the countdown must elapse before
@@ -12,21 +14,21 @@
 //! comparatively early and the long flat band follows.
 
 use crate::{f2, log2n, Scale};
-use pp_analysis::{render_band, write_csv, PooledSeries};
-use pp_sim::AdversarySchedule;
-use std::sync::Arc;
+use pp_analysis::{render_band, PooledSeries, TableSpec};
 
 /// The appendix's initial estimate.
 const INITIAL_ESTIMATE: u64 = 60;
 
-/// Runs E4 and writes `fig5_nE.csv` per population size.
-pub fn run(scale: &Scale) {
-    let exps: &[u32] = if scale.full {
-        &[1, 2, 3, 4, 5, 6]
+/// Runs E4, returning one `fig5_nE.csv` table per population size.
+pub fn run(scale: &Scale) -> Vec<TableSpec> {
+    let (exps, horizon): (&[u32], f64) = if scale.smoke {
+        (&[1, 2], 400.0)
+    } else if scale.full {
+        (&[1, 2, 3, 4, 5, 6], 5_000.0)
     } else {
-        &[1, 2, 3, 4]
+        // The descent structure needs the paper's horizon even at laptop n.
+        (&[1, 2, 3, 4], 5_000.0)
     };
-    let horizon = 5_000.0; // the descent structure needs the paper's horizon
     println!(
         "== Fig. 5: initial estimate {INITIAL_ESTIMATE} (n = 10^1..10^{}, {} runs) ==",
         exps.last().unwrap(),
@@ -34,11 +36,16 @@ pub fn run(scale: &Scale) {
     );
 
     let protocol = crate::paper_protocol();
-    for &exp in exps {
-        let n = 10usize.pow(exp);
-        let init = Arc::new(move |_i: usize| protocol.state_with_estimate(INITIAL_ESTIMATE));
-        let runs = crate::run_many(scale, n, horizon, 5.0, AdversarySchedule::new(), Some(init));
-        let pooled = PooledSeries::pool(&runs);
+    let results = crate::sweep_of(scale, protocol)
+        .populations(exps.iter().map(|&e| 10usize.pow(e)))
+        .horizon(horizon)
+        .snapshot_every(if scale.smoke { 2.0 } else { 5.0 })
+        .init_with(move |_i| protocol.state_with_estimate(INITIAL_ESTIMATE))
+        .run();
+
+    let mut tables = Vec::new();
+    for (&exp, cell) in exps.iter().zip(results.cells_for_schedule("static")) {
+        let pooled = PooledSeries::pool(&cell.runs);
 
         let times: Vec<f64> = pooled.points.iter().map(|p| p.parallel_time).collect();
         let mins: Vec<f64> = pooled.points.iter().map(|p| p.min).collect();
@@ -47,7 +54,7 @@ pub fn run(scale: &Scale) {
         print!(
             "{}",
             render_band(
-                &format!("n = 10^{exp}  [log2(n) = {}]", f2(log2n(n))),
+                &format!("n = 10^{exp}  [log2(n) = {}]", f2(log2n(cell.n))),
                 &times,
                 &mins,
                 &medians,
@@ -66,14 +73,14 @@ pub fn run(scale: &Scale) {
             None => println!("  initial estimate never forgotten within the horizon"),
         }
 
-        let path = scale.out_path(&format!("fig5_n1e{exp}.csv"));
-        write_csv(
-            &path,
+        let mut csv = TableSpec::new(
+            format!("fig5_n1e{exp}.csv"),
             &["parallel_time", "min", "median", "max", "runs"],
-            &pooled.csv_rows(),
-        )
-        .expect("write fig5 csv");
-        println!("  wrote {path}");
+        );
+        for row in pooled.csv_rows() {
+            csv.push(row);
+        }
+        tables.push(csv);
     }
-    println!();
+    tables
 }

@@ -12,10 +12,10 @@
 //! draining the pool at each point boundary.
 
 use crate::{f2, Scale};
-use pp_analysis::{holding_time, write_csv, Band, Table};
+use pp_analysis::{holding_time, Band, Table, TableSpec};
 
-/// Runs E6 and writes `holding.csv`.
-pub fn run(scale: &Scale) {
+/// Runs E6, returning the `holding.csv` table.
+pub fn run(scale: &Scale) -> Vec<TableSpec> {
     let (ns, horizon): (&[usize], f64) = if scale.smoke {
         (&[32], 300.0)
     } else if scale.full {
@@ -41,7 +41,10 @@ pub fn run(scale: &Scale) {
         "min held (pt)",
         "breaks",
     ]);
-    let mut rows = Vec::new();
+    let mut csv = TableSpec::new(
+        "holding.csv",
+        &["n", "converged", "held_to_horizon", "breaks", "min_held"],
+    );
     for cell in results.cells_for_schedule("static") {
         let n = cell.n;
         // The §4.1 validity band (generous; see convergence.rs for the
@@ -69,7 +72,7 @@ pub fn run(scale: &Scale) {
             f2(min_held),
             breaks.to_string(),
         ]);
-        rows.push(vec![
+        csv.push(vec![
             n.to_string(),
             converged.to_string(),
             censored.to_string(),
@@ -78,11 +81,5 @@ pub fn run(scale: &Scale) {
         ]);
     }
     table.print();
-    write_csv(
-        scale.out_path("holding.csv"),
-        &["n", "converged", "held_to_horizon", "breaks", "min_held"],
-        &rows,
-    )
-    .expect("write holding.csv");
-    println!();
+    vec![csv]
 }

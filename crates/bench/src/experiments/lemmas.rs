@@ -21,7 +21,7 @@
 //! (2¹⁸ and beyond) cost O(#states) memory per run.
 
 use crate::{f2, log2n, Scale};
-use pp_analysis::{write_csv, Table};
+use pp_analysis::{Table, TableSpec};
 use pp_model::grv;
 use pp_protocols::{BoundedChvp, Infection};
 use pp_sim::{RunResult, Sweep};
@@ -37,10 +37,10 @@ fn completion_time(run: &RunResult) -> Option<f64> {
         .map(|s| s.parallel_time)
 }
 
-/// Runs E11 and writes `lemmas.csv`.
-pub fn run(scale: &Scale) {
+/// Runs E11, returning the `lemmas.csv` table.
+pub fn run(scale: &Scale) -> Vec<TableSpec> {
     println!("== Substrate validation: Lemmas 4.1-4.4 ==");
-    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut csv = TableSpec::new("lemmas.csv", &["lemma", "n", "a", "b", "c"]);
     let (trials, grv_exps): (u32, &[u32]) = if scale.smoke {
         (20, &[8, 10])
     } else if scale.full {
@@ -86,7 +86,7 @@ pub fn run(scale: &Scale) {
             f2(hi),
             violations.to_string(),
         ]);
-        rows.push(vec![
+        csv.push(vec![
             "lemma4.1".into(),
             n.to_string(),
             f2(omin),
@@ -143,7 +143,7 @@ pub fn run(scale: &Scale) {
             f2(bound),
             violations.to_string(),
         ]);
-        rows.push(vec![
+        csv.push(vec![
             "lemma4.2".into(),
             n.to_string(),
             f2(total / cell.runs.len() as f64),
@@ -225,7 +225,7 @@ pub fn run(scale: &Scale) {
             f2(min_after),
             f2(bound_44),
         ]);
-        rows.push(vec![
+        csv.push(vec![
             "lemma4.3/4.4".into(),
             n.to_string(),
             f2(max_after),
@@ -234,12 +234,5 @@ pub fn run(scale: &Scale) {
         ]);
     }
     table.print();
-
-    write_csv(
-        scale.out_path("lemmas.csv"),
-        &["lemma", "n", "a", "b", "c"],
-        &rows,
-    )
-    .expect("write lemmas.csv");
-    println!();
+    vec![csv]
 }

@@ -12,40 +12,49 @@
 //! 2. **shape in s** — the transient footprint scales with `log s` for an
 //!    initial over-estimate `s` (the `O(log s)` term), and collapses back
 //!    after convergence.
+//!
+//! Both sweeps run on [`Sweep::run_with_memory`](pp_sim::Sweep) — the
+//! footprint-vs-n comparison as one multi-cell population grid per
+//! protocol, the transient-vs-s readout as one seeded single-cell grid per
+//! over-estimate — replacing the seed harness's hand-rolled
+//! `parallel_map`-over-`Experiment` loops.
 
 use crate::{f2, Scale};
-use pp_analysis::{memory_profile, theorem_bound_bits, write_csv, Table};
-use pp_model::SizeEstimator;
+use pp_analysis::{memory_profile, theorem_bound_bits, Table, TableSpec};
+use pp_model::{MemoryFootprint, SizeEstimator};
 use pp_protocols::De22Counting;
-use pp_sim::runner::run_seed;
-use pp_sim::{Experiment, RunResult};
-use std::sync::Arc;
+use pp_sim::SweepResults;
 
-fn run_memory<P>(scale: &Scale, protocol: P, n: usize, horizon: f64) -> Vec<RunResult>
+fn memory_sweep<P>(scale: &Scale, protocol: P, ns: &[usize], horizon: f64) -> SweepResults
 where
     P: SizeEstimator + Clone + Send + Sync,
-    P::State: pp_model::MemoryFootprint + Clone + Send + Sync,
+    P::State: MemoryFootprint + Clone + Send + Sync + 'static,
 {
-    pp_sim::parallel_map(scale.runs.min(8), scale.threads, move |run| {
-        Experiment::new(protocol.clone(), n)
-            .seed(run_seed(scale.seed, run))
-            .horizon(horizon)
-            .snapshot_every(10.0)
-            .run_with_memory()
-    })
+    crate::sweep_of(scale, protocol)
+        .runs(scale.runs.min(8))
+        .populations(ns.iter().copied())
+        .horizon(horizon)
+        .snapshot_every(10.0)
+        .run_with_memory()
 }
 
-/// Runs E7 and writes `memory_n.csv` / `memory_s.csv`.
-pub fn run(scale: &Scale) {
+/// Runs E7, returning the `memory_n.csv` and `memory_s.csv` tables.
+pub fn run(scale: &Scale) -> Vec<TableSpec> {
     println!("== Theorem 2.1: memory in bits per agent ==");
-    let exps: &[u32] = if scale.full {
-        &[8, 10, 12, 14, 16]
+    let (exps, horizon): (&[u32], f64) = if scale.smoke {
+        (&[6, 8], 120.0)
+    } else if scale.full {
+        (&[8, 10, 12, 14, 16], 1_000.0)
     } else {
-        &[8, 10, 12]
+        (&[8, 10, 12], 400.0)
     };
-    let horizon = if scale.full { 1_000.0 } else { 400.0 };
+    let ns: Vec<usize> = exps.iter().map(|&e| 1usize << e).collect();
+    let warmup = horizon / 2.0;
 
     println!("-- steady-state footprint vs n (DSC vs Doty–Eftekhari 2022) --");
+    let dsc_results = memory_sweep(scale, crate::paper_protocol(), &ns, horizon);
+    let de_results = memory_sweep(scale, De22Counting::new(), &ns, horizon);
+
     let mut table = Table::new(vec![
         "n",
         "DSC max bits",
@@ -54,18 +63,28 @@ pub fn run(scale: &Scale) {
         "DE22 mean bits",
         "c(log s+loglog n)",
     ]);
-    let mut rows = Vec::new();
-    for &exp in exps {
-        let n = 1usize << exp;
-        let warmup = horizon / 2.0;
-        let dsc_runs = run_memory(scale, crate::paper_protocol(), n, horizon);
-        let de_runs = run_memory(scale, De22Counting::new(), n, horizon);
-        let dsc: Vec<_> = dsc_runs
-            .iter()
+    let mut csv_n = TableSpec::new(
+        "memory_n.csv",
+        &[
+            "n",
+            "dsc_max_bits",
+            "dsc_mean_bits",
+            "de22_max_bits",
+            "de22_mean_bits",
+        ],
+    );
+    for ((&exp, dsc_cell), de_cell) in exps
+        .iter()
+        .zip(dsc_results.cells_for_schedule("static"))
+        .zip(de_results.cells_for_schedule("static"))
+    {
+        let n = dsc_cell.n;
+        let dsc: Vec<_> = dsc_cell
+            .runs()
             .filter_map(|r| memory_profile(r, warmup))
             .collect();
-        let de: Vec<_> = de_runs
-            .iter()
+        let de: Vec<_> = de_cell
+            .runs()
             .filter_map(|r| memory_profile(r, warmup))
             .collect();
         let avg = |xs: &[f64]| pp_analysis::mean(xs).unwrap_or(f64::NAN);
@@ -83,7 +102,7 @@ pub fn run(scale: &Scale) {
             f2(de_mean),
             f2(bound),
         ]);
-        rows.push(vec![
+        csv_n.push(vec![
             n.to_string(),
             format!("{dsc_max}"),
             format!("{dsc_mean}"),
@@ -92,49 +111,34 @@ pub fn run(scale: &Scale) {
         ]);
     }
     table.print();
-    write_csv(
-        scale.out_path("memory_n.csv"),
-        &[
-            "n",
-            "dsc_max_bits",
-            "dsc_mean_bits",
-            "de22_max_bits",
-            "de22_mean_bits",
-        ],
-        &rows,
-    )
-    .expect("write memory_n.csv");
 
     // Sweep 2: initial over-estimate s. Forgetting an over-estimate takes
     // ≈ 2 rounds of ≈ 15·τ1·s parallel time each (the countdown decays
     // slightly slower than one per parallel time), so the horizon scales
     // with s and "steady" starts well past the forget point.
-    println!("-- transient footprint vs initial estimate s (n = 256) --");
-    let n = 256usize;
-    let estimates: &[u64] = if scale.full {
-        &[60, 600, 6_000, 60_000]
+    let (n, estimates): (usize, &[u64]) = if scale.smoke {
+        (64, &[60])
+    } else if scale.full {
+        (256, &[60, 600, 6_000, 60_000])
     } else {
-        &[60, 600, 6_000]
+        (256, &[60, 600, 6_000])
     };
+    println!("-- transient footprint vs initial estimate s (n = {n}) --");
     let mut table = Table::new(vec!["s", "peak bits", "steady max bits"]);
-    let mut rows = Vec::new();
+    let mut csv_s = TableSpec::new("memory_s.csv", &["s", "peak_bits", "steady_max_bits"]);
     let protocol = crate::paper_protocol();
     for &s in estimates {
         let horizon = 40.0 * s as f64 + 600.0;
-        let runs: Vec<RunResult> =
-            pp_sim::parallel_map(scale.runs.min(8), scale.threads, move |run| {
-                Experiment::new(protocol, n)
-                    .seed(run_seed(scale.seed ^ s, run))
-                    .horizon(horizon)
-                    .snapshot_every(10.0)
-                    .init(pp_sim::InitMode::FromFn(Box::new({
-                        let f = Arc::new(move |_i: usize| protocol.state_with_estimate(s));
-                        move |i| f(i)
-                    })))
-                    .run_with_memory()
-            });
-        let profiles: Vec<_> = runs
-            .iter()
+        let results = crate::sweep_of(scale, protocol)
+            .runs(scale.runs.min(8))
+            .master_seed(scale.seed ^ s)
+            .populations([n])
+            .horizon(horizon)
+            .snapshot_every(10.0)
+            .init_with(move |_i| protocol.state_with_estimate(s))
+            .run_with_memory();
+        let profiles: Vec<_> = results.cells[0]
+            .runs()
             .filter_map(|r| memory_profile(r, horizon * 0.9))
             .collect();
         let peak = pp_analysis::mean(
@@ -152,14 +156,8 @@ pub fn run(scale: &Scale) {
         )
         .unwrap_or(f64::NAN);
         table.row(vec![s.to_string(), f2(peak), f2(steady)]);
-        rows.push(vec![s.to_string(), format!("{peak}"), format!("{steady}")]);
+        csv_s.push(vec![s.to_string(), format!("{peak}"), format!("{steady}")]);
     }
     table.print();
-    write_csv(
-        scale.out_path("memory_s.csv"),
-        &["s", "peak_bits", "steady_max_bits"],
-        &rows,
-    )
-    .expect("write memory_s.csv");
-    println!();
+    vec![csv_n, csv_s]
 }

@@ -1,7 +1,13 @@
-//! Experiment implementations (DESIGN.md §4, E1–E11).
+//! Experiment implementations (DESIGN.md §4, E1–E11) and the declarative
+//! registry the `dsc-bench` driver runs them from.
 //!
-//! Each module exposes `run(scale: &Scale)`; the binaries in `src/bin` are
-//! thin wrappers and `repro` chains all of them.
+//! Each module exposes `run(scale: &Scale) -> Vec<TableSpec>`: it executes
+//! its whole grid on the [`Sweep`](pp_sim::Sweep) engine, prints its
+//! tables/sparklines, and returns every output table as data. The registry
+//! entry point [`run_and_write`] is the single place rows become CSV files
+//! (via the shared `pp_analysis` writer), so all experiments emit
+//! schema-consistent output and the smoke tests can assert on rows without
+//! touching the filesystem.
 
 pub mod ablation;
 pub mod accuracy;
@@ -15,3 +21,138 @@ pub mod fig5;
 pub mod holding;
 pub mod lemmas;
 pub mod memory;
+
+use crate::Scale;
+use pp_analysis::TableSpec;
+
+/// A registered experiment: name, provenance, and entry point.
+pub struct ExperimentSpec {
+    /// Registry name (the `dsc-bench` argument).
+    pub name: &'static str,
+    /// The paper figure/lemma/section the experiment reproduces.
+    pub paper_ref: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Runs the experiment at the given scale, returning its output tables.
+    pub run: fn(&Scale) -> Vec<TableSpec>,
+}
+
+/// Every experiment, in `repro` execution order. All twelve run through
+/// the [`Sweep`](pp_sim::Sweep) grid engine and return their rows for the
+/// shared writer; `dsc-bench all` walks this list.
+pub static REGISTRY: &[ExperimentSpec] = &[
+    ExperimentSpec {
+        name: "fig2",
+        paper_ref: "Fig. 2",
+        description: "size estimate over time in a fresh system",
+        run: fig2::run,
+    },
+    ExperimentSpec {
+        name: "fig3",
+        paper_ref: "Fig. 3",
+        description: "relative deviation from log2 n across population sizes",
+        run: fig3::run,
+    },
+    ExperimentSpec {
+        name: "fig4",
+        paper_ref: "Fig. 4",
+        description: "adaptation to a population crash",
+        run: fig4::run,
+    },
+    ExperimentSpec {
+        name: "fig5",
+        paper_ref: "Fig. 5 (appendix)",
+        description: "recovery from a planted initial over-estimate",
+        run: fig5::run,
+    },
+    ExperimentSpec {
+        name: "convergence",
+        paper_ref: "Theorem 2.1 (time)",
+        description: "convergence time vs initial estimate and population size",
+        run: convergence::run,
+    },
+    ExperimentSpec {
+        name: "holding",
+        paper_ref: "Theorem 2.1 (holding)",
+        description: "validity persists over long horizons",
+        run: holding::run,
+    },
+    ExperimentSpec {
+        name: "memory",
+        paper_ref: "Theorem 2.1 (space)",
+        description: "bits per agent vs n and vs an initial over-estimate",
+        run: memory::run,
+    },
+    ExperimentSpec {
+        name: "burst_overlap",
+        paper_ref: "Theorem 2.2",
+        description: "burst/overlap structure of the phase clock",
+        run: burst_overlap::run,
+    },
+    ExperimentSpec {
+        name: "compare",
+        paper_ref: "§1.2/§6 baselines",
+        description: "baseline counters under a population crash",
+        run: compare::run,
+    },
+    ExperimentSpec {
+        name: "ablation",
+        paper_ref: "§5 design choices",
+        description: "protocol variants on the converge-then-crash scenario",
+        run: ablation::run,
+    },
+    ExperimentSpec {
+        name: "lemmas",
+        paper_ref: "Lemmas 4.1-4.4",
+        description: "substrate validation at count-simulator scale",
+        run: lemmas::run,
+    },
+    ExperimentSpec {
+        name: "accuracy",
+        paper_ref: "§6 open question",
+        description: "averaging the dynamic estimate (accuracy vs bits)",
+        run: accuracy::run,
+    },
+];
+
+/// Looks up a registered experiment by name.
+pub fn find(name: &str) -> Option<&'static ExperimentSpec> {
+    REGISTRY.iter().find(|e| e.name == name)
+}
+
+/// Runs one experiment and writes its tables as CSV under the scale's
+/// output directory — the only place experiment rows become files.
+///
+/// # Panics
+///
+/// Panics if the output directory or a CSV file cannot be written.
+pub fn run_and_write(spec: &ExperimentSpec, scale: &Scale) -> Vec<TableSpec> {
+    let tables = (spec.run)(scale);
+    let paths = pp_analysis::write_tables(&scale.out_dir, &tables).unwrap_or_else(|e| {
+        panic!(
+            "{}: writing results under {}: {e}",
+            spec.name, scale.out_dir
+        )
+    });
+    for path in paths {
+        println!("wrote {path}");
+    }
+    println!();
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), 12, "all twelve experiments must register");
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12, "registry names must be unique");
+        assert!(find("fig2").is_some());
+        assert!(find("no-such-experiment").is_none());
+    }
+}

@@ -1,25 +1,33 @@
 //! # pp-bench — the benchmark harness
 //!
 //! One experiment module per figure of the paper plus the theorem-validation
-//! and ablation experiments of DESIGN.md §4 (E1–E11). Each binary in
-//! `src/bin` is a thin wrapper; `repro` runs everything.
+//! and ablation experiments of DESIGN.md §4 (E1–E11). Every experiment
+//! registers an [`experiments::ExperimentSpec`] in the declarative
+//! [`experiments::REGISTRY`]; the `dsc-bench` driver binary runs any subset
+//! (`dsc-bench <name>… | all | repro`), and each experiment executes its
+//! whole grid on the [`Sweep`](pp_sim::Sweep) engine — parallel,
+//! bit-identical across thread counts.
 //!
-//! Every experiment supports two scales:
+//! Every experiment supports three scales:
 //!
 //! * **quick** (default) — laptop scale: minutes for the full suite, with
 //!   reduced `n`, runs, and horizons;
 //! * **full** (`--full`) — the paper's scale (`n` up to 10^6, 96 runs,
-//!   5000 parallel time); expect hours.
+//!   5000 parallel time); expect hours;
+//! * **smoke** (`--smoke`) — CI scale: seconds end to end, proving every
+//!   registered experiment still emits rows.
 //!
-//! Results are printed as tables/sparklines and written as plot-ready CSV
-//! under `results/` (override with `--out <dir>`).
+//! Results are printed as tables/sparklines; every experiment returns its
+//! rows as [`pp_analysis::TableSpec`]s, which the driver writes as
+//! plot-ready CSV under `results/` (override with `--out <dir>`) through
+//! the one shared `pp_analysis` writer.
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
 
 use dsc_core::{DscConfig, DynamicSizeCounting};
-use pp_sim::{AdversarySchedule, RunResult, Sweep};
+use pp_sim::Sweep;
 
 /// Scale and output settings shared by all experiments.
 #[derive(Debug, Clone)]
@@ -64,18 +72,21 @@ impl Scale {
         }
     }
 
-    /// Parses command-line arguments (`--full`, `--smoke`, `--runs N`,
-    /// `--seed S`, `--threads T`, `--out DIR`).
+    /// Parses flags from an argument iterator (`--full`, `--smoke`,
+    /// `--runs N`, `--seed S`, `--threads T`, `--out DIR`), returning the
+    /// scale and any positional (non-flag) arguments in order — the
+    /// `dsc-bench` driver reads experiment names from the latter.
     ///
     /// # Panics
     ///
-    /// Panics with a usage message on malformed arguments.
-    pub fn from_args() -> Scale {
+    /// Panics with a usage message on malformed flags.
+    pub fn parse_args(args: impl Iterator<Item = String>) -> (Scale, Vec<String>) {
         let mut scale = Scale::default();
+        let mut positional = Vec::new();
         // An explicit --runs always wins over the --full/--smoke presets,
         // regardless of flag order.
         let mut runs_explicit = false;
-        let mut args = std::env::args().skip(1);
+        let mut args = args;
         while let Some(arg) = args.next() {
             let mut value = |name: &str| {
                 args.next()
@@ -107,13 +118,31 @@ impl Scale {
                 "--out" => scale.out_dir = value("--out"),
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--full | --smoke] [--runs N] [--seed S] [--threads T] [--out DIR]"
+                        "usage: [EXPERIMENT…] [--full | --smoke] [--runs N] [--seed S] \
+                         [--threads T] [--out DIR]"
                     );
                     std::process::exit(0);
                 }
-                other => panic!("unknown argument: {other}"),
+                other if other.starts_with('-') => panic!("unknown argument: {other}"),
+                other => positional.push(other.to_string()),
             }
         }
+        (scale, positional)
+    }
+
+    /// Parses the process's command-line flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed or positional arguments
+    /// (binaries that take positionals use [`Scale::parse_args`]).
+    pub fn from_args() -> Scale {
+        let (scale, positional) = Self::parse_args(std::env::args().skip(1));
+        assert!(
+            positional.is_empty(),
+            "unexpected argument: {}",
+            positional[0]
+        );
         scale
     }
 
@@ -139,54 +168,6 @@ where
         .runs(scale.runs)
         .master_seed(scale.seed)
         .threads(scale.threads)
-}
-
-/// Runs `scale.runs` independent DSC experiments in parallel
-/// (a single-cell [`Sweep`]).
-///
-/// `init` builds the initial state per agent index (None = fresh);
-/// `schedule` is cloned into every run.
-pub fn run_many(
-    scale: &Scale,
-    n: usize,
-    horizon: f64,
-    snapshot_every: f64,
-    schedule: AdversarySchedule,
-    init: Option<std::sync::Arc<dyn Fn(usize) -> dsc_core::DscState + Send + Sync>>,
-) -> Vec<RunResult> {
-    let mut sweep = sweep_of(scale, paper_protocol())
-        .populations([n])
-        .horizon(horizon)
-        .snapshot_every(snapshot_every)
-        .schedule("schedule", schedule);
-    if let Some(f) = init {
-        sweep = sweep.init_with(move |i| f(i));
-    }
-    let mut results = sweep.run();
-    results.cells.swap_remove(0).runs
-}
-
-/// Runs `scale.runs` experiments of an arbitrary estimator protocol
-/// (a single-cell [`Sweep`]).
-pub fn run_many_protocol<P>(
-    scale: &Scale,
-    protocol: P,
-    n: usize,
-    horizon: f64,
-    snapshot_every: f64,
-    schedule: AdversarySchedule,
-) -> Vec<RunResult>
-where
-    P: pp_model::SizeEstimator + Clone + Send + Sync,
-    P::State: Clone + Send + Sync + 'static,
-{
-    let mut results = sweep_of(scale, protocol)
-        .populations([n])
-        .horizon(horizon)
-        .snapshot_every(snapshot_every)
-        .schedule("schedule", schedule)
-        .run();
-    results.cells.swap_remove(0).runs
 }
 
 /// Formats a float with two decimals for tables.
@@ -218,15 +199,21 @@ mod tests {
     }
 
     #[test]
-    fn run_many_produces_runs_with_distinct_seeds() {
-        let scale = Scale {
-            runs: 3,
-            ..Scale::default()
-        };
-        let runs = run_many(&scale, 64, 5.0, 1.0, AdversarySchedule::new(), None);
-        assert_eq!(runs.len(), 3);
-        assert_ne!(runs[0].seed, runs[1].seed);
-        assert_eq!(runs[0].snapshots.len(), 6);
+    fn parse_args_splits_positionals_from_flags() {
+        let args = ["fig2", "--smoke", "lemmas", "--runs", "5", "--out", "o"]
+            .iter()
+            .map(|s| (*s).to_string());
+        let (scale, positional) = Scale::parse_args(args);
+        assert!(scale.smoke);
+        assert_eq!(scale.runs, 5, "explicit --runs beats the smoke preset");
+        assert_eq!(scale.out_dir, "o");
+        assert_eq!(positional, vec!["fig2".to_string(), "lemmas".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn parse_args_rejects_unknown_flags() {
+        let _ = Scale::parse_args(["--bogus".to_string()].into_iter());
     }
 
     #[test]

@@ -1,7 +1,10 @@
-//! Smoke coverage for the Sweep-ported bench entry points: `--smoke` runs
-//! must complete in seconds and emit non-empty CSV output.
+//! Registry-driven smoke coverage: every registered experiment must
+//! complete in seconds at `--smoke` scale, emit at least one data row, and
+//! produce bit-identical rows whatever the worker thread count — the
+//! `Sweep` engine's determinism contract, asserted end to end through the
+//! experiment layer.
 
-use pp_bench::experiments::{accuracy, compare, convergence, holding, lemmas};
+use pp_bench::experiments::{self, REGISTRY};
 use pp_bench::Scale;
 
 /// A per-test output directory under the system temp dir.
@@ -10,70 +13,80 @@ fn smoke_scale(test: &str) -> Scale {
     Scale::smoke(dir.to_str().expect("utf-8 temp path"))
 }
 
-/// Asserts a CSV exists and has a header plus at least one data row.
-fn assert_csv_nonempty(scale: &Scale, file: &str) {
-    let path = scale.out_path(file);
-    let contents = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("smoke run should have written {path}: {e}"));
-    let lines: Vec<&str> = contents.lines().collect();
-    assert!(
-        lines.len() >= 2,
-        "{path} should have a header and at least one data row, got {} lines",
-        lines.len()
-    );
-    assert!(
-        lines[0].contains(','),
-        "{path} header should be comma-separated: {:?}",
-        lines[0]
-    );
-}
-
+/// Every registered experiment emits rows under `--smoke`, and the rows
+/// are row-for-row identical between 1 and 4 worker threads.
 #[test]
-fn convergence_smoke_completes_and_emits_csv() {
-    let scale = smoke_scale("convergence");
-    convergence::run(&scale);
-    assert_csv_nonempty(&scale, "convergence_nhat.csv");
-    assert_csv_nonempty(&scale, "convergence_n.csv");
-    let _ = std::fs::remove_dir_all(&scale.out_dir);
-}
+fn every_registered_experiment_emits_deterministic_rows() {
+    for spec in REGISTRY {
+        let mut serial = smoke_scale(spec.name);
+        serial.threads = 1;
+        let tables_serial = (spec.run)(&serial);
 
-#[test]
-fn accuracy_smoke_completes_and_emits_csv() {
-    let scale = smoke_scale("accuracy");
-    accuracy::run(&scale);
-    assert_csv_nonempty(&scale, "accuracy.csv");
-    let _ = std::fs::remove_dir_all(&scale.out_dir);
-}
-
-#[test]
-fn holding_smoke_completes_and_emits_csv() {
-    let scale = smoke_scale("holding");
-    holding::run(&scale);
-    assert_csv_nonempty(&scale, "holding.csv");
-    let _ = std::fs::remove_dir_all(&scale.out_dir);
-}
-
-#[test]
-fn compare_smoke_completes_and_emits_csv() {
-    let scale = smoke_scale("compare");
-    compare::run(&scale);
-    assert_csv_nonempty(&scale, "compare.csv");
-    let _ = std::fs::remove_dir_all(&scale.out_dir);
-}
-
-#[test]
-fn lemmas_smoke_completes_and_emits_csv() {
-    let scale = smoke_scale("lemmas");
-    lemmas::run(&scale);
-    let path = scale.out_path("lemmas.csv");
-    let contents = std::fs::read_to_string(&path).expect("lemmas.csv written");
-    assert_csv_nonempty(&scale, "lemmas.csv");
-    // All three Sweep-driven lemma families must contribute rows.
-    for family in ["lemma4.1", "lemma4.2", "lemma4.3/4.4"] {
+        let total_rows: usize = tables_serial.iter().map(|t| t.rows.len()).sum();
         assert!(
-            contents.contains(family),
-            "lemmas.csv should contain {family} rows"
+            total_rows >= 1,
+            "{}: smoke run must emit at least one data row",
+            spec.name
+        );
+        for table in &tables_serial {
+            assert!(
+                !table.headers.is_empty(),
+                "{}: {} must have headers",
+                spec.name,
+                table.file
+            );
+        }
+
+        let mut parallel = smoke_scale(spec.name);
+        parallel.threads = 4;
+        let tables_parallel = (spec.run)(&parallel);
+        assert_eq!(
+            tables_serial, tables_parallel,
+            "{}: rows must be bit-identical across thread counts",
+            spec.name
         );
     }
+}
+
+/// The full emission pipeline: running through the registry entry point
+/// writes every returned table as a readable, non-empty CSV file.
+#[test]
+fn run_and_write_emits_csv_for_every_table() {
+    let scale = smoke_scale("write_pipeline");
+    let spec = experiments::find("holding").expect("holding is registered");
+    let tables = experiments::run_and_write(spec, &scale);
+    assert!(!tables.is_empty());
+    for table in &tables {
+        let path = scale.out_path(&table.file);
+        let contents = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{path} should have been written: {e}"));
+        let lines: Vec<&str> = contents.lines().collect();
+        assert!(
+            lines.len() >= 2,
+            "{path} should have a header and at least one data row"
+        );
+        assert_eq!(
+            lines[0],
+            table.headers.join(","),
+            "{path} header must match the table spec"
+        );
+        assert_eq!(lines.len(), table.rows.len() + 1);
+    }
     let _ = std::fs::remove_dir_all(&scale.out_dir);
+}
+
+/// The lemma families all contribute rows — a regression guard for the
+/// three Sweep fast paths (direct sampling, `run_jumped`, `run_counted`).
+#[test]
+fn lemma_families_all_contribute_rows() {
+    let scale = smoke_scale("lemma_families");
+    let spec = experiments::find("lemmas").expect("lemmas is registered");
+    let tables = (spec.run)(&scale);
+    let rows: Vec<&Vec<String>> = tables.iter().flat_map(|t| t.rows.iter()).collect();
+    for family in ["lemma4.1", "lemma4.2", "lemma4.3/4.4"] {
+        assert!(
+            rows.iter().any(|r| r[0] == family),
+            "lemmas must emit {family} rows"
+        );
+    }
 }

@@ -122,6 +122,16 @@ impl TickProtocol for ModMClock {
     }
 }
 
+/// The clock is not a size counter: no agent ever reports an estimate.
+/// The impl exists so the clock rides estimator-generic harnesses (the
+/// `Sweep` grid engine's tick-recording sweeps) alongside the paper's
+/// protocol; estimate summaries simply come back empty.
+impl pp_model::SizeEstimator for ModMClock {
+    fn estimate_log2(&self, _state: &ModClockState) -> Option<f64> {
+        None
+    }
+}
+
 /// Event-jump simulable: the countdown-with-wrap rule is deterministic.
 impl pp_model::DeterministicProtocol for ModMClock {}
 

@@ -4,14 +4,100 @@
 //! CHVP), the configuration is fully described by one counter per state.
 //! [`CountSimulator`] samples each interaction directly from the counters —
 //! exactly the same distribution as the agent-array simulator, verified by
-//! cross-checking integration tests — with O(#occupied states) work per
-//! interaction and O(#states) memory regardless of `n`. This enables
-//! validating the paper's substrate lemmas (4.2–4.4) at populations far
-//! beyond what an agent array would hold.
+//! cross-checking integration tests — with O(#states) memory regardless of
+//! `n`. This enables validating the paper's substrate lemmas (4.2–4.4) at
+//! populations far beyond what an agent array would hold.
+//!
+//! Weighted sampling runs in one of two modes, chosen by the state-space
+//! width at construction and invisible in behavior (identical draw-to-state
+//! mapping, pinned by an equivalence test):
+//!
+//! * **narrow** (`#states < CUMSUM_MIN_STATES`) — a linear scan over the
+//!   tracked occupied range, O(#occupied) per draw with tiny constants;
+//! * **wide** — a cached cumulative-sum (Fenwick) tree over the counts,
+//!   O(log #states) per draw and per count update, so a 10³-state
+//!   substrate no longer pays a 10³-entry scan per interaction.
 
 use pp_model::FiniteProtocol;
 use rand::rngs::SmallRng;
 use rand::{Rng, RngExt, SeedableRng};
+
+/// State-space width at which sampling switches from the linear
+/// occupied-range scan to the cached cumulative-sum tree. Below this the
+/// scan's tiny constants win (two-state epidemics scan one or two
+/// entries); above it the O(log #states) tree wins and keeps wide
+/// substrates (bounded CHVP with m in the hundreds, mod-m clocks) off the
+/// O(#states) per-interaction path.
+const CUMSUM_MIN_STATES: usize = 64;
+
+/// A Fenwick (binary-indexed) tree caching cumulative state counts.
+///
+/// Supports O(log len) point updates and an O(log len) weighted draw by
+/// binary-search descent. The descent returns **exactly** the index the
+/// linear scan would: the unique state `i` with
+/// `prefix(i) <= r < prefix(i + 1)`.
+#[derive(Debug, Clone)]
+struct PrefixCounts {
+    /// 1-indexed Fenwick array; `tree[0]` is unused.
+    tree: Vec<u64>,
+    /// Largest power of two ≤ the number of states (descent start).
+    top: usize,
+}
+
+impl PrefixCounts {
+    /// Builds the tree from per-state counts in O(len).
+    fn build(counts: &[u64]) -> Self {
+        let len = counts.len();
+        let mut tree = vec![0u64; len + 1];
+        for (i, &c) in counts.iter().enumerate() {
+            let j = i + 1;
+            tree[j] += c;
+            let parent = j + (j & j.wrapping_neg());
+            if parent <= len {
+                tree[parent] += tree[j];
+            }
+        }
+        let top = if len == 0 {
+            0
+        } else {
+            1usize << (usize::BITS - 1 - len.leading_zeros())
+        };
+        PrefixCounts { tree, top }
+    }
+
+    /// Adds `delta` to state `i`'s count.
+    fn add(&mut self, i: usize, delta: u64) {
+        let mut j = i + 1;
+        while j < self.tree.len() {
+            self.tree[j] += delta;
+            j += j & j.wrapping_neg();
+        }
+    }
+
+    /// Subtracts `delta` from state `i`'s count.
+    fn sub(&mut self, i: usize, delta: u64) {
+        let mut j = i + 1;
+        while j < self.tree.len() {
+            self.tree[j] -= delta;
+            j += j & j.wrapping_neg();
+        }
+    }
+
+    /// The state containing offset `r` of the cumulative distribution.
+    fn sample(&self, mut r: u64) -> usize {
+        let mut pos = 0usize;
+        let mut step = self.top;
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] <= r {
+                r -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos
+    }
+}
 
 /// An execution of a finite-state protocol represented by state counts.
 ///
@@ -56,6 +142,15 @@ pub struct CountSimulator<P: FiniteProtocol, R: Rng = SmallRng> {
     /// weighted-sampling scan. Grows eagerly when a state becomes
     /// occupied and shrinks lazily when the top states empty out.
     occupied_hi: usize,
+    /// Cached cumulative counts for the wide-state-space sampling mode
+    /// (`None` below [`CUMSUM_MIN_STATES`]: the linear scan wins there).
+    prefix: Option<PrefixCounts>,
+}
+
+/// The cumulative-sum tree for `counts`, when the state space is wide
+/// enough for it to pay off.
+fn prefix_for(counts: &[u64]) -> Option<PrefixCounts> {
+    (counts.len() >= CUMSUM_MIN_STATES).then(|| PrefixCounts::build(counts))
 }
 
 impl<P: FiniteProtocol> CountSimulator<P, SmallRng> {
@@ -68,6 +163,7 @@ impl<P: FiniteProtocol> CountSimulator<P, SmallRng> {
             counts[init] = n;
             occupied_hi = init + 1;
         }
+        let prefix = prefix_for(&counts);
         CountSimulator {
             protocol,
             counts,
@@ -76,6 +172,7 @@ impl<P: FiniteProtocol> CountSimulator<P, SmallRng> {
             interactions: 0,
             parallel_time: 0.0,
             occupied_hi,
+            prefix,
         }
     }
 
@@ -104,6 +201,7 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
         );
         let n = counts.iter().sum();
         let occupied_hi = counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+        let prefix = prefix_for(&counts);
         CountSimulator {
             protocol,
             counts,
@@ -112,6 +210,7 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
             interactions: 0,
             parallel_time: 0.0,
             occupied_hi,
+            prefix,
         }
     }
 
@@ -156,10 +255,18 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
     /// O(1): the population total is adjusted by the delta instead of
     /// re-summing every state.
     pub fn set_count(&mut self, i: usize, count: u64) {
-        self.n = self.n - self.counts[i] + count;
+        let old = self.counts[i];
+        self.n = self.n - old + count;
         self.counts[i] = count;
         if count > 0 {
             self.occupied_hi = self.occupied_hi.max(i + 1);
+        }
+        if let Some(prefix) = &mut self.prefix {
+            if count >= old {
+                prefix.add(i, count - old);
+            } else {
+                prefix.sub(i, old - count);
+            }
         }
     }
 
@@ -175,13 +282,17 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
 
     /// Draws a state index weighted by `counts`, given their current total.
     ///
-    /// The scan is bounded by the tracked occupied range, not the full
-    /// state space — for a protocol like bounded CHVP whose occupation
-    /// collapses to a narrow band, this is the difference between
-    /// O(#states) and O(#occupied) per interaction.
+    /// Exactly one RNG word per draw in either sampling mode, and the same
+    /// word-to-state mapping: the state `i` with `prefix(i) <= r <
+    /// prefix(i + 1)`. Narrow state spaces scan the tracked occupied
+    /// range (O(#occupied), tiny constants); wide ones descend the cached
+    /// cumulative-sum tree (O(log #states)).
     #[inline]
     fn sample_state(&mut self, total: u64) -> usize {
         debug_assert!(total > 0);
+        if let Some(prefix) = &self.prefix {
+            return prefix.sample(self.rng.random_range(0..total));
+        }
         // Lazily tighten the bound: decrements in `step` may have emptied
         // the top of the range.
         while self.occupied_hi > 0 && self.counts[self.occupied_hi - 1] == 0 {
@@ -197,6 +308,26 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
         unreachable!("counts changed during sampling");
     }
 
+    /// Decrements state `i`'s count, keeping the cumulative cache in sync.
+    #[inline]
+    fn decrement(&mut self, i: usize) {
+        self.counts[i] -= 1;
+        if let Some(prefix) = &mut self.prefix {
+            prefix.sub(i, 1);
+        }
+    }
+
+    /// Increments state `i`'s count, keeping the cumulative cache and the
+    /// occupied bound in sync.
+    #[inline]
+    fn increment(&mut self, i: usize) {
+        self.counts[i] += 1;
+        self.occupied_hi = self.occupied_hi.max(i + 1);
+        if let Some(prefix) = &mut self.prefix {
+            prefix.add(i, 1);
+        }
+    }
+
     /// Simulates one interaction.
     ///
     /// # Panics
@@ -205,17 +336,16 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
     pub fn step(&mut self) {
         assert!(self.n >= 2, "an interaction needs at least two agents");
         let si = self.sample_state(self.n);
-        self.counts[si] -= 1;
+        self.decrement(si);
         let sj = self.sample_state(self.n - 1);
-        self.counts[sj] -= 1;
+        self.decrement(sj);
         let mut u = self.protocol.state_from_index(si);
         let mut v = self.protocol.state_from_index(sj);
         self.protocol.interact(&mut u, &mut v, &mut self.rng);
         let oi = self.protocol.state_index(&u);
         let oj = self.protocol.state_index(&v);
-        self.counts[oi] += 1;
-        self.counts[oj] += 1;
-        self.occupied_hi = self.occupied_hi.max(oi.max(oj) + 1);
+        self.increment(oi);
+        self.increment(oj);
         self.interactions += 1;
         self.parallel_time += 1.0 / self.n as f64;
     }
@@ -249,6 +379,9 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
         self.counts[init] += count;
         self.n += count;
         self.occupied_hi = self.occupied_hi.max(init + 1);
+        if let Some(prefix) = &mut self.prefix {
+            prefix.add(init, count);
+        }
     }
 
     /// Removes `count` agents chosen uniformly at random (weighted state
@@ -273,7 +406,7 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
         if count <= keep {
             for _ in 0..count {
                 let si = self.sample_state(self.n);
-                self.counts[si] -= 1;
+                self.decrement(si);
                 self.n -= 1;
             }
         } else {
@@ -282,7 +415,7 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
             let mut survivors = vec![0u64; self.counts.len()];
             for _ in 0..keep {
                 let si = self.sample_state(self.n);
-                self.counts[si] -= 1;
+                self.decrement(si);
                 self.n -= 1;
                 survivors[si] += 1;
             }
@@ -293,6 +426,7 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
                 .iter()
                 .rposition(|&c| c > 0)
                 .map_or(0, |i| i + 1);
+            self.prefix = prefix_for(&self.counts);
         }
     }
 
@@ -370,8 +504,114 @@ mod tests {
         let steps = 1_000u64;
         let mut sim =
             CountSimulator::from_counts_with_rng(Or, vec![600, 400], CountingRng::seeded(12));
+        assert!(sim.prefix.is_none(), "two states must use the linear scan");
         sim.step_n(steps);
         assert_eq!(sim.rng().words, 2 * steps);
+    }
+
+    /// A wide-state-space fixture (well above [`CUMSUM_MIN_STATES`]):
+    /// one-sided "drift towards the larger value, plus one, capped".
+    /// RNG-free transitions, so the per-step word budget is pure sampler.
+    #[derive(Clone)]
+    struct Drift;
+    const DRIFT_STATES: usize = 300;
+    impl Protocol for Drift {
+        type State = u16;
+        fn initial_state(&self) -> u16 {
+            0
+        }
+        fn interact<R: Rng + ?Sized>(&self, u: &mut u16, v: &mut u16, _: &mut R) {
+            *u = (*u).max(*v).saturating_add(1).min(DRIFT_STATES as u16 - 1);
+        }
+    }
+    impl FiniteProtocol for Drift {
+        fn num_states(&self) -> usize {
+            DRIFT_STATES
+        }
+        fn state_index(&self, s: &u16) -> usize {
+            *s as usize
+        }
+        fn state_from_index(&self, i: usize) -> u16 {
+            i as u16
+        }
+    }
+
+    /// Same draw-order guard for the cumulative-sum sampler: the tree draw
+    /// is still one word per state sample, so wide state spaces keep the
+    /// exact per-step randomness budget of the linear scan — recorded
+    /// traces stay valid whichever sampler a state-space width selects.
+    #[test]
+    fn wide_state_step_consumes_exactly_two_rng_words() {
+        let steps = 1_000u64;
+        let mut counts = vec![0u64; DRIFT_STATES];
+        counts[0] = 700;
+        counts[150] = 200;
+        counts[DRIFT_STATES - 1] = 100;
+        let mut sim = CountSimulator::from_counts_with_rng(Drift, counts, CountingRng::seeded(13));
+        assert!(sim.prefix.is_some(), "wide spaces must use the tree");
+        sim.step_n(steps);
+        assert_eq!(sim.rng().words, 2 * steps);
+    }
+
+    /// The tree sampler must be draw-for-draw identical to the linear scan
+    /// — same seed, same trajectory — including across count mutations
+    /// from adversary-style operations.
+    #[test]
+    fn tree_and_linear_samplers_produce_identical_trajectories() {
+        let mut counts = vec![0u64; DRIFT_STATES];
+        counts[0] = 900;
+        counts[7] = 50;
+        counts[220] = 50;
+        let mut tree_sim = CountSimulator::from_counts(Drift, counts.clone(), 77);
+        let mut linear_sim = CountSimulator::from_counts(Drift, counts, 77);
+        linear_sim.prefix = None; // force the narrow-space path
+        for round in 0..20 {
+            tree_sim.step_n(200);
+            linear_sim.step_n(200);
+            assert_eq!(
+                tree_sim.counts(),
+                linear_sim.counts(),
+                "trajectories diverged in round {round}"
+            );
+            match round % 3 {
+                0 => {
+                    tree_sim.remove_uniform(40);
+                    linear_sim.remove_uniform(40);
+                }
+                1 => {
+                    tree_sim.add_agents(40);
+                    linear_sim.add_agents(40);
+                }
+                _ => {
+                    let c = tree_sim.count(5);
+                    tree_sim.set_count(5, c + 3);
+                    linear_sim.set_count(5, c + 3);
+                }
+            }
+            assert_eq!(tree_sim.counts(), linear_sim.counts());
+            assert_eq!(tree_sim.population(), linear_sim.population());
+        }
+    }
+
+    /// The incremental tree updates must stay consistent with a fresh
+    /// rebuild after arbitrary mutations (including the survivor-branch
+    /// rebuild of a near-total removal).
+    #[test]
+    fn prefix_tree_stays_consistent_with_counts() {
+        let mut counts = vec![0u64; DRIFT_STATES];
+        counts[3] = 500;
+        counts[100] = 500;
+        let mut sim = CountSimulator::from_counts(Drift, counts, 31);
+        sim.step_n(500);
+        sim.remove_uniform(900); // survivor branch: rebuild
+        sim.add_agents(25);
+        sim.set_count(42, 17);
+        sim.step_n(100);
+        let rebuilt = PrefixCounts::build(sim.counts());
+        assert_eq!(
+            sim.prefix.as_ref().expect("wide space keeps a tree").tree,
+            rebuilt.tree
+        );
     }
 
     #[test]

@@ -221,14 +221,21 @@ where
 impl<P> Experiment<P>
 where
     P: SizeEstimator + TickProtocol,
-    P::State: MemoryFootprint,
 {
-    /// Runs the experiment, additionally recording phase-clock ticks and
-    /// per-snapshot memory summaries.
-    ///
-    /// Memory summaries scan all agents at every snapshot; prefer coarser
-    /// snapshot intervals at large `n`.
-    pub fn run_full(self) -> RunResult {
+    /// Runs the experiment, additionally recording phase-clock ticks (but
+    /// no memory summaries — usable for states without a
+    /// [`MemoryFootprint`]).
+    pub fn run_with_ticks(self) -> RunResult {
+        self.run_ticked_with(|_| None)
+    }
+
+    /// The shared tick-recording run loop behind
+    /// [`Experiment::run_with_ticks`] and [`Experiment::run_full`], which
+    /// differ only in the per-snapshot memory readout.
+    fn run_ticked_with(
+        self,
+        memory: impl Fn(&Simulator<P, (EstimateTracker, TickRecorder)>) -> Option<MemorySummary>,
+    ) -> RunResult {
         let config = self.build_config();
         let mut sim = Simulator::from_config_with_observer(
             self.protocol,
@@ -242,7 +249,7 @@ where
             self.snapshot_every,
             &self.schedule,
             |sim| sim.observer().0.histogram().summary(),
-            scan_memory,
+            memory,
         );
         let final_n = sim.population();
         let (_, observer) = sim.into_parts();
@@ -252,6 +259,21 @@ where
             ticks: observer.1.into_events(),
             final_n,
         }
+    }
+}
+
+impl<P> Experiment<P>
+where
+    P: SizeEstimator + TickProtocol,
+    P::State: MemoryFootprint,
+{
+    /// Runs the experiment, additionally recording phase-clock ticks and
+    /// per-snapshot memory summaries.
+    ///
+    /// Memory summaries scan all agents at every snapshot; prefer coarser
+    /// snapshot intervals at large `n`.
+    pub fn run_full(self) -> RunResult {
+        self.run_ticked_with(scan_memory)
     }
 }
 

@@ -48,5 +48,5 @@ pub use jump_sim::JumpSimulator;
 pub use observer::{EstimateTracker, Observer, TickRecorder};
 pub use runner::parallel_map;
 pub use series::{EstimateSummary, MemorySummary, RunResult, Snapshot, TickEvent};
-pub use simulator::Simulator;
+pub use simulator::{ChunkSize, Simulator};
 pub use sweep::{Sweep, SweepCell, SweepResults};

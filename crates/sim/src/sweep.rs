@@ -48,12 +48,19 @@ use crate::count_drive::{run_counted_cell, run_jumped_cell, CountRunSpec};
 use crate::experiment::{Experiment, InitMode};
 use crate::runner::{parallel_map, run_seed};
 use crate::series::RunResult;
-use pp_model::{DeterministicProtocol, FiniteProtocol, MemoryFootprint, SizeEstimator};
+use pp_model::{
+    DeterministicProtocol, FiniteProtocol, MemoryFootprint, SizeEstimator, TickProtocol,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Shared closure computing a per-agent initial state.
-pub type InitFn<S> = Arc<dyn Fn(usize) -> S + Send + Sync>;
+/// Shared closure computing a per-agent initial state from the cell's
+/// population size and the agent index.
+///
+/// The population argument makes seeded initial configurations fit a
+/// multi-cell grid: a single closure can, say, plant one informed agent
+/// per cell (`|n, i| i == n - 1`) or scale an initial estimate with `n`.
+pub type InitFn<S> = Arc<dyn Fn(usize, usize) -> S + Send + Sync>;
 
 /// A builder for a seeded experiment grid: populations × schedules × runs.
 ///
@@ -240,7 +247,22 @@ where
     }
 
     /// Starts every agent in `f(i)` instead of the protocol's initial state.
+    ///
+    /// The same closure applies to every grid cell; see
+    /// [`Sweep::init_with_n`] for per-cell initial configurations.
     pub fn init_with(mut self, f: impl Fn(usize) -> P::State + Send + Sync + 'static) -> Self {
+        self.init = Some(Arc::new(move |_n, i| f(i)));
+        self
+    }
+
+    /// Starts agent `i` of an `n`-agent cell in `f(n, i)`: the per-cell
+    /// init hook for seeded initial configurations on a multi-cell grid
+    /// (e.g. Fig. 5 runs every population with the same planted
+    /// over-estimate, while a rumor experiment plants `f(n, 0)` only).
+    pub fn init_with_n(
+        mut self,
+        f: impl Fn(usize, usize) -> P::State + Send + Sync + 'static,
+    ) -> Self {
         self.init = Some(Arc::new(f));
         self
     }
@@ -350,9 +372,30 @@ where
             .schedule(schedules[task.schedule_index].1.clone());
         if let Some(init) = &self.init {
             let init = Arc::clone(init);
-            exp = exp.init(InitMode::FromFn(Box::new(move |i| init(i))));
+            let n = task.n;
+            exp = exp.init(InitMode::FromFn(Box::new(move |i| init(n, i))));
         }
         exp
+    }
+}
+
+impl<P> Sweep<P>
+where
+    P: SizeEstimator + TickProtocol + Clone + Send + Sync,
+    P::State: Clone + Send + Sync + 'static,
+{
+    /// Like [`Sweep::run`], additionally recording phase-clock tick events
+    /// per run (the Theorem 2.2 burst/overlap analysis). Tick analyses
+    /// assume stable agent indices, so prefer static schedules.
+    pub fn run_ticked(self) -> SweepResults {
+        let (schedules, tasks) = self.build_tasks();
+        let start = Instant::now();
+        let results = parallel_map(tasks.len(), self.threads, |t| {
+            let task = &tasks[t];
+            self.experiment(task, &schedules).run_with_ticks()
+        });
+        let wall = start.elapsed();
+        self.collect(schedules, tasks, results, wall)
     }
 }
 
@@ -566,6 +609,48 @@ mod tests {
             .run();
         let last = r.cells[0].runs[0].snapshots.last().unwrap();
         assert_eq!(last.estimates.unwrap().max, 60.0);
+    }
+
+    #[test]
+    fn init_with_n_sees_each_cell_population() {
+        // Plant the cell's own n as the seeded value: each cell's final
+        // max must equal its population, proving the hook saw the right n.
+        let r = Sweep::new(Max)
+            .populations([12, 24])
+            .runs(1)
+            .horizon(40.0)
+            .init_with_n(|n, i| if i == 0 { n as u32 } else { 1 })
+            .run();
+        for cell in &r.cells {
+            let last = cell.runs[0].snapshots.last().unwrap();
+            assert_eq!(last.estimates.unwrap().max, cell.n as f64);
+        }
+    }
+
+    impl pp_model::TickProtocol for Max {
+        fn tick_count(&self, s: &u32) -> u64 {
+            u64::from(*s)
+        }
+    }
+
+    #[test]
+    fn run_ticked_records_tick_events() {
+        // Max-spreading under a tick readout of the state value: every
+        // adoption of a larger value increments the "tick" count, so a
+        // seeded large value must generate recorded events.
+        let r = Sweep::new(Max)
+            .populations([16])
+            .runs(2)
+            .horizon(20.0)
+            .init_with(|i| if i == 0 { 5 } else { 0 })
+            .run_ticked();
+        for run in &r.cells[0].runs {
+            assert!(
+                !run.ticks.is_empty(),
+                "value adoptions must be recorded as ticks"
+            );
+            assert!(!run.snapshots.is_empty(), "snapshots still recorded");
+        }
     }
 
     #[test]

@@ -18,11 +18,23 @@ use pp_bench::experiments::{self, ExperimentSpec};
 use pp_bench::Scale;
 
 fn print_registry() {
+    // Column widths from the data (plus the header row), so the listing
+    // stays aligned as registry entries come and go.
+    let rows: Vec<[&str; 5]> =
+        std::iter::once(["NAME", "PAPER", "BACKEND", "RECORDING", "DESCRIPTION"])
+            .chain(
+                experiments::REGISTRY
+                    .iter()
+                    .map(|s| [s.name, s.paper_ref, s.backend, s.recording, s.description]),
+            )
+            .collect();
+    let width = |col: usize| rows.iter().map(|r| r[col].len()).max().unwrap_or(0);
+    let (w0, w1, w2, w3) = (width(0), width(1), width(2), width(3));
     println!("registered experiments:");
-    for spec in experiments::REGISTRY {
+    for r in &rows {
         println!(
-            "  {:<14} {:<22} {}",
-            spec.name, spec.paper_ref, spec.description
+            "  {:<w0$}  {:<w1$}  {:<w2$}  {:<w3$}  {}",
+            r[0], r[1], r[2], r[3], r[4]
         );
     }
     println!("\nusage: dsc-bench <experiment>… | all | repro | list  [--full | --smoke] [--runs N] [--seed S] [--threads T] [--out DIR]");

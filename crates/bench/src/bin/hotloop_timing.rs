@@ -18,7 +18,7 @@
 //! Two modes per population size:
 //!
 //! * **plain** — raw `Simulator` stepping, no observer (`O = ()`);
-//! * **tracked** — stepping under the [`EstimateTracker`] observer, i.e.
+//! * **tracked** — stepping under the [`pp_sim::EstimateTracker`] observer, i.e.
 //!   exactly the per-interaction work every §5 convergence experiment pays
 //!   (this is the workload behind `Experiment::run` and all figures).
 //!

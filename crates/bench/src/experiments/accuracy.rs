@@ -22,6 +22,7 @@ use dsc_core::{AveragedDsc, DscConfig};
 use pp_analysis::{mean, std_dev, Table, TableSpec};
 use pp_model::{MemoryFootprint, SizeEstimator};
 use pp_protocols::De19Averaging;
+use pp_sim::{Simulator, TrackedEstimates, WithMemory};
 
 struct Row {
     name: String,
@@ -44,7 +45,8 @@ where
         .populations([n])
         .horizon(WARMUP + ROUND * f64::from(rounds))
         .snapshot_every(ROUND)
-        .run_with_memory();
+        .run_on::<Simulator<_>, _>(WithMemory(TrackedEstimates))
+        .expect("the agent-array backend records memory");
     let cell = &results.cells[0];
 
     // Per run: the post-warm-up series of median estimates.

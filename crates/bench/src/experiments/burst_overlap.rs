@@ -7,8 +7,10 @@
 //! dominates the burst width (`t_{i+1} − t_i ≥ 3c·n log n` vs bursts of
 //! width `2c·n log n`).
 //!
-//! Both clocks run as single-cell tick-recording sweeps
-//! ([`Sweep::run_ticked`](pp_sim::Sweep::run_ticked)); warm-up ticks are
+//! Both clocks run as single-cell sweeps on the agent-array backend under
+//! the tick-recording plan
+//! (`run_on::<Simulator<_>, _>(WithTicks(TrackedEstimates))` — the
+//! registry's declared `estimates + ticks` recording); warm-up ticks are
 //! discarded by interaction index (`t < warmup·n`), which on a static
 //! population is exactly the parallel-time cutoff the seed harness
 //! implemented by clearing the recorder mid-run.
@@ -20,7 +22,7 @@ use crate::{f2, log2n, Scale};
 use pp_analysis::{ClockDecomposition, ClockVerdict, Table, TableSpec};
 use pp_model::{SizeEstimator, TickProtocol};
 use pp_protocols::ModMClock;
-use pp_sim::{RunResult, TickEvent};
+use pp_sim::{RunResult, Simulator, TickEvent, TrackedEstimates, WithTicks};
 
 fn ticked_run<P>(
     scale: &Scale,
@@ -43,7 +45,8 @@ where
         // readout; aligning it to the warm-up time puts a snapshot at
         // exactly that instant.
         .snapshot_every(warmup)
-        .run_ticked();
+        .run_on::<Simulator<_>, _>(WithTicks(TrackedEstimates))
+        .expect("the agent-array backend records ticks");
     results.cells.swap_remove(0).runs.swap_remove(0)
 }
 

@@ -1,6 +1,6 @@
 //! E5 / Theorem 2.1 (convergence): `O(log n̂ + log n)` convergence time.
 //!
-//! Two sweeps, both on the [`Sweep`] grid engine:
+//! Two sweeps, both on the [`Sweep`](pp_sim::Sweep) grid engine:
 //!
 //! 1. **initial-estimate sweep** — fixed n, initial estimate n̂ with
 //!    `log n̂ ∈ {15, 30, 60, 120, 240}`: convergence time should grow

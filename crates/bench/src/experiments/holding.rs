@@ -9,10 +9,16 @@
 //!
 //! All populations run as one [`Sweep`](pp_sim::Sweep) grid: the flat
 //! task list keeps every core busy across population sizes instead of
-//! draining the pool at each point boundary.
+//! draining the pool at each point boundary. The grid runs under the
+//! [`pp_sim::ScannedEstimates`] plan — summaries are
+//! value-identical to the tracked default, but the long horizons (up to
+//! 10⁵ parallel time) pay a per-snapshot scan every 10 time units instead
+//! of estimate-tracker bucket updates on every one of the `n` interactions
+//! per unit.
 
 use crate::{f2, Scale};
 use pp_analysis::{holding_time, Band, Table, TableSpec};
+use pp_sim::{ScannedEstimates, Simulator};
 
 /// Runs E6, returning the `holding.csv` table.
 pub fn run(scale: &Scale) -> Vec<TableSpec> {
@@ -32,7 +38,8 @@ pub fn run(scale: &Scale) -> Vec<TableSpec> {
         .populations(ns.iter().copied())
         .horizon(horizon)
         .snapshot_every(10.0)
-        .run();
+        .run_on::<Simulator<_>, _>(ScannedEstimates)
+        .expect("the agent-array backend supports every plan");
 
     let mut table = Table::new(vec![
         "n",

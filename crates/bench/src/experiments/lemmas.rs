@@ -13,18 +13,19 @@
 //! observed violation count should be zero at these scales.
 //!
 //! Lemma 4.1 samples GRVs directly (no simulator). Lemmas 4.2–4.4 run on
-//! the [`Sweep`] count-based fast paths — 4.2 through the event-jump
-//! engine (`run_jumped`: only the epidemic's effective interactions are
-//! materialized), 4.3/4.4 through `run_counted` — so every grid cell runs
-//! from one flattened parallel batch with derived seeds instead of the
-//! former hand-rolled `CountSimulator` loops, and full-scale populations
-//! (2¹⁸ and beyond) cost O(#states) memory per run.
+//! the [`Sweep`] count-based backends — 4.2 through the jump backend
+//! (`run_on::<JumpSimulator<_>, _>`: only the epidemic's effective
+//! interactions are materialized), 4.3/4.4 through the count backend
+//! (`run_on::<CountSimulator<_>, _>`) — so every grid cell runs from one
+//! flattened parallel batch with derived seeds instead of the former
+//! hand-rolled `CountSimulator` loops, and full-scale populations (2¹⁸
+//! and beyond) cost O(#states) memory per run.
 
 use crate::{f2, log2n, Scale};
 use pp_analysis::{Table, TableSpec};
 use pp_model::grv;
 use pp_protocols::{BoundedChvp, Infection};
-use pp_sim::{RunResult, Sweep};
+use pp_sim::{CountSimulator, JumpSimulator, RunResult, Sweep, TrackedEstimates};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -121,7 +122,8 @@ pub fn run(scale: &Scale) -> Vec<TableSpec> {
         .horizon_with(move |n| 10.0 * bound_of(n))
         .snapshot_every(1.0)
         .init_counts(|n| vec![n - 1, 1])
-        .run_jumped();
+        .run_on::<JumpSimulator<_>, _>(TrackedEstimates)
+        .expect("a static epidemic grid fits the jump backend");
     for (exp, cell) in epi_exps.iter().zip(results.cells.iter()) {
         let n = cell.n;
         let bound = bound_of(n);
@@ -182,7 +184,8 @@ pub fn run(scale: &Scale) -> Vec<TableSpec> {
             .horizon_with(move |n| 7.0 * window_of(n))
             .snapshot_every(1.0)
             .init_counts(move |n| init(n, m))
-            .run_counted()
+            .run_on::<CountSimulator<_>, _>(TrackedEstimates)
+            .expect("a counts-initialized grid fits the count backend")
     };
     // 4.3: all start at m; after the budget the max dropped by ≥ Δ.
     let drop_results = chvp_sweep(

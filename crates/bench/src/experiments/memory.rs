@@ -13,7 +13,8 @@
 //!    initial over-estimate `s` (the `O(log s)` term), and collapses back
 //!    after convergence.
 //!
-//! Both sweeps run on [`Sweep::run_with_memory`](pp_sim::Sweep) — the
+//! Both sweeps run on the agent-array backend under the memory-recording
+//! plan (`run_on::<Simulator<_>, _>(WithMemory(TrackedEstimates))`) — the
 //! footprint-vs-n comparison as one multi-cell population grid per
 //! protocol, the transient-vs-s readout as one seeded single-cell grid per
 //! over-estimate — replacing the seed harness's hand-rolled
@@ -23,7 +24,7 @@ use crate::{f2, Scale};
 use pp_analysis::{memory_profile, theorem_bound_bits, Table, TableSpec};
 use pp_model::{MemoryFootprint, SizeEstimator};
 use pp_protocols::De22Counting;
-use pp_sim::SweepResults;
+use pp_sim::{Simulator, SweepResults, TrackedEstimates, WithMemory};
 
 fn memory_sweep<P>(scale: &Scale, protocol: P, ns: &[usize], horizon: f64) -> SweepResults
 where
@@ -35,7 +36,8 @@ where
         .populations(ns.iter().copied())
         .horizon(horizon)
         .snapshot_every(10.0)
-        .run_with_memory()
+        .run_on::<Simulator<_>, _>(WithMemory(TrackedEstimates))
+        .expect("the agent-array backend records memory")
 }
 
 /// Runs E7, returning the `memory_n.csv` and `memory_s.csv` tables.
@@ -136,7 +138,8 @@ pub fn run(scale: &Scale) -> Vec<TableSpec> {
             .horizon(horizon)
             .snapshot_every(10.0)
             .init_with(move |_i| protocol.state_with_estimate(s))
-            .run_with_memory();
+            .run_on::<Simulator<_>, _>(WithMemory(TrackedEstimates))
+            .expect("the agent-array backend records memory");
         let profiles: Vec<_> = results.cells[0]
             .runs()
             .filter_map(|r| memory_profile(r, horizon * 0.9))

@@ -25,12 +25,24 @@ pub mod memory;
 use crate::Scale;
 use pp_analysis::TableSpec;
 
-/// A registered experiment: name, provenance, and entry point.
+/// A registered experiment: name, provenance, execution plan, and entry
+/// point.
+///
+/// `backend` and `recording` are the declarative face of the unified
+/// driver: every experiment runs its grid through
+/// [`Sweep::run_on`](pp_sim::Sweep::run_on) on the named
+/// [`Backend`](pp_sim::Backend) under the named
+/// [`Recording`](pp_sim::Recording) plan, and `dsc-bench list` prints both
+/// so the registry is self-describing.
 pub struct ExperimentSpec {
     /// Registry name (the `dsc-bench` argument).
     pub name: &'static str,
     /// The paper figure/lemma/section the experiment reproduces.
     pub paper_ref: &'static str,
+    /// The simulation backend(s) the experiment's sweeps run on.
+    pub backend: &'static str,
+    /// The recording plan the experiment's sweeps request.
+    pub recording: &'static str,
     /// One-line description.
     pub description: &'static str,
     /// Runs the experiment at the given scale, returning its output tables.
@@ -44,72 +56,96 @@ pub static REGISTRY: &[ExperimentSpec] = &[
     ExperimentSpec {
         name: "fig2",
         paper_ref: "Fig. 2",
+        backend: "agent-array",
+        recording: "estimates",
         description: "size estimate over time in a fresh system",
         run: fig2::run,
     },
     ExperimentSpec {
         name: "fig3",
         paper_ref: "Fig. 3",
+        backend: "agent-array",
+        recording: "estimates",
         description: "relative deviation from log2 n across population sizes",
         run: fig3::run,
     },
     ExperimentSpec {
         name: "fig4",
         paper_ref: "Fig. 4",
+        backend: "agent-array",
+        recording: "estimates",
         description: "adaptation to a population crash",
         run: fig4::run,
     },
     ExperimentSpec {
         name: "fig5",
         paper_ref: "Fig. 5 (appendix)",
+        backend: "agent-array",
+        recording: "estimates",
         description: "recovery from a planted initial over-estimate",
         run: fig5::run,
     },
     ExperimentSpec {
         name: "convergence",
         paper_ref: "Theorem 2.1 (time)",
+        backend: "agent-array",
+        recording: "estimates",
         description: "convergence time vs initial estimate and population size",
         run: convergence::run,
     },
     ExperimentSpec {
         name: "holding",
         paper_ref: "Theorem 2.1 (holding)",
+        backend: "agent-array",
+        recording: "estimates (scanned)",
         description: "validity persists over long horizons",
         run: holding::run,
     },
     ExperimentSpec {
         name: "memory",
         paper_ref: "Theorem 2.1 (space)",
+        backend: "agent-array",
+        recording: "estimates + memory",
         description: "bits per agent vs n and vs an initial over-estimate",
         run: memory::run,
     },
     ExperimentSpec {
         name: "burst_overlap",
         paper_ref: "Theorem 2.2",
+        backend: "agent-array",
+        recording: "estimates + ticks",
         description: "burst/overlap structure of the phase clock",
         run: burst_overlap::run,
     },
     ExperimentSpec {
         name: "compare",
         paper_ref: "§1.2/§6 baselines",
+        backend: "agent-array",
+        recording: "estimates",
         description: "baseline counters under a population crash",
         run: compare::run,
     },
     ExperimentSpec {
         name: "ablation",
         paper_ref: "§5 design choices",
+        backend: "agent-array",
+        recording: "estimates",
         description: "protocol variants on the converge-then-crash scenario",
         run: ablation::run,
     },
     ExperimentSpec {
         name: "lemmas",
         paper_ref: "Lemmas 4.1-4.4",
+        backend: "count + jump",
+        recording: "estimates",
         description: "substrate validation at count-simulator scale",
         run: lemmas::run,
     },
     ExperimentSpec {
         name: "accuracy",
         paper_ref: "§6 open question",
+        backend: "agent-array",
+        recording: "estimates + memory",
         description: "averaging the dynamic estimate (accuracy vs bits)",
         run: accuracy::run,
     },
@@ -154,5 +190,30 @@ mod tests {
         assert_eq!(names.len(), 12, "registry names must be unique");
         assert!(find("fig2").is_some());
         assert!(find("no-such-experiment").is_none());
+    }
+
+    #[test]
+    fn every_entry_declares_its_backend_and_recording() {
+        let backends = ["agent-array", "count", "jump"];
+        let recordings = ["estimates", "memory", "ticks", "scanned", "snapshots"];
+        for e in REGISTRY {
+            assert!(
+                backends.iter().any(|b| e.backend.contains(b)),
+                "{}: backend {:?} names no known backend",
+                e.name,
+                e.backend
+            );
+            assert!(
+                recordings.iter().any(|r| e.recording.contains(r)),
+                "{}: recording {:?} names no known plan",
+                e.name,
+                e.recording
+            );
+        }
+        assert_eq!(find("lemmas").unwrap().backend, "count + jump");
+        assert_eq!(
+            find("burst_overlap").unwrap().recording,
+            "estimates + ticks"
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! registers an [`experiments::ExperimentSpec`] in the declarative
 //! [`experiments::REGISTRY`]; the `dsc-bench` driver binary runs any subset
 //! (`dsc-bench <name>… | all | repro`), and each experiment executes its
-//! whole grid on the [`Sweep`](pp_sim::Sweep) engine — parallel,
+//! whole grid on the [`pp_sim::Sweep`] engine — parallel,
 //! bit-identical across thread counts.
 //!
 //! Every experiment supports three scales:

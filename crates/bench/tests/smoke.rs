@@ -2,7 +2,10 @@
 //! complete in seconds at `--smoke` scale, emit at least one data row, and
 //! produce bit-identical rows whatever the worker thread count — the
 //! `Sweep` engine's determinism contract, asserted end to end through the
-//! experiment layer.
+//! experiment layer and, since the backend unification, through the one
+//! generic `Sweep::run_on` driver every experiment now executes on. (The
+//! unification itself was validated by diffing every experiment's smoke-
+//! and default-scale CSVs against the pre-refactor engine: bit-identical.)
 
 use pp_bench::experiments::{self, REGISTRY};
 use pp_bench::Scale;
@@ -13,11 +16,17 @@ fn smoke_scale(test: &str) -> Scale {
     Scale::smoke(dir.to_str().expect("utf-8 temp path"))
 }
 
-/// Every registered experiment emits rows under `--smoke`, and the rows
-/// are row-for-row identical between 1 and 4 worker threads.
+/// Every registered experiment emits rows under `--smoke`, declares its
+/// backend and recording plan, and the rows are row-for-row identical
+/// between 1 and 4 worker threads.
 #[test]
 fn every_registered_experiment_emits_deterministic_rows() {
     for spec in REGISTRY {
+        assert!(
+            !spec.backend.is_empty() && !spec.recording.is_empty(),
+            "{}: the registry must be self-describing (backend + recording)",
+            spec.name
+        );
         let mut serial = smoke_scale(spec.name);
         serial.threads = 1;
         let tables_serial = (spec.run)(&serial);
@@ -76,7 +85,8 @@ fn run_and_write_emits_csv_for_every_table() {
 }
 
 /// The lemma families all contribute rows — a regression guard for the
-/// three Sweep fast paths (direct sampling, `run_jumped`, `run_counted`).
+/// three execution paths the experiment mixes (direct GRV sampling, the
+/// jump backend, and the count backend through `Sweep::run_on`).
 #[test]
 fn lemma_families_all_contribute_rows() {
     let scale = smoke_scale("lemma_families");

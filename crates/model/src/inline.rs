@@ -299,6 +299,57 @@ mod tests {
     }
 
     #[test]
+    fn from_slice_at_exact_capacity_fills_every_slot() {
+        // The boundary case: len == N must succeed (the assert is `<=`),
+        // leave no dead capacity, and round-trip through push-less reads.
+        let v: InlineVec<u32, 4> = InlineVec::from_slice(&[9, 8, 7, 6]);
+        assert_eq!(v.len(), InlineVec::<u32, 4>::CAPACITY);
+        assert_eq!(v, [9, 8, 7, 6]);
+        let e: InlineVec<u32, 0> = InlineVec::from_slice(&[]);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn from_elem_at_exact_capacity_and_truncate_to_zero() {
+        let mut v: InlineVec<u8, 3> = InlineVec::from_elem(5, 3);
+        assert_eq!(v, [5, 5, 5]);
+        v.truncate(0);
+        assert!(v.is_empty());
+        v.truncate(10); // past-length truncate of an empty vector: no-op
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "InlineVec capacity 2 exceeded: len 3")]
+    fn from_elem_past_capacity_panics_with_len_in_message() {
+        let _: InlineVec<u32, 2> = InlineVec::from_elem(1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "InlineVec capacity 4 exceeded: len 5")]
+    fn resize_past_capacity_panics_with_len_in_message() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        v.resize(5, 0);
+    }
+
+    #[test]
+    fn copy_round_trips_preserve_contents_independently() {
+        // InlineVec is Copy (the whole point of inlining agent payloads):
+        // a copied value must carry the full live prefix and then evolve
+        // independently of the original.
+        let mut a: InlineVec<u32, 4> = InlineVec::from_slice(&[1, 2, 3]);
+        let b = a; // Copy, not move: `a` stays usable
+        a.push(4);
+        assert_eq!(a, [1, 2, 3, 4]);
+        assert_eq!(b, [1, 2, 3]);
+        let c = b;
+        assert_eq!(c, b);
+        fn takes_copy<T: Copy>(_: T) {}
+        takes_copy(c);
+        assert_eq!(c.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
     fn no_heap_allocation_in_size() {
         // The whole payload lives inline: size = array + length (+ padding).
         assert!(std::mem::size_of::<InlineVec<u32, 8>>() <= 8 * 4 + 4);

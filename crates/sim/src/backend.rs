@@ -1,0 +1,806 @@
+//! Simulation backends: one driver contract, three substrates.
+//!
+//! The paper's experiments run on three distinct substrates:
+//!
+//! * the **agent-array** [`Simulator`] — a dense state vector with per-agent
+//!   indices; the only substrate for the paper's unbounded-state protocol,
+//!   and the only one that can observe individual agents (per-agent initial
+//!   configurations, tick events, memory scans);
+//! * the **count** [`CountSimulator`] — one counter per state for
+//!   [`FiniteProtocol`]s; O(#states) memory per run, so finite substrates
+//!   sweep at populations the agent array can't hold;
+//! * the **jump** [`JumpSimulator`] — the count representation plus
+//!   closed-form skipping of no-op interactions for
+//!   [`DeterministicProtocol`]s (the Berenbrink et al. / ppsim
+//!   simulation-speedup idea); static populations only.
+//!
+//! [`Backend`] is the one contract all three implement: given a fully
+//! specified cell ([`CellSpec`]) and a [`Recording`] plan, execute one run
+//! and return its [`RunResult`]. The generic drivers —
+//! [`Sweep::run_on`](crate::Sweep::run_on) for grids and
+//! [`Experiment::run_on`](crate::Experiment::run_on) for single runs — are
+//! written once against this trait; the former `run`/`run_ticked`/
+//! `run_with_memory`/`run_counted`/`run_jumped` fan of entry points survives
+//! only as one-line shims.
+//!
+//! Capability consts ([`Backend::SUPPORTS_ADVERSARY`],
+//! [`Backend::SUPPORTS_AGENT_INDICES`]) describe what a substrate can do;
+//! a spec or plan that exceeds them is answered with a typed
+//! [`BackendError`] instead of a mid-run panic, so callers can match on
+//! the exact unsupported combination.
+//!
+//! All three backends execute the *same* schedule semantics: the shared
+//! `drive_schedule` loop is the single source of truth for event
+//! ordering, snapshot-grid tolerance, and time-zero events (the jump
+//! backend, whose clock leaps past boundaries, reproduces the same grid
+//! contract in its own loop — see [`JumpSimulator`]'s `Backend` impl).
+
+use crate::adversary::{AdversarySchedule, PopulationEvent};
+use crate::count_sim::CountSimulator;
+use crate::histogram::EstimateHistogram;
+use crate::jump_sim::JumpSimulator;
+use crate::recording::Recording;
+use crate::series::{EstimateSummary, RunResult, Snapshot};
+use crate::simulator::Simulator;
+use pp_model::{Configuration, DeterministicProtocol, FiniteProtocol, SizeEstimator};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A backend/spec/plan combination the backend cannot execute.
+///
+/// These are *contract* errors — the request itself is unsupported, so they
+/// surface before any simulation work starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendError {
+    /// The backend cannot apply adversary population events
+    /// (its [`Backend::SUPPORTS_ADVERSARY`] is `false`).
+    AdversaryUnsupported {
+        /// [`Backend::NAME`] of the rejecting backend.
+        backend: &'static str,
+    },
+    /// The backend tracks state counts, not indexed agents, so the
+    /// requested feature has no agent to attach to
+    /// (its [`Backend::SUPPORTS_AGENT_INDICES`] is `false`).
+    AgentIndicesUnsupported {
+        /// [`Backend::NAME`] of the rejecting backend.
+        backend: &'static str,
+        /// The per-agent feature that was requested.
+        requested: &'static str,
+    },
+    /// The backend builds per-agent initial configurations, so an initial
+    /// count vector has no meaning for it (and silently ignoring one
+    /// would run every cell from the fresh configuration instead of the
+    /// intended seeded one).
+    InitCountsUnsupported {
+        /// [`Backend::NAME`] of the rejecting backend.
+        backend: &'static str,
+    },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::AdversaryUnsupported { backend } => write!(
+                f,
+                "the {backend} backend supports static schedules only; \
+                 run adversary schedules on the agent-array or count backend"
+            ),
+            BackendError::AgentIndicesUnsupported { backend, requested } => write!(
+                f,
+                "the {backend} backend has no per-agent indices; {requested} is unsupported"
+            ),
+            BackendError::InitCountsUnsupported { backend } => write!(
+                f,
+                "the {backend} backend builds per-agent initial configurations; \
+                 init_counts(..) is unsupported (use init_with(..) / init_with_n(..))"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// An invalid builder setting, reported as a value by the `try_*` builder
+/// methods (the panicking builder methods are shims over those).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// Snapshot intervals must be strictly positive.
+    NonPositiveSnapshotInterval {
+        /// The rejected interval.
+        every: f64,
+    },
+    /// Horizons must be non-negative (and not NaN).
+    NegativeHorizon {
+        /// The rejected horizon.
+        horizon: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositiveSnapshotInterval { every } => {
+                write!(f, "snapshot interval must be positive (got {every})")
+            }
+            ConfigError::NegativeHorizon { horizon } => {
+                write!(f, "horizon must be non-negative (got {horizon})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One fully specified run: everything a [`Backend`] needs to execute a
+/// grid cell (or a single experiment).
+pub struct CellSpec<'a, S> {
+    /// Population size.
+    pub n: usize,
+    /// RNG seed of this run.
+    pub seed: u64,
+    /// Simulation horizon in parallel time.
+    pub horizon: f64,
+    /// Snapshot interval in parallel time.
+    pub snapshot_every: f64,
+    /// Adversary schedule (empty = static population).
+    pub schedule: &'a AdversarySchedule,
+    /// Per-agent initial states `f(n, i)` (agent-array backends only;
+    /// count backends answer with a typed [`BackendError`]).
+    pub init_agents: Option<&'a (dyn Fn(usize, usize) -> S + 'a)>,
+    /// Initial per-state counts, summing to `n` (count backends only;
+    /// the agent-array backend answers with a typed [`BackendError`],
+    /// since its initial configuration is per-agent).
+    pub init_counts: Option<Vec<u64>>,
+}
+
+impl<S> fmt::Debug for CellSpec<'_, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CellSpec")
+            .field("n", &self.n)
+            .field("seed", &self.seed)
+            .field("horizon", &self.horizon)
+            .field("snapshot_every", &self.snapshot_every)
+            .field("events", &self.schedule.events().len())
+            .field("init_agents", &self.init_agents.is_some())
+            .field("init_counts", &self.init_counts.is_some())
+            .finish()
+    }
+}
+
+/// A simulation substrate that can execute one fully specified run.
+///
+/// Implemented by the three simulator types ([`Simulator`],
+/// [`CountSimulator`], [`JumpSimulator`]); the generic drivers are written
+/// once against this trait. See the [module docs](self) for the substrate
+/// comparison.
+pub trait Backend {
+    /// The protocol this backend drives.
+    type Protocol: SizeEstimator;
+
+    /// The protocol's per-agent state.
+    type State;
+
+    /// Short name used in error messages and registry listings.
+    const NAME: &'static str;
+
+    /// Whether the backend can apply adversary population events.
+    const SUPPORTS_ADVERSARY: bool;
+
+    /// Whether the backend indexes individual agents — required for
+    /// per-agent initial configurations, tick recording, and memory scans.
+    const SUPPORTS_AGENT_INDICES: bool;
+
+    /// Executes one run of `spec` under `recording`.
+    ///
+    /// Returns a typed [`BackendError`] (before any simulation work) when
+    /// the spec or plan requests a capability the backend lacks.
+    fn run_cell<R>(
+        protocol: Self::Protocol,
+        spec: &CellSpec<'_, Self::State>,
+        recording: &R,
+    ) -> Result<RunResult, BackendError>
+    where
+        R: Recording<Self::Protocol>;
+}
+
+/// The per-agent feature a spec × plan requests, if any — the one place
+/// the feature names and their priority order live, shared by the
+/// cell-level validation below and [`Sweep`](crate::Sweep)'s grid-level
+/// pre-flight so the two paths can never diverge.
+pub(crate) fn requested_agent_feature<P, R>(init_agents: bool) -> Option<&'static str>
+where
+    P: SizeEstimator,
+    R: Recording<P>,
+{
+    if init_agents {
+        Some("per-agent initial states (use init_counts(..))")
+    } else if R::TICKS {
+        Some("tick recording")
+    } else if R::MEMORY {
+        Some("memory recording")
+    } else {
+        None
+    }
+}
+
+/// Rejects per-agent features (initial states, tick recording, memory
+/// scans) on a backend without agent indices.
+fn reject_agent_features<P, R, S>(
+    backend: &'static str,
+    spec: &CellSpec<'_, S>,
+) -> Result<(), BackendError>
+where
+    P: SizeEstimator,
+    R: Recording<P>,
+{
+    match requested_agent_feature::<P, R>(spec.init_agents.is_some()) {
+        Some(requested) => Err(BackendError::AgentIndicesUnsupported { backend, requested }),
+        None => Ok(()),
+    }
+}
+
+/// The minimal simulator interface [`drive_schedule`] needs: clock access,
+/// advancing by parallel time, applying an adversary event, and taking a
+/// snapshot. Implemented for the agent-array and count simulators, so both
+/// execute the *same* boundary/ordering/tolerance semantics for a given
+/// schedule.
+pub(crate) trait DrivableSim {
+    /// Parallel time elapsed.
+    fn parallel_time(&self) -> f64;
+    /// Advances by `duration` units of parallel time.
+    fn run_parallel_time(&mut self, duration: f64);
+    /// Applies one adversary event.
+    fn apply_event(&mut self, event: PopulationEvent);
+    /// Snapshots the current configuration.
+    fn snapshot(&self) -> Snapshot;
+}
+
+/// Shared run loop: advances the simulator between snapshot and event
+/// boundaries, applying events in order and snapshotting on the grid.
+///
+/// This is the single source of truth for schedule semantics (time-zero
+/// events fire before the first step; events apply the moment the clock
+/// passes them; snapshots land on the grid within a 1e-12 tolerance) —
+/// agent-array and count-based cells both run through it, which keeps the
+/// two paths cross-checkable.
+pub(crate) fn drive_schedule<S: DrivableSim>(
+    sim: &mut S,
+    horizon: f64,
+    snapshot_every: f64,
+    schedule: &AdversarySchedule,
+) -> Vec<Snapshot> {
+    let mut snapshots = Vec::with_capacity((horizon / snapshot_every) as usize + 2);
+    let mut next_event = 0usize;
+    snapshots.push(sim.snapshot());
+    let mut next_snapshot = snapshot_every;
+    // Fire any events scheduled at time zero before the first step.
+    while schedule.next_time(next_event).is_some_and(|t| t <= 0.0) {
+        sim.apply_event(schedule.events()[next_event].event);
+        next_event += 1;
+    }
+    while sim.parallel_time() < horizon {
+        let event_time = schedule.next_time(next_event).unwrap_or(f64::INFINITY);
+        let boundary = next_snapshot.min(event_time).min(horizon);
+        let remaining = boundary - sim.parallel_time();
+        if remaining > 0.0 {
+            sim.run_parallel_time(remaining);
+        }
+        while schedule
+            .next_time(next_event)
+            .is_some_and(|t| t <= sim.parallel_time())
+        {
+            sim.apply_event(schedule.events()[next_event].event);
+            next_event += 1;
+        }
+        if sim.parallel_time() + 1e-12 >= next_snapshot {
+            snapshots.push(sim.snapshot());
+            next_snapshot += snapshot_every;
+        }
+    }
+    snapshots
+}
+
+/// Adapts a [`Simulator`] plus a [`Recording`] plan to [`DrivableSim`].
+struct AgentDriver<'a, P, R>
+where
+    P: SizeEstimator,
+    R: Recording<P>,
+{
+    sim: &'a mut Simulator<P, R::Observer>,
+    _plan: PhantomData<R>,
+}
+
+impl<P, R> DrivableSim for AgentDriver<'_, P, R>
+where
+    P: SizeEstimator,
+    R: Recording<P>,
+{
+    fn parallel_time(&self) -> f64 {
+        self.sim.parallel_time()
+    }
+    fn run_parallel_time(&mut self, duration: f64) {
+        self.sim.run_parallel_time(duration);
+    }
+    fn apply_event(&mut self, event: PopulationEvent) {
+        match event {
+            PopulationEvent::ResizeTo(target) => self.sim.resize_to(target),
+            PopulationEvent::Add(count) => self.sim.add_agents(count),
+            PopulationEvent::RemoveUniform(count) => self.sim.remove_uniform(count),
+            PopulationEvent::RemoveLargestEstimates(count) => {
+                self.sim.remove_largest_estimates(count)
+            }
+        }
+    }
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            parallel_time: self.sim.parallel_time(),
+            interactions: self.sim.interactions(),
+            n: self.sim.population(),
+            estimates: R::estimates(self.sim.protocol(), self.sim.observer(), self.sim.states()),
+            memory: R::memory(self.sim.states()),
+        }
+    }
+}
+
+impl<P> Backend for Simulator<P>
+where
+    P: SizeEstimator,
+{
+    type Protocol = P;
+    type State = P::State;
+    const NAME: &'static str = "agent-array";
+    const SUPPORTS_ADVERSARY: bool = true;
+    const SUPPORTS_AGENT_INDICES: bool = true;
+
+    fn run_cell<R>(
+        protocol: P,
+        spec: &CellSpec<'_, P::State>,
+        recording: &R,
+    ) -> Result<RunResult, BackendError>
+    where
+        R: Recording<P>,
+    {
+        if spec.init_counts.is_some() {
+            return Err(BackendError::InitCountsUnsupported {
+                backend: Self::NAME,
+            });
+        }
+        let config = match spec.init_agents {
+            Some(f) => Configuration::from_fn(spec.n, |i| f(spec.n, i)),
+            None => Configuration::fresh(&protocol, spec.n),
+        };
+        let mut sim =
+            Simulator::from_config_with_observer(protocol, config, spec.seed, recording.observer());
+        let snapshots = drive_schedule(
+            &mut AgentDriver::<P, R> {
+                sim: &mut sim,
+                _plan: PhantomData,
+            },
+            spec.horizon,
+            spec.snapshot_every,
+            spec.schedule,
+        );
+        let final_n = sim.population();
+        let (_, observer) = sim.into_parts();
+        Ok(RunResult {
+            seed: spec.seed,
+            snapshots,
+            ticks: R::into_ticks(observer),
+            final_n,
+        })
+    }
+}
+
+/// Five-number summary of the estimates implied by per-state counts.
+fn summarize<P>(protocol: &P, counts: &[u64]) -> Option<EstimateSummary>
+where
+    P: FiniteProtocol + SizeEstimator,
+{
+    let mut hist = EstimateHistogram::new();
+    for (idx, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            hist.add_many(protocol.estimate_bucket(&protocol.state_from_index(idx)), c);
+        }
+    }
+    hist.summary()
+}
+
+/// The adversarial removal mode on counts: empty the highest-estimate
+/// states first (agents without an estimate sort lowest and go last),
+/// mirroring `Simulator::remove_largest_estimates`.
+fn remove_largest_estimates<P>(sim: &mut CountSimulator<P>, count: u64)
+where
+    P: FiniteProtocol + SizeEstimator,
+{
+    assert!(
+        count <= sim.population(),
+        "cannot remove {count} of {} agents",
+        sim.population()
+    );
+    let mut order: Vec<usize> = (0..sim.protocol().num_states()).collect();
+    order.sort_by(|&a, &b| {
+        let ea = sim
+            .protocol()
+            .estimate_log2(&sim.protocol().state_from_index(a));
+        let eb = sim
+            .protocol()
+            .estimate_log2(&sim.protocol().state_from_index(b));
+        eb.partial_cmp(&ea).expect("non-NaN estimates")
+    });
+    let mut left = count;
+    for idx in order {
+        if left == 0 {
+            break;
+        }
+        let have = sim.count(idx);
+        let take = have.min(left);
+        if take > 0 {
+            sim.set_count(idx, have - take);
+            left -= take;
+        }
+    }
+    debug_assert_eq!(left, 0);
+}
+
+/// Adapts a [`CountSimulator`] plus a [`Recording`] plan to the shared
+/// schedule driver, so counted cells execute exactly [`drive_schedule`]'s
+/// boundary and event-ordering semantics.
+struct CountDriver<'a, P, R>
+where
+    P: FiniteProtocol + SizeEstimator,
+{
+    sim: &'a mut CountSimulator<P>,
+    _plan: PhantomData<R>,
+}
+
+impl<P, R> DrivableSim for CountDriver<'_, P, R>
+where
+    P: FiniteProtocol + SizeEstimator,
+    R: Recording<P>,
+{
+    fn parallel_time(&self) -> f64 {
+        self.sim.parallel_time()
+    }
+    fn run_parallel_time(&mut self, duration: f64) {
+        self.sim.run_parallel_time(duration);
+    }
+    fn apply_event(&mut self, event: PopulationEvent) {
+        match event {
+            PopulationEvent::ResizeTo(target) => self.sim.resize_to(target as u64),
+            PopulationEvent::Add(count) => self.sim.add_agents(count as u64),
+            PopulationEvent::RemoveUniform(count) => self.sim.remove_uniform(count as u64),
+            PopulationEvent::RemoveLargestEstimates(count) => {
+                remove_largest_estimates(self.sim, count as u64)
+            }
+        }
+    }
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            parallel_time: self.sim.parallel_time(),
+            interactions: self.sim.interactions(),
+            n: self.sim.population() as usize,
+            estimates: if R::ESTIMATES {
+                summarize(self.sim.protocol(), self.sim.counts())
+            } else {
+                None
+            },
+            memory: None,
+        }
+    }
+}
+
+impl<P> Backend for CountSimulator<P>
+where
+    P: FiniteProtocol + SizeEstimator,
+{
+    type Protocol = P;
+    type State = P::State;
+    const NAME: &'static str = "count";
+    const SUPPORTS_ADVERSARY: bool = true;
+    const SUPPORTS_AGENT_INDICES: bool = false;
+
+    fn run_cell<R>(
+        protocol: P,
+        spec: &CellSpec<'_, P::State>,
+        recording: &R,
+    ) -> Result<RunResult, BackendError>
+    where
+        R: Recording<P>,
+    {
+        let _ = recording;
+        reject_agent_features::<P, R, _>(Self::NAME, spec)?;
+        let mut sim = match &spec.init_counts {
+            Some(counts) => CountSimulator::from_counts(protocol, counts.clone(), spec.seed),
+            None => CountSimulator::with_seed(protocol, spec.n as u64, spec.seed),
+        };
+        debug_assert_eq!(sim.population(), spec.n as u64, "init counts must sum to n");
+        let snapshots = drive_schedule(
+            &mut CountDriver::<P, R> {
+                sim: &mut sim,
+                _plan: PhantomData,
+            },
+            spec.horizon,
+            spec.snapshot_every,
+            spec.schedule,
+        );
+        let final_n = sim.population() as usize;
+        Ok(RunResult {
+            seed: spec.seed,
+            snapshots,
+            ticks: Vec::new(),
+            final_n,
+        })
+    }
+}
+
+impl<P> Backend for JumpSimulator<P>
+where
+    P: DeterministicProtocol + SizeEstimator,
+{
+    type Protocol = P;
+    type State = P::State;
+    const NAME: &'static str = "jump";
+    const SUPPORTS_ADVERSARY: bool = false;
+    const SUPPORTS_AGENT_INDICES: bool = false;
+
+    /// Runs one event-jump cell: no-op runs are skipped in closed form, so
+    /// late-epidemic horizons cost only their effective interactions.
+    /// Snapshot boundaries crossed inside a jump record the pre-jump
+    /// configuration — exactly the configuration the model holds at that
+    /// instant, since skipped interactions change nothing — with the
+    /// interaction count the boundary time implies (`t·n`).
+    fn run_cell<R>(
+        protocol: P,
+        spec: &CellSpec<'_, P::State>,
+        recording: &R,
+    ) -> Result<RunResult, BackendError>
+    where
+        R: Recording<P>,
+    {
+        let _ = recording;
+        if !spec.schedule.is_empty() {
+            return Err(BackendError::AdversaryUnsupported {
+                backend: Self::NAME,
+            });
+        }
+        reject_agent_features::<P, R, _>(Self::NAME, spec)?;
+        let n = spec.n as u64;
+        let (seed, horizon, snapshot_every) = (spec.seed, spec.horizon, spec.snapshot_every);
+        let mut sim = match &spec.init_counts {
+            Some(counts) => JumpSimulator::from_counts(protocol, counts.clone(), seed),
+            None => JumpSimulator::with_seed(protocol, n, seed),
+        };
+        debug_assert_eq!(sim.population(), n, "init counts must sum to n");
+        let snap = |t: f64, interactions: u64, counts: &[u64], p: &P| Snapshot {
+            parallel_time: t,
+            interactions,
+            n: n as usize,
+            estimates: if R::ESTIMATES {
+                summarize(p, counts)
+            } else {
+                None
+            },
+            memory: None,
+        };
+        let mut snapshots = Vec::with_capacity((horizon / snapshot_every) as usize + 2);
+        {
+            let (p, c) = (sim.protocol(), sim.counts());
+            snapshots.push(snap(0.0, 0, c, p));
+        }
+        let mut next_snapshot = snapshot_every;
+        while sim.parallel_time() < horizon {
+            let before = sim.counts().to_vec();
+            let advanced = sim.step_event();
+            let now = if advanced {
+                sim.parallel_time()
+            } else {
+                horizon
+            };
+            // Fill every grid point the jump (or quiescence) carried us
+            // past with the configuration that was current during that span.
+            while next_snapshot <= now.min(horizon) + 1e-12 {
+                let implied = (next_snapshot * n as f64).round() as u64;
+                snapshots.push(snap(next_snapshot, implied, &before, sim.protocol()));
+                next_snapshot += snapshot_every;
+            }
+            if !advanced {
+                break;
+            }
+        }
+        Ok(RunResult {
+            seed,
+            snapshots,
+            ticks: Vec::new(),
+            final_n: n as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recording::{TrackedEstimates, WithMemory, WithTicks};
+    use pp_model::{Protocol, TickProtocol};
+    use rand::Rng;
+
+    /// Binary OR-infection fixture; infected agents report estimate 1.
+    #[derive(Clone)]
+    struct Or;
+    impl Protocol for Or {
+        type State = bool;
+        fn initial_state(&self) -> bool {
+            false
+        }
+        fn interact<R: Rng + ?Sized>(&self, u: &mut bool, v: &mut bool, _: &mut R) {
+            *u = *u || *v;
+        }
+    }
+    impl FiniteProtocol for Or {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_index(&self, s: &bool) -> usize {
+            usize::from(*s)
+        }
+        fn state_from_index(&self, i: usize) -> bool {
+            i == 1
+        }
+    }
+    impl SizeEstimator for Or {
+        fn estimate_log2(&self, s: &bool) -> Option<f64> {
+            s.then_some(1.0)
+        }
+    }
+    impl DeterministicProtocol for Or {}
+    impl TickProtocol for Or {
+        fn tick_count(&self, _: &bool) -> u64 {
+            0
+        }
+    }
+
+    fn spec<'a>(
+        n: usize,
+        seed: u64,
+        horizon: f64,
+        schedule: &'a AdversarySchedule,
+    ) -> CellSpec<'a, bool> {
+        CellSpec {
+            n,
+            seed,
+            horizon,
+            snapshot_every: 1.0,
+            schedule,
+            init_agents: None,
+            init_counts: None,
+        }
+    }
+
+    #[test]
+    fn counted_cell_snapshots_land_on_grid() {
+        let none = AdversarySchedule::new();
+        let r =
+            CountSimulator::run_cell(Or, &spec(100, 1, 10.0, &none), &TrackedEstimates).unwrap();
+        assert_eq!(r.snapshots.len(), 11);
+        assert_eq!(r.final_n, 100);
+        for (i, s) in r.snapshots.iter().enumerate() {
+            assert!((s.parallel_time - i as f64).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn counted_cell_applies_adversary_events() {
+        let schedule = AdversarySchedule::new().at(3.0, PopulationEvent::ResizeTo(10));
+        let r =
+            CountSimulator::run_cell(Or, &spec(200, 2, 6.0, &schedule), &TrackedEstimates).unwrap();
+        assert_eq!(r.final_n, 10);
+        assert_eq!(r.snapshot_at(2.0).n, 200);
+        assert_eq!(r.snapshot_at(5.0).n, 10);
+    }
+
+    #[test]
+    fn remove_largest_estimates_empties_top_states_first() {
+        let mut sim = CountSimulator::from_counts(Or, vec![5, 3], 3);
+        remove_largest_estimates(&mut sim, 4);
+        // The 3 infected (estimate 1) go first, then 1 susceptible (None).
+        assert_eq!(sim.count(1), 0);
+        assert_eq!(sim.count(0), 4);
+    }
+
+    #[test]
+    fn jumped_quiescent_run_fills_the_grid() {
+        // Fresh init for Or is all-susceptible: quiescent from the start.
+        let n = 1_000_000;
+        let none = AdversarySchedule::new();
+        let r = JumpSimulator::run_cell(Or, &spec(n, 7, 5.0, &none), &TrackedEstimates).unwrap();
+        assert_eq!(r.snapshots.len(), 6, "quiescent run still fills the grid");
+        assert!(r.snapshots.iter().all(|s| s.estimates.is_none()));
+        assert_eq!(r.snapshots[3].interactions, 3 * n as u64);
+    }
+
+    #[test]
+    fn jumped_epidemic_completes_at_agent_array_hostile_scale() {
+        // One infected among a million: the jump chain materializes only
+        // the n − 1 effective interactions, so this finishes instantly.
+        let n = 1_000_000u64;
+        let none = AdversarySchedule::new();
+        let mut spec = spec(n as usize, 9, 60.0, &none);
+        spec.snapshot_every = 10.0;
+        spec.init_counts = Some(vec![n - 1, 1]);
+        let r = JumpSimulator::run_cell(Or, &spec, &TrackedEstimates).unwrap();
+        let last = r.snapshots.last().unwrap().estimates.unwrap();
+        assert_eq!(last.min, 1.0, "epidemic must have reached everyone");
+        assert_eq!(last.without_estimate, 0);
+        // Early snapshots still show susceptible agents.
+        assert!(
+            r.snapshots[0].estimates.is_none()
+                || r.snapshots[0].estimates.unwrap().without_estimate > 0
+        );
+    }
+
+    #[test]
+    fn jump_backend_rejects_adversary_schedules_with_a_typed_error() {
+        let schedule = AdversarySchedule::new().at(1.0, PopulationEvent::ResizeTo(8));
+        assert_eq!(
+            JumpSimulator::run_cell(Or, &spec(16, 1, 2.0, &schedule), &TrackedEstimates)
+                .unwrap_err(),
+            BackendError::AdversaryUnsupported { backend: "jump" }
+        );
+    }
+
+    #[test]
+    fn count_backends_reject_per_agent_features_with_typed_errors() {
+        let none = AdversarySchedule::new();
+        let init = |_n: usize, i: usize| i == 0;
+        let mut with_init = spec(16, 1, 2.0, &none);
+        with_init.init_agents = Some(&init);
+        assert_eq!(
+            CountSimulator::run_cell(Or, &with_init, &TrackedEstimates).unwrap_err(),
+            BackendError::AgentIndicesUnsupported {
+                backend: "count",
+                requested: "per-agent initial states (use init_counts(..))"
+            }
+        );
+        assert_eq!(
+            CountSimulator::run_cell(Or, &spec(16, 1, 2.0, &none), &WithTicks(TrackedEstimates))
+                .unwrap_err(),
+            BackendError::AgentIndicesUnsupported {
+                backend: "count",
+                requested: "tick recording"
+            }
+        );
+        assert_eq!(
+            JumpSimulator::run_cell(Or, &spec(16, 1, 2.0, &none), &WithMemory(TrackedEstimates))
+                .unwrap_err(),
+            BackendError::AgentIndicesUnsupported {
+                backend: "jump",
+                requested: "memory recording"
+            }
+        );
+    }
+
+    #[test]
+    fn agent_backend_rejects_init_counts_with_a_typed_error() {
+        let none = AdversarySchedule::new();
+        let mut spec = spec(16, 1, 2.0, &none);
+        spec.init_counts = Some(vec![15, 1]);
+        assert_eq!(
+            Simulator::run_cell(Or, &spec, &TrackedEstimates).unwrap_err(),
+            BackendError::InitCountsUnsupported {
+                backend: "agent-array"
+            }
+        );
+    }
+
+    #[test]
+    fn error_displays_name_the_backend_and_hint() {
+        let e = BackendError::AdversaryUnsupported { backend: "jump" };
+        assert!(e.to_string().contains("static schedules only"));
+        let e = BackendError::AgentIndicesUnsupported {
+            backend: "count",
+            requested: "per-agent initial states (use init_counts(..))",
+        };
+        assert!(e.to_string().contains("use init_counts"));
+        let e = ConfigError::NonPositiveSnapshotInterval { every: 0.0 };
+        assert!(e.to_string().contains("snapshot interval must be positive"));
+    }
+}

@@ -8,15 +8,24 @@
 //! `n`. This enables validating the paper's substrate lemmas (4.2–4.4) at
 //! populations far beyond what an agent array would hold.
 //!
-//! Weighted sampling runs in one of two modes, chosen by the state-space
-//! width at construction and invisible in behavior (identical draw-to-state
-//! mapping, pinned by an equivalence test):
+//! Weighted sampling runs in one of three modes, chosen by the state-space
+//! width and the recent mutation pattern, and invisible in behavior: all
+//! three compute the **same draw-to-state mapping** (the CDF inverse
+//! `i : prefix(i) <= r < prefix(i + 1)`) from the same one RNG word per
+//! draw, pinned by equivalence and RNG-budget tests:
 //!
 //! * **narrow** (`#states < CUMSUM_MIN_STATES`) — a linear scan over the
 //!   tracked occupied range, O(#occupied) per draw with tiny constants;
 //! * **wide** — a cached cumulative-sum (Fenwick) tree over the counts,
 //!   O(log #states) per draw and per count update, so a 10³-state
-//!   substrate no longer pays a 10³-entry scan per interaction.
+//!   substrate no longer pays a 10³-entry scan per interaction;
+//! * **wide + static** — once a wide-state distribution has held still for
+//!   `max(64, #states)` consecutive net-no-op steps, an `AliasIndex`
+//!   bucket table is built over the frozen CDF and answers draws in O(1)
+//!   expected until the next mutation invalidates it (the ROADMAP's
+//!   "alias-table sampler beats the Fenwick tree on static distributions"
+//!   target — late epidemics and other quiescing substrates spend most
+//!   steps in exactly this regime).
 
 use pp_model::FiniteProtocol;
 use rand::rngs::SmallRng;
@@ -29,6 +38,112 @@ use rand::{Rng, RngExt, SeedableRng};
 /// substrates (bounded CHVP with m in the hundreds, mod-m clocks) off the
 /// O(#states) per-interaction path.
 const CUMSUM_MIN_STATES: usize = 64;
+
+/// Floor on the consecutive net-no-op steps required before a wide-state
+/// simulator freezes the current distribution into an `AliasIndex`. The
+/// effective threshold is `max(64, #states)` — see
+/// `CountSimulator::alias_rebuild_after` — so the O(#states + #buckets)
+/// rebuild is always amortized over at least #states unchanged steps:
+/// always-mutating protocols never pay it (they keep the pure Fenwick
+/// path), a substrate that mutates every ~100 steps pays at most O(1)
+/// amortized per step, and quiescing substrates reach the O(1) draw mode
+/// after one state-count's worth of silence.
+const ALIAS_REBUILD_FLOOR: u32 = 64;
+
+/// An alias-style bucket-jump table over the cumulative state counts,
+/// answering weighted draws for a *static* (between-mutation) distribution
+/// in O(1) expected.
+///
+/// Design note: this is the static-distribution sampler the ROADMAP calls
+/// an "alias table", but it is deliberately **not** Vose's permuted table.
+/// Vose aliasing redistributes probability mass across buckets, so its
+/// draw-to-state map differs from the CDF inverse — it would sample the
+/// same distribution while following a different trajectory, breaking the
+/// crate's sampler-equivalence contract (recorded traces, golden rows, and
+/// the `*_produce_identical_trajectories` tests all pin the mapping).
+/// Instead each bucket stores where the CDF inverse *starts* for its slice
+/// of `[0, total)`; a draw jumps to that state and walks forward. With
+/// `#buckets ≈ 2·#states` the expected walk is O(1), and the mapping is
+/// bit-for-bit the linear scan's and the Fenwick descent's.
+#[derive(Debug, Clone)]
+struct AliasIndex {
+    /// `prefix[i]` = total count of states `< i` (len = #states + 1).
+    prefix: Vec<u64>,
+    /// `bucket[b]` = CDF-inverse of offset `b << shift`: the scan start
+    /// for draws landing in bucket `b`.
+    bucket: Vec<u32>,
+    /// log2 of the bucket width.
+    shift: u32,
+    /// Total mass the index was built for (the population at build time).
+    total: u64,
+}
+
+impl AliasIndex {
+    /// Freezes `counts` into an index, or `None` for an empty population.
+    fn build(counts: &[u64]) -> Option<Self> {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let s = counts.len() as u64;
+        let mut shift = 0u32;
+        while (total >> shift) > 2 * s {
+            shift += 1;
+        }
+        let buckets = ((total - 1) >> shift) as usize + 1;
+        let mut prefix = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0u64;
+        prefix.push(0);
+        for &c in counts {
+            acc += c;
+            prefix.push(acc);
+        }
+        let mut bucket = Vec::with_capacity(buckets);
+        let mut state = 0u32;
+        for b in 0..buckets as u64 {
+            let r = b << shift;
+            while prefix[state as usize + 1] <= r {
+                state += 1;
+            }
+            bucket.push(state);
+        }
+        Some(AliasIndex {
+            prefix,
+            bucket,
+            shift,
+            total,
+        })
+    }
+
+    /// The state containing offset `r` of the cumulative distribution —
+    /// exactly the index the linear scan and the Fenwick descent return.
+    #[inline]
+    fn sample(&self, r: u64) -> usize {
+        let mut i = self.bucket[(r >> self.shift) as usize] as usize;
+        while self.prefix[i + 1] <= r {
+            i += 1;
+        }
+        i
+    }
+
+    /// The state containing offset `r` of the cumulative distribution with
+    /// one agent of state `removed` taken out (total mass `total − 1`),
+    /// without rebuilding.
+    ///
+    /// Derivation: with `c′_removed = c_removed − 1`, every prefix entry
+    /// past `removed` drops by one, so the decremented CDF inverse equals
+    /// `sample(r)` for `r < prefix[removed + 1] − 1` and `sample(r + 1)`
+    /// beyond — the responder draw of a step can therefore reuse the
+    /// initiator's frozen table.
+    #[inline]
+    fn sample_removed(&self, r: u64, removed: usize) -> usize {
+        if r + 1 >= self.prefix[removed + 1] {
+            self.sample(r + 1)
+        } else {
+            self.sample(r)
+        }
+    }
+}
 
 /// A Fenwick (binary-indexed) tree caching cumulative state counts.
 ///
@@ -145,6 +260,14 @@ pub struct CountSimulator<P: FiniteProtocol, R: Rng = SmallRng> {
     /// Cached cumulative counts for the wide-state-space sampling mode
     /// (`None` below [`CUMSUM_MIN_STATES`]: the linear scan wins there).
     prefix: Option<PrefixCounts>,
+    /// Frozen O(1) sampler for static distributions (wide spaces only);
+    /// valid only while `alias_clean`.
+    alias: Option<AliasIndex>,
+    /// Whether `alias` matches the current counts.
+    alias_clean: bool,
+    /// Consecutive net-no-op steps since the last count mutation — the
+    /// trigger for (re)building `alias`.
+    noop_streak: u32,
 }
 
 /// The cumulative-sum tree for `counts`, when the state space is wide
@@ -173,6 +296,9 @@ impl<P: FiniteProtocol> CountSimulator<P, SmallRng> {
             parallel_time: 0.0,
             occupied_hi,
             prefix,
+            alias: None,
+            alias_clean: false,
+            noop_streak: 0,
         }
     }
 
@@ -211,6 +337,9 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
             parallel_time: 0.0,
             occupied_hi,
             prefix,
+            alias: None,
+            alias_clean: false,
+            noop_streak: 0,
         }
     }
 
@@ -250,11 +379,28 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
         &self.counts
     }
 
+    /// No-op streak at which a dirty alias table is (re)built: at least
+    /// [`ALIAS_REBUILD_FLOOR`], scaled to the state count so the
+    /// O(#states) rebuild stays amortized whatever the mutation cadence.
+    #[inline]
+    fn alias_rebuild_after(&self) -> u32 {
+        (self.counts.len() as u32).max(ALIAS_REBUILD_FLOOR)
+    }
+
+    /// Drops the frozen static-distribution sampler: the counts are about
+    /// to change out from under it.
+    #[inline]
+    fn invalidate_alias(&mut self) {
+        self.alias_clean = false;
+        self.noop_streak = 0;
+    }
+
     /// Overwrites the count of state `i` (population setup).
     ///
     /// O(1): the population total is adjusted by the delta instead of
     /// re-summing every state.
     pub fn set_count(&mut self, i: usize, count: u64) {
+        self.invalidate_alias();
         let old = self.counts[i];
         self.n = self.n - old + count;
         self.counts[i] = count;
@@ -330,11 +476,74 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
 
     /// Simulates one interaction.
     ///
+    /// Draws go through the frozen alias table while it is valid (the
+    /// responder draw adjusts for the initiator's decrement in O(1)), and
+    /// through the Fenwick/linear samplers otherwise. All paths consume
+    /// one RNG word per draw and compute the same CDF-inverse mapping, so
+    /// the trajectory is independent of the mode.
+    ///
     /// # Panics
     ///
     /// Panics if the population has fewer than two agents.
     pub fn step(&mut self) {
         assert!(self.n >= 2, "an interaction needs at least two agents");
+        if self.alias_clean {
+            self.step_via_alias();
+        } else {
+            self.step_via_samplers();
+        }
+        self.interactions += 1;
+        self.parallel_time += 1.0 / self.n as f64;
+    }
+
+    /// The static-distribution fast path: O(1)-expected draws from the
+    /// frozen table and **no** Fenwick traffic while the step leaves the
+    /// counts unchanged — the tree is never read in this mode, so its
+    /// four per-step updates are deferred to the (rare) effective step
+    /// that exits the mode, where the deltas are reconciled in one go.
+    fn step_via_alias(&mut self) {
+        debug_assert_eq!(
+            self.alias.as_ref().expect("clean implies built").total,
+            self.n,
+            "clean table must match n"
+        );
+        let r1 = self.rng.random_range(0..self.n);
+        let si = self.alias.as_ref().expect("clean implies built").sample(r1);
+        let r2 = self.rng.random_range(0..self.n - 1);
+        let sj = self
+            .alias
+            .as_ref()
+            .expect("clean implies built")
+            .sample_removed(r2, si);
+        let mut u = self.protocol.state_from_index(si);
+        let mut v = self.protocol.state_from_index(sj);
+        self.protocol.interact(&mut u, &mut v, &mut self.rng);
+        let oi = self.protocol.state_index(&u);
+        let oj = self.protocol.state_index(&v);
+        if (oi == si && oj == sj) || (oi == sj && oj == si) {
+            // Net no-op: every count (and the Fenwick tree, untouched)
+            // is exactly as before the step.
+            return;
+        }
+        self.counts[si] -= 1;
+        self.counts[sj] -= 1;
+        self.counts[oi] += 1;
+        self.counts[oj] += 1;
+        self.occupied_hi = self.occupied_hi.max(oi + 1).max(oj + 1);
+        if let Some(prefix) = &mut self.prefix {
+            prefix.sub(si, 1);
+            prefix.sub(sj, 1);
+            prefix.add(oi, 1);
+            prefix.add(oj, 1);
+        }
+        self.invalidate_alias();
+    }
+
+    /// The general path: weighted draws through the Fenwick tree or the
+    /// linear occupied-range scan, with eager per-draw count updates, plus
+    /// the no-op-streak bookkeeping that freezes a wide static
+    /// distribution into the alias table.
+    fn step_via_samplers(&mut self) {
         let si = self.sample_state(self.n);
         self.decrement(si);
         let sj = self.sample_state(self.n - 1);
@@ -346,8 +555,23 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
         let oj = self.protocol.state_index(&v);
         self.increment(oi);
         self.increment(oj);
-        self.interactions += 1;
-        self.parallel_time += 1.0 / self.n as f64;
+        // Static-distribution bookkeeping (wide spaces only): a step whose
+        // outputs equal its inputs as a multiset left every count where it
+        // was. A long enough run of such steps freezes the distribution
+        // into the O(1) alias table; any count change resets the streak.
+        if self.prefix.is_some() {
+            let unchanged = (oi == si && oj == sj) || (oi == sj && oj == si);
+            if unchanged {
+                self.noop_streak += 1;
+                if self.noop_streak >= self.alias_rebuild_after() {
+                    self.alias = AliasIndex::build(&self.counts);
+                    self.alias_clean = self.alias.is_some();
+                    self.noop_streak = 0;
+                }
+            } else {
+                self.invalidate_alias();
+            }
+        }
     }
 
     /// Simulates `count` interactions.
@@ -375,6 +599,7 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
     /// Adds `count` agents in the protocol's initial state (the dynamic
     /// adversary's *add*).
     pub fn add_agents(&mut self, count: u64) {
+        self.invalidate_alias();
         let init = self.protocol.state_index(&self.protocol.initial_state());
         self.counts[init] += count;
         self.n += count;
@@ -397,6 +622,7 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
     ///
     /// Panics if `count` exceeds the population size.
     pub fn remove_uniform(&mut self, count: u64) {
+        self.invalidate_alias();
         assert!(
             count <= self.n,
             "cannot remove {count} of {} agents",
@@ -612,6 +838,121 @@ mod tests {
             sim.prefix.as_ref().expect("wide space keeps a tree").tree,
             rebuilt.tree
         );
+    }
+
+    /// The bucket-jump table must compute the exact CDF inverse — for
+    /// every offset, and for every offset of the one-removed distribution
+    /// the responder draw samples — so alias-mode steps replay the same
+    /// trajectory as the scan and the tree.
+    #[test]
+    fn alias_index_matches_the_cdf_inverse_exhaustively() {
+        let counts = vec![3u64, 0, 5, 1, 0, 2];
+        let idx = AliasIndex::build(&counts).unwrap();
+        let linear = |cs: &[u64], mut r: u64| {
+            for (i, &c) in cs.iter().enumerate() {
+                if r < c {
+                    return i;
+                }
+                r -= c;
+            }
+            unreachable!("offset beyond total");
+        };
+        let total: u64 = counts.iter().sum();
+        for r in 0..total {
+            assert_eq!(idx.sample(r), linear(&counts, r), "offset {r}");
+        }
+        for removed in [0usize, 2, 3, 5] {
+            let mut dec = counts.clone();
+            dec[removed] -= 1;
+            for r in 0..total - 1 {
+                assert_eq!(
+                    idx.sample_removed(r, removed),
+                    linear(&dec, r),
+                    "offset {r} with state {removed} decremented"
+                );
+            }
+        }
+    }
+
+    /// A protocol whose transitions never change any count: the pure
+    /// static-distribution regime the alias table exists for.
+    #[derive(Clone)]
+    struct Inert;
+    impl Protocol for Inert {
+        type State = u16;
+        fn initial_state(&self) -> u16 {
+            0
+        }
+        fn interact<R: Rng + ?Sized>(&self, _u: &mut u16, _v: &mut u16, _: &mut R) {}
+    }
+    impl FiniteProtocol for Inert {
+        fn num_states(&self) -> usize {
+            DRIFT_STATES
+        }
+        fn state_index(&self, s: &u16) -> usize {
+            *s as usize
+        }
+        fn state_from_index(&self, i: usize) -> u16 {
+            i as u16
+        }
+    }
+
+    fn spread_counts() -> Vec<u64> {
+        let mut counts = vec![0u64; DRIFT_STATES];
+        counts[0] = 500;
+        counts[13] = 250;
+        counts[170] = 200;
+        counts[DRIFT_STATES - 1] = 50;
+        counts
+    }
+
+    /// On a static wide-state distribution the alias table must engage
+    /// (after the no-op streak threshold) and keep the trajectory
+    /// draw-for-draw identical to the forced linear scan.
+    #[test]
+    fn alias_sampler_engages_and_matches_the_linear_trajectory() {
+        let mut alias_sim = CountSimulator::from_counts(Inert, spread_counts(), 55);
+        let mut linear_sim = CountSimulator::from_counts(Inert, spread_counts(), 55);
+        linear_sim.prefix = None; // force the narrow-space path (no alias either)
+        for round in 0..10 {
+            alias_sim.step_n(200);
+            linear_sim.step_n(200);
+            assert_eq!(
+                alias_sim.counts(),
+                linear_sim.counts(),
+                "trajectories diverged in round {round}"
+            );
+        }
+        assert!(
+            alias_sim.alias_clean && alias_sim.alias.is_some(),
+            "a static distribution must have frozen into the alias table"
+        );
+        assert!(linear_sim.alias.is_none());
+        // A mutation invalidates the table; trajectories must stay equal.
+        alias_sim.set_count(7, 40);
+        linear_sim.set_count(7, 40);
+        assert!(!alias_sim.alias_clean, "mutation must invalidate the table");
+        alias_sim.step_n(500);
+        linear_sim.step_n(500);
+        assert_eq!(alias_sim.counts(), linear_sim.counts());
+        assert!(
+            alias_sim.alias_clean,
+            "the distribution is static again, so the table must have rebuilt"
+        );
+    }
+
+    /// Alias-mode steps keep the exact per-step randomness budget: one
+    /// word per weighted draw, two per step — recorded traces stay valid
+    /// whichever sampler the mutation pattern selects (the same guard the
+    /// linear and Fenwick modes carry above).
+    #[test]
+    fn alias_path_consumes_exactly_two_rng_words_per_step() {
+        let steps = 1_000u64;
+        let mut sim =
+            CountSimulator::from_counts_with_rng(Inert, spread_counts(), CountingRng::seeded(14));
+        sim.step_n(steps);
+        assert!(sim.alias_clean, "inert protocol must reach alias mode");
+        assert_eq!(sim.rng().words, 2 * steps);
     }
 
     #[test]

@@ -4,14 +4,27 @@
 //! simulate a protocol on `n` agents for a horizon of parallel time,
 //! snapshot the estimate distribution once per snapshot interval ("we create
 //! a snapshot every n interactions", §5), and apply adversary events at their
-//! scheduled times. Tick recording (Theorem 2.2) and memory recording
-//! (Theorem 2.1's space bound) are opt-in via [`Experiment::run_full`].
+//! scheduled times.
+//!
+//! Execution goes through the unified [`Experiment::run_on`] driver: pick a
+//! [`Backend`] (agent array, count, or jump) and a [`Recording`] plan
+//! (estimates, memory summaries, tick events — composable). The historical
+//! entry points ([`Experiment::run`], [`Experiment::run_with_memory`],
+//! [`Experiment::run_with_ticks`], [`Experiment::run_full`]) are one-line
+//! shims over it, fixed to the agent-array backend.
 
-use crate::adversary::{AdversarySchedule, PopulationEvent};
-use crate::observer::{EstimateTracker, Observer, TickRecorder};
-use crate::series::{MemorySummary, RunResult, Snapshot};
+use crate::adversary::AdversarySchedule;
+use crate::backend::{Backend, BackendError, CellSpec, ConfigError};
+use crate::recording::{Recording, TrackedEstimates, WithMemory, WithTicks};
+use crate::series::RunResult;
 use crate::simulator::Simulator;
-use pp_model::{Configuration, MemoryFootprint, Protocol, SizeEstimator, TickProtocol};
+use pp_model::{MemoryFootprint, Protocol, SizeEstimator, TickProtocol};
+
+/// Panics with the error's display — the contract of the historical
+/// panicking entry points, now shims over the `Result`-returning drivers.
+pub(crate) fn expect_run<T, E: std::fmt::Display>(result: Result<T, E>) -> T {
+    result.unwrap_or_else(|e| panic!("{e}"))
+}
 
 /// How the initial configuration is built.
 pub enum InitMode<S> {
@@ -89,26 +102,44 @@ impl<P: SizeEstimator> Experiment<P> {
         self
     }
 
+    /// Sets the simulation horizon in parallel time, or reports why the
+    /// value is invalid.
+    pub fn try_horizon(mut self, horizon: f64) -> Result<Self, ConfigError> {
+        if horizon.is_nan() || horizon < 0.0 {
+            return Err(ConfigError::NegativeHorizon { horizon });
+        }
+        self.horizon = horizon;
+        Ok(self)
+    }
+
     /// Sets the simulation horizon in parallel time.
     ///
     /// # Panics
     ///
-    /// Panics if `horizon` is negative or NaN.
-    pub fn horizon(mut self, horizon: f64) -> Self {
-        assert!(horizon >= 0.0, "horizon must be non-negative");
-        self.horizon = horizon;
-        self
+    /// Panics if `horizon` is negative or NaN (see
+    /// [`Experiment::try_horizon`] for the non-panicking form).
+    pub fn horizon(self, horizon: f64) -> Self {
+        expect_run(self.try_horizon(horizon))
+    }
+
+    /// Sets the snapshot interval in parallel time, or reports why the
+    /// value is invalid.
+    pub fn try_snapshot_every(mut self, every: f64) -> Result<Self, ConfigError> {
+        if every.is_nan() || every <= 0.0 {
+            return Err(ConfigError::NonPositiveSnapshotInterval { every });
+        }
+        self.snapshot_every = every;
+        Ok(self)
     }
 
     /// Sets the snapshot interval in parallel time.
     ///
     /// # Panics
     ///
-    /// Panics if `every` is not strictly positive.
-    pub fn snapshot_every(mut self, every: f64) -> Self {
-        assert!(every > 0.0, "snapshot interval must be positive");
-        self.snapshot_every = every;
-        self
+    /// Panics if `every` is not strictly positive (see
+    /// [`Experiment::try_snapshot_every`] for the non-panicking form).
+    pub fn snapshot_every(self, every: f64) -> Self {
+        expect_run(self.try_snapshot_every(every))
     }
 
     /// Installs an adversary schedule.
@@ -128,37 +159,58 @@ impl<P: SizeEstimator> Experiment<P> {
         self.init(InitMode::FromFn(Box::new(f)))
     }
 
-    fn build_config(&self) -> Configuration<P::State> {
-        match &self.init {
-            InitMode::Fresh => Configuration::fresh(&self.protocol, self.n),
-            InitMode::FromFn(f) => Configuration::from_fn(self.n, f),
-        }
+    /// The unified single-run driver: executes this experiment on backend
+    /// `B` under the given [`Recording`] plan.
+    ///
+    /// This is the one execution path behind every `run*` method; it is
+    /// also the only one that can drive a count or jump backend from an
+    /// [`Experiment`] (e.g.
+    /// `exp.run_on::<CountSimulator<_>, _>(TrackedEstimates)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`BackendError`] when the backend does not support
+    /// the experiment's configuration or the plan's recordings (e.g. an
+    /// adversary schedule on the jump backend).
+    pub fn run_on<B, R>(self, recording: R) -> Result<RunResult, BackendError>
+    where
+        B: Backend<Protocol = P, State = P::State>,
+        R: Recording<P>,
+    {
+        let Experiment {
+            protocol,
+            n,
+            seed,
+            horizon,
+            snapshot_every,
+            schedule,
+            init,
+        } = self;
+        let per_agent = match &init {
+            InitMode::Fresh => None,
+            InitMode::FromFn(f) => Some(&**f),
+        };
+        // Adapts the index-only initializer to the (n, i) shape CellSpec
+        // shares with multi-cell sweeps.
+        let adapter = |_n: usize, i: usize| (per_agent.expect("set when init_agents is"))(i);
+        let spec = CellSpec {
+            n,
+            seed,
+            horizon,
+            snapshot_every,
+            schedule: &schedule,
+            init_agents: per_agent
+                .is_some()
+                .then_some(&adapter as &dyn Fn(usize, usize) -> P::State),
+            init_counts: None,
+        };
+        B::run_cell(protocol, &spec, &recording)
     }
 
-    /// Runs the experiment, recording estimate snapshots.
+    /// Runs the experiment on the agent-array backend, recording estimate
+    /// snapshots (shim over [`Experiment::run_on`]).
     pub fn run(self) -> RunResult {
-        let config = self.build_config();
-        let mut sim = Simulator::from_config_with_observer(
-            self.protocol,
-            config,
-            self.seed,
-            EstimateTracker::new(),
-        );
-        let snapshots = drive(
-            &mut sim,
-            self.horizon,
-            self.snapshot_every,
-            &self.schedule,
-            |sim| sim.observer().histogram().summary(),
-            |_| None,
-        );
-        let final_n = sim.population();
-        RunResult {
-            seed: self.seed,
-            snapshots,
-            ticks: Vec::new(),
-            final_n,
-        }
+        expect_run(self.run_on::<Simulator<P>, _>(TrackedEstimates))
     }
 }
 
@@ -171,51 +223,10 @@ where
     /// summaries (but no ticks — for protocols that are not clocks).
     ///
     /// Memory summaries scan all agents at every snapshot; prefer coarser
-    /// snapshot intervals at large `n`.
+    /// snapshot intervals at large `n`. Shim over [`Experiment::run_on`].
     pub fn run_with_memory(self) -> RunResult {
-        let config = self.build_config();
-        let mut sim = Simulator::from_config_with_observer(
-            self.protocol,
-            config,
-            self.seed,
-            EstimateTracker::new(),
-        );
-        let snapshots = drive(
-            &mut sim,
-            self.horizon,
-            self.snapshot_every,
-            &self.schedule,
-            |sim| sim.observer().histogram().summary(),
-            scan_memory,
-        );
-        let final_n = sim.population();
-        RunResult {
-            seed: self.seed,
-            snapshots,
-            ticks: Vec::new(),
-            final_n,
-        }
+        expect_run(self.run_on::<Simulator<P>, _>(WithMemory(TrackedEstimates)))
     }
-}
-
-/// Scans all agents for the per-snapshot memory summary.
-fn scan_memory<P, O>(sim: &Simulator<P, O>) -> Option<MemorySummary>
-where
-    P: Protocol,
-    P::State: MemoryFootprint,
-    O: Observer<P>,
-{
-    let mut max_bits = 0u32;
-    let mut sum_bits = 0u64;
-    for s in sim.states() {
-        let b = s.memory_bits();
-        max_bits = max_bits.max(b);
-        sum_bits += u64::from(b);
-    }
-    (!sim.states().is_empty()).then(|| MemorySummary {
-        max_bits,
-        mean_bits: sum_bits as f64 / sim.states().len() as f64,
-    })
 }
 
 impl<P> Experiment<P>
@@ -224,41 +235,9 @@ where
 {
     /// Runs the experiment, additionally recording phase-clock ticks (but
     /// no memory summaries — usable for states without a
-    /// [`MemoryFootprint`]).
+    /// [`MemoryFootprint`]). Shim over [`Experiment::run_on`].
     pub fn run_with_ticks(self) -> RunResult {
-        self.run_ticked_with(|_| None)
-    }
-
-    /// The shared tick-recording run loop behind
-    /// [`Experiment::run_with_ticks`] and [`Experiment::run_full`], which
-    /// differ only in the per-snapshot memory readout.
-    fn run_ticked_with(
-        self,
-        memory: impl Fn(&Simulator<P, (EstimateTracker, TickRecorder)>) -> Option<MemorySummary>,
-    ) -> RunResult {
-        let config = self.build_config();
-        let mut sim = Simulator::from_config_with_observer(
-            self.protocol,
-            config,
-            self.seed,
-            (EstimateTracker::new(), TickRecorder::new()),
-        );
-        let snapshots = drive(
-            &mut sim,
-            self.horizon,
-            self.snapshot_every,
-            &self.schedule,
-            |sim| sim.observer().0.histogram().summary(),
-            memory,
-        );
-        let final_n = sim.population();
-        let (_, observer) = sim.into_parts();
-        RunResult {
-            seed: self.seed,
-            snapshots,
-            ticks: observer.1.into_events(),
-            final_n,
-        }
+        expect_run(self.run_on::<Simulator<P>, _>(WithTicks(TrackedEstimates)))
     }
 }
 
@@ -271,145 +250,22 @@ where
     /// per-snapshot memory summaries.
     ///
     /// Memory summaries scan all agents at every snapshot; prefer coarser
-    /// snapshot intervals at large `n`.
+    /// snapshot intervals at large `n`. Shim over [`Experiment::run_on`].
     pub fn run_full(self) -> RunResult {
-        self.run_ticked_with(scan_memory)
+        expect_run(self.run_on::<Simulator<P>, _>(WithTicks(WithMemory(TrackedEstimates))))
     }
-}
-
-/// The minimal simulator interface [`drive_schedule`] needs: clock access,
-/// advancing by parallel time, applying an adversary event, and taking a
-/// snapshot. Implemented for the agent-array simulator here and for the
-/// count-based simulator in `count_drive`, so both execute the *same*
-/// boundary/ordering/tolerance semantics for a given schedule.
-pub(crate) trait DrivableSim {
-    /// Parallel time elapsed.
-    fn parallel_time(&self) -> f64;
-    /// Advances by `duration` units of parallel time.
-    fn run_parallel_time(&mut self, duration: f64);
-    /// Applies one adversary event.
-    fn apply_event(&mut self, event: PopulationEvent);
-    /// Snapshots the current configuration.
-    fn snapshot(&self) -> Snapshot;
-}
-
-/// Shared run loop: advances the simulator between snapshot and event
-/// boundaries, applying events in order and snapshotting on the grid.
-///
-/// This is the single source of truth for schedule semantics (time-zero
-/// events fire before the first step; events apply the moment the clock
-/// passes them; snapshots land on the grid within a 1e-12 tolerance) —
-/// agent-array experiments and count-based sweep cells both run through
-/// it, which keeps the two paths cross-checkable.
-pub(crate) fn drive_schedule<S: DrivableSim>(
-    sim: &mut S,
-    horizon: f64,
-    snapshot_every: f64,
-    schedule: &AdversarySchedule,
-) -> Vec<Snapshot> {
-    let mut snapshots = Vec::with_capacity((horizon / snapshot_every) as usize + 2);
-    let mut next_event = 0usize;
-    snapshots.push(sim.snapshot());
-    let mut next_snapshot = snapshot_every;
-    // Fire any events scheduled at time zero before the first step.
-    while schedule.next_time(next_event).is_some_and(|t| t <= 0.0) {
-        sim.apply_event(schedule.events()[next_event].event);
-        next_event += 1;
-    }
-    while sim.parallel_time() < horizon {
-        let event_time = schedule.next_time(next_event).unwrap_or(f64::INFINITY);
-        let boundary = next_snapshot.min(event_time).min(horizon);
-        let remaining = boundary - sim.parallel_time();
-        if remaining > 0.0 {
-            sim.run_parallel_time(remaining);
-        }
-        while schedule
-            .next_time(next_event)
-            .is_some_and(|t| t <= sim.parallel_time())
-        {
-            sim.apply_event(schedule.events()[next_event].event);
-            next_event += 1;
-        }
-        if sim.parallel_time() + 1e-12 >= next_snapshot {
-            snapshots.push(sim.snapshot());
-            next_snapshot += snapshot_every;
-        }
-    }
-    snapshots
-}
-
-/// Adapts a [`Simulator`] plus its snapshot readouts to [`DrivableSim`].
-struct SimDriver<'a, P, O, F1, F2>
-where
-    P: SizeEstimator,
-    O: Observer<P>,
-{
-    sim: &'a mut Simulator<P, O>,
-    summarize: F1,
-    memory: F2,
-}
-
-impl<P, O, F1, F2> DrivableSim for SimDriver<'_, P, O, F1, F2>
-where
-    P: SizeEstimator,
-    O: Observer<P>,
-    F1: Fn(&Simulator<P, O>) -> Option<crate::series::EstimateSummary>,
-    F2: Fn(&Simulator<P, O>) -> Option<MemorySummary>,
-{
-    fn parallel_time(&self) -> f64 {
-        self.sim.parallel_time()
-    }
-    fn run_parallel_time(&mut self, duration: f64) {
-        self.sim.run_parallel_time(duration);
-    }
-    fn apply_event(&mut self, event: PopulationEvent) {
-        match event {
-            PopulationEvent::ResizeTo(target) => self.sim.resize_to(target),
-            PopulationEvent::Add(count) => self.sim.add_agents(count),
-            PopulationEvent::RemoveUniform(count) => self.sim.remove_uniform(count),
-            PopulationEvent::RemoveLargestEstimates(count) => {
-                self.sim.remove_largest_estimates(count)
-            }
-        }
-    }
-    fn snapshot(&self) -> Snapshot {
-        Snapshot {
-            parallel_time: self.sim.parallel_time(),
-            interactions: self.sim.interactions(),
-            n: self.sim.population(),
-            estimates: (self.summarize)(self.sim),
-            memory: (self.memory)(self.sim),
-        }
-    }
-}
-
-fn drive<P, O>(
-    sim: &mut Simulator<P, O>,
-    horizon: f64,
-    snapshot_every: f64,
-    schedule: &AdversarySchedule,
-    summarize: impl Fn(&Simulator<P, O>) -> Option<crate::series::EstimateSummary>,
-    memory: impl Fn(&Simulator<P, O>) -> Option<MemorySummary>,
-) -> Vec<Snapshot>
-where
-    P: SizeEstimator,
-    O: Observer<P>,
-{
-    let mut driver = SimDriver {
-        sim,
-        summarize,
-        memory,
-    };
-    drive_schedule(&mut driver, horizon, snapshot_every, schedule)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adversary::PopulationEvent;
+    use crate::count_sim::CountSimulator;
+    use pp_model::FiniteProtocol;
     use rand::Rng;
 
     /// Max-spreading counting fixture; every agent always reports.
-    #[derive(Clone)]
+    #[derive(Clone, Debug)]
     struct Max;
     impl Protocol for Max {
         type State = u32;
@@ -476,5 +332,80 @@ mod tests {
         assert!(mem.max_bits >= 1);
         assert!(mem.mean_bits >= 1.0);
         assert!(r.ticks.is_empty(), "fixture never ticks");
+    }
+
+    #[test]
+    fn invalid_builder_settings_report_typed_config_errors() {
+        let err = Experiment::new(Max, 10)
+            .try_snapshot_every(0.0)
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NonPositiveSnapshotInterval { every: 0.0 });
+        let err = Experiment::new(Max, 10).try_horizon(-1.0).unwrap_err();
+        assert_eq!(err, ConfigError::NegativeHorizon { horizon: -1.0 });
+        assert!(Experiment::new(Max, 10).try_snapshot_every(0.5).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot interval must be positive")]
+    fn snapshot_every_shim_panics_with_the_error_display() {
+        let _ = Experiment::new(Max, 10).snapshot_every(-2.0);
+    }
+
+    /// Binary OR-infection fixture for count-backend experiments.
+    #[derive(Clone)]
+    struct Or;
+    impl Protocol for Or {
+        type State = bool;
+        fn initial_state(&self) -> bool {
+            false
+        }
+        fn interact<R: Rng + ?Sized>(&self, u: &mut bool, v: &mut bool, _: &mut R) {
+            *u = *u || *v;
+        }
+    }
+    impl FiniteProtocol for Or {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_index(&self, s: &bool) -> usize {
+            usize::from(*s)
+        }
+        fn state_from_index(&self, i: usize) -> bool {
+            i == 1
+        }
+    }
+    impl SizeEstimator for Or {
+        fn estimate_log2(&self, s: &bool) -> Option<f64> {
+            s.then_some(1.0)
+        }
+    }
+
+    #[test]
+    fn an_experiment_can_run_on_the_count_backend() {
+        // New with the unified driver: a single Experiment on the
+        // count substrate, same builder surface.
+        let r = Experiment::new(Or, 500)
+            .seed(3)
+            .horizon(4.0)
+            .run_on::<CountSimulator<Or>, _>(TrackedEstimates)
+            .unwrap();
+        assert_eq!(r.snapshots.len(), 5);
+        assert_eq!(r.final_n, 500);
+    }
+
+    #[test]
+    fn count_backend_rejects_per_agent_init_from_an_experiment() {
+        let err = Experiment::new(Or, 16)
+            .init_with(|i| i == 0)
+            .horizon(2.0)
+            .run_on::<CountSimulator<Or>, _>(TrackedEstimates)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BackendError::AgentIndicesUnsupported {
+                backend: "count",
+                requested: "per-agent initial states (use init_counts(..))"
+            }
+        );
     }
 }

@@ -3,25 +3,32 @@
 //! The paper's protocol has an unbounded state space, which rules out
 //! ready-made population protocol simulators (its §5 makes the same
 //! observation about ppsim and builds a custom C++ simulator). This crate is
-//! the Rust equivalent, built from scratch:
+//! the Rust equivalent, built from scratch, organized as **one driver over
+//! three backends**:
 //!
-//! * [`Simulator`] — the agent-array simulator: a dense vector of states, the
+//! * [`backend`] — the [`Backend`] contract implemented by all three
+//!   simulators, plus the typed [`BackendError`]/[`ConfigError`] values for
+//!   unsupported combinations.
+//! * [`Simulator`] — the agent-array backend: a dense vector of states, the
 //!   uniformly random pair scheduler, and observer hooks. This is the engine
 //!   behind every figure of the paper.
-//! * [`observer`] — zero-cost observer hooks; [`EstimateTracker`] maintains
-//!   an incremental histogram of agent estimates (O(1) snapshots even at
-//!   n = 10^6), [`TickRecorder`] logs phase-clock ticks for the Theorem 2.2
-//!   analysis.
-//! * [`CountSimulator`] — an exact count-based simulator for finite-state
-//!   protocols (one counter per state, no agent array); used to cross-check
-//!   the agent simulator on substrates such as epidemics and bounded CHVP,
-//!   and to drive sweep cells ([`Sweep::run_counted`] /
-//!   [`Sweep::run_jumped`]) at populations the agent array can't hold.
+//! * [`CountSimulator`] — the count backend: exact simulation of
+//!   finite-state protocols with one counter per state (no agent array);
+//!   cross-checks the agent simulator and sweeps substrates at populations
+//!   the agent array can't hold.
+//! * [`JumpSimulator`] — the jump backend: the count representation plus
+//!   closed-form skipping of no-op interactions for deterministic
+//!   protocols (static populations only).
+//! * [`recording`] — declarative [`Recording`] plans (estimate snapshots,
+//!   memory summaries, tick events) that compose like the [`observer`]
+//!   tuples they install; a plan without per-interaction recordings costs
+//!   nothing in the hot loop.
 //! * [`adversary`] — the dynamic-population adversary of Doty & Eftekhari
 //!   2022: timed events that add agents (in the protocol's initial state) or
 //!   remove arbitrary agents.
-//! * [`Experiment`] — a single simulation run with snapshots, an adversary
-//!   schedule, and optional tick/memory recording.
+//! * [`Experiment`] / [`Sweep`] — the single-run and grid drivers; both
+//!   execute any backend × recording combination through one generic path
+//!   ([`Experiment::run_on`] / [`Sweep::run_on`]).
 //! * [`runner`] — a work-stealing parallel executor for independent runs
 //!   (the paper uses 96 runs per data point).
 
@@ -29,23 +36,28 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
-mod count_drive;
+pub mod backend;
 pub mod count_sim;
 pub mod experiment;
 pub mod histogram;
 pub mod jump_sim;
 pub mod observer;
+pub mod recording;
 pub mod runner;
 pub mod series;
 pub mod simulator;
 pub mod sweep;
 
 pub use adversary::{AdversarySchedule, PopulationEvent, ScheduledEvent};
+pub use backend::{Backend, BackendError, CellSpec, ConfigError};
 pub use count_sim::CountSimulator;
 pub use experiment::{Experiment, InitMode};
 pub use histogram::EstimateHistogram;
 pub use jump_sim::JumpSimulator;
 pub use observer::{EstimateTracker, Observer, TickRecorder};
+pub use recording::{
+    Recording, ScannedEstimates, SnapshotsOnly, TrackedEstimates, WithMemory, WithTicks,
+};
 pub use runner::parallel_map;
 pub use series::{EstimateSummary, MemorySummary, RunResult, Snapshot, TickEvent};
 pub use simulator::{ChunkSize, Simulator};

@@ -10,6 +10,11 @@
 //!   paper's Figures 2–5 at O(1) per snapshot).
 //! * [`TickRecorder`] — logs every phase-clock tick (drives the Theorem 2.2
 //!   burst/overlap analysis).
+//!
+//! Runs normally don't install observers by hand: a
+//! [`Recording`](crate::recording::Recording) plan names the readouts it
+//! wants and the unified driver installs the matching observer tuple
+//! (`WithTicks(TrackedEstimates)` ⇒ `(EstimateTracker, TickRecorder)`).
 
 use crate::histogram::EstimateHistogram;
 use crate::series::TickEvent;

@@ -1,0 +1,326 @@
+//! Declarative recording plans: *what* a run records, chosen statically.
+//!
+//! A [`Recording`] describes the instrumentation of a run — which
+//! [`Observer`]s are installed and which readouts each
+//! [`Snapshot`](crate::series::Snapshot)
+//! carries — separately from *how* the run is executed (the
+//! [`Backend`](crate::backend::Backend)). Plans are zero-sized values that
+//! compose like the observer tuples they are built on, so the whole stack
+//! monomorphizes: a plan that skips the estimate tracker compiles to a run
+//! with **no** per-interaction instrumentation at all.
+//!
+//! The options:
+//!
+//! * [`TrackedEstimates`] — the default: an incremental
+//!   [`EstimateTracker`] histogram, O(1) per snapshot.
+//! * [`ScannedEstimates`] — the same estimate summaries read by a full
+//!   state scan *at each snapshot* instead of per-interaction tracking.
+//!   Summaries are value-identical to [`TrackedEstimates`] (both are the
+//!   same histogram of the same states), so swapping the two never changes
+//!   recorded rows — only where the instrumentation cost lands. With one
+//!   snapshot per parallel-time unit a scan touches each agent once per
+//!   `n` interactions, while the tracker pays up to four bucket
+//!   evaluations per interaction (ROADMAP names that update as the
+//!   largest per-interaction cost at small `n`), so coarse snapshot grids
+//!   should prefer the scan.
+//! * [`SnapshotsOnly`] — bare snapshots (time, interactions, population);
+//!   no estimate readout at all.
+//! * [`WithMemory`] — adds a per-snapshot memory summary (scans all agent
+//!   states; requires [`MemoryFootprint`]).
+//! * [`WithTicks`] — adds phase-clock tick recording (requires
+//!   [`TickProtocol`]).
+//!
+//! Composition nests: `WithTicks(WithMemory(TrackedEstimates))` is the old
+//! `Experiment::run_full`, and installs exactly the old
+//! `(EstimateTracker, TickRecorder)` observer tuple.
+
+use crate::histogram::EstimateHistogram;
+use crate::observer::{EstimateTracker, Observer, TickRecorder};
+use crate::series::{EstimateSummary, MemorySummary, TickEvent};
+use pp_model::{MemoryFootprint, SizeEstimator, TickProtocol};
+
+/// A statically-dispatched recording plan for one run.
+///
+/// Implementations are zero-sized and composable; the associated
+/// [`Recording::Observer`] is the observer (tuple) the plan installs on an
+/// agent-array run, and the three capability consts let count-based
+/// backends — which have no per-agent indices to observe — reject plans
+/// they cannot honor with a typed
+/// [`BackendError`](crate::backend::BackendError).
+pub trait Recording<P: SizeEstimator>: Sync {
+    /// The observer this plan installs on an agent-array run.
+    type Observer: Observer<P>;
+
+    /// Whether snapshots carry an [`EstimateSummary`].
+    const ESTIMATES: bool;
+
+    /// Whether snapshots carry a [`MemorySummary`] (agent-array only).
+    const MEMORY: bool;
+
+    /// Whether the run records [`TickEvent`]s (agent-array only).
+    const TICKS: bool;
+
+    /// A fresh observer for one run.
+    fn observer(&self) -> Self::Observer;
+
+    /// The estimate summary a snapshot records, read from the observer
+    /// and/or a scan of the current agent states.
+    fn estimates(
+        protocol: &P,
+        observer: &Self::Observer,
+        states: &[P::State],
+    ) -> Option<EstimateSummary>;
+
+    /// The memory summary a snapshot records (`None` unless the plan
+    /// includes [`WithMemory`]).
+    fn memory(states: &[P::State]) -> Option<MemorySummary> {
+        let _ = states;
+        None
+    }
+
+    /// Consumes the run's observer, returning the recorded tick events
+    /// (empty unless the plan includes [`WithTicks`]).
+    fn into_ticks(observer: Self::Observer) -> Vec<TickEvent> {
+        let _ = observer;
+        Vec::new()
+    }
+}
+
+/// Builds the estimate histogram of `states` by a full scan — the same
+/// histogram [`EstimateTracker`] maintains incrementally.
+fn scan_estimates<P: SizeEstimator>(protocol: &P, states: &[P::State]) -> Option<EstimateSummary> {
+    let mut hist = EstimateHistogram::new();
+    for s in states {
+        hist.add(protocol.estimate_bucket(s));
+    }
+    hist.summary()
+}
+
+/// Scans all agent states for a per-snapshot memory summary.
+pub(crate) fn scan_memory<S: MemoryFootprint>(states: &[S]) -> Option<MemorySummary> {
+    let mut max_bits = 0u32;
+    let mut sum_bits = 0u64;
+    for s in states {
+        let b = s.memory_bits();
+        max_bits = max_bits.max(b);
+        sum_bits += u64::from(b);
+    }
+    (!states.is_empty()).then(|| MemorySummary {
+        max_bits,
+        mean_bits: sum_bits as f64 / states.len() as f64,
+    })
+}
+
+/// Estimate summaries from an incremental [`EstimateTracker`] histogram
+/// (the default plan; O(1) per snapshot, bucket updates per interaction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrackedEstimates;
+
+impl<P: SizeEstimator> Recording<P> for TrackedEstimates {
+    type Observer = EstimateTracker;
+    const ESTIMATES: bool = true;
+    const MEMORY: bool = false;
+    const TICKS: bool = false;
+
+    fn observer(&self) -> EstimateTracker {
+        EstimateTracker::new()
+    }
+
+    fn estimates(
+        _protocol: &P,
+        observer: &EstimateTracker,
+        _states: &[P::State],
+    ) -> Option<EstimateSummary> {
+        observer.histogram().summary()
+    }
+}
+
+/// Estimate summaries from a full state scan at each snapshot; no
+/// per-interaction instrumentation (value-identical to
+/// [`TrackedEstimates`], see the module docs for the cost trade).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScannedEstimates;
+
+impl<P: SizeEstimator> Recording<P> for ScannedEstimates {
+    type Observer = ();
+    const ESTIMATES: bool = true;
+    const MEMORY: bool = false;
+    const TICKS: bool = false;
+
+    fn observer(&self) {}
+
+    fn estimates(protocol: &P, _observer: &(), states: &[P::State]) -> Option<EstimateSummary> {
+        scan_estimates(protocol, states)
+    }
+}
+
+/// Bare snapshots: parallel time, interaction count, and population only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotsOnly;
+
+impl<P: SizeEstimator> Recording<P> for SnapshotsOnly {
+    type Observer = ();
+    const ESTIMATES: bool = false;
+    const MEMORY: bool = false;
+    const TICKS: bool = false;
+
+    fn observer(&self) {}
+
+    fn estimates(_protocol: &P, _observer: &(), _states: &[P::State]) -> Option<EstimateSummary> {
+        None
+    }
+}
+
+/// Adds a per-snapshot [`MemorySummary`] (full state scan) to an inner
+/// plan — Theorem 2.1's space readout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WithMemory<E>(pub E);
+
+impl<P, E> Recording<P> for WithMemory<E>
+where
+    P: SizeEstimator,
+    P::State: MemoryFootprint,
+    E: Recording<P>,
+{
+    type Observer = E::Observer;
+    const ESTIMATES: bool = E::ESTIMATES;
+    const MEMORY: bool = true;
+    const TICKS: bool = E::TICKS;
+
+    fn observer(&self) -> E::Observer {
+        self.0.observer()
+    }
+
+    fn estimates(
+        protocol: &P,
+        observer: &E::Observer,
+        states: &[P::State],
+    ) -> Option<EstimateSummary> {
+        E::estimates(protocol, observer, states)
+    }
+
+    fn memory(states: &[P::State]) -> Option<MemorySummary> {
+        scan_memory(states)
+    }
+
+    fn into_ticks(observer: E::Observer) -> Vec<TickEvent> {
+        E::into_ticks(observer)
+    }
+}
+
+/// Adds phase-clock tick recording (a [`TickRecorder`] observer) to an
+/// inner plan — Theorem 2.2's burst/overlap readout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WithTicks<E>(pub E);
+
+impl<P, E> Recording<P> for WithTicks<E>
+where
+    P: SizeEstimator + TickProtocol,
+    E: Recording<P>,
+{
+    type Observer = (E::Observer, TickRecorder);
+    const ESTIMATES: bool = E::ESTIMATES;
+    const MEMORY: bool = E::MEMORY;
+    const TICKS: bool = true;
+
+    fn observer(&self) -> Self::Observer {
+        (self.0.observer(), TickRecorder::new())
+    }
+
+    fn estimates(
+        protocol: &P,
+        observer: &Self::Observer,
+        states: &[P::State],
+    ) -> Option<EstimateSummary> {
+        E::estimates(protocol, &observer.0, states)
+    }
+
+    fn memory(states: &[P::State]) -> Option<MemorySummary> {
+        E::memory(states)
+    }
+
+    fn into_ticks(observer: Self::Observer) -> Vec<TickEvent> {
+        let mut ticks = E::into_ticks(observer.0);
+        ticks.extend(observer.1.into_events());
+        ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_model::Protocol;
+    use rand::Rng;
+
+    /// Max-spreading fixture; positive values report themselves.
+    #[derive(Clone)]
+    struct Max;
+    impl Protocol for Max {
+        type State = u32;
+        fn initial_state(&self) -> u32 {
+            0
+        }
+        fn interact<R: Rng + ?Sized>(&self, u: &mut u32, v: &mut u32, _: &mut R) {
+            *u = (*u).max(*v);
+        }
+    }
+    impl SizeEstimator for Max {
+        fn estimate_log2(&self, s: &u32) -> Option<f64> {
+            (*s > 0).then_some(f64::from(*s))
+        }
+    }
+    impl TickProtocol for Max {
+        fn tick_count(&self, s: &u32) -> u64 {
+            u64::from(*s)
+        }
+    }
+
+    #[test]
+    fn scanned_summary_matches_tracked_summary() {
+        let states = [0u32, 3, 5, 5, 0, 2];
+        let mut tracker = EstimateTracker::new();
+        for s in &states {
+            Observer::<Max>::agent_added(&mut tracker, &Max, s);
+        }
+        let tracked = <TrackedEstimates as Recording<Max>>::estimates(&Max, &tracker, &states);
+        let scanned = <ScannedEstimates as Recording<Max>>::estimates(&Max, &(), &states);
+        assert_eq!(tracked, scanned);
+        assert!(tracked.is_some());
+    }
+
+    #[test]
+    fn plan_consts_compose() {
+        type Full = WithTicks<WithMemory<TrackedEstimates>>;
+        let flags = [
+            <Full as Recording<Max>>::ESTIMATES,
+            <Full as Recording<Max>>::MEMORY,
+            <Full as Recording<Max>>::TICKS,
+            <TrackedEstimates as Recording<Max>>::MEMORY,
+            <ScannedEstimates as Recording<Max>>::TICKS,
+            <SnapshotsOnly as Recording<Max>>::ESTIMATES,
+        ];
+        assert_eq!(flags, [true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn snapshots_only_records_nothing() {
+        let states = [1u32, 2];
+        assert_eq!(
+            <SnapshotsOnly as Recording<Max>>::estimates(&Max, &(), &states),
+            None
+        );
+        assert_eq!(<SnapshotsOnly as Recording<Max>>::memory(&states), None);
+    }
+
+    #[test]
+    fn with_ticks_installs_the_legacy_observer_tuple_order() {
+        // The unified driver must keep the exact (EstimateTracker,
+        // TickRecorder) tuple the old run_with_ticks installed — same
+        // observer call order, same recorded events.
+        let plan = WithTicks(TrackedEstimates);
+        let observer: (EstimateTracker, TickRecorder) =
+            <WithTicks<TrackedEstimates> as Recording<Max>>::observer(&plan);
+        let ticks = <WithTicks<TrackedEstimates> as Recording<Max>>::into_ticks(observer);
+        assert!(ticks.is_empty());
+    }
+}

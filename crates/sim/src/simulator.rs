@@ -35,12 +35,12 @@ const CHUNK_MAX: usize = 128;
 
 /// Selectable pairs-per-chunk for [`Simulator::step_n_with_chunk`] — the
 /// `hotloop_timing` harness's chunk sweep measures these against each
-/// other to justify (or move) [`CHUNK`].
+/// other to justify (or move) `CHUNK`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChunkSize {
     /// 32 pairs per chunk.
     C32,
-    /// 64 pairs per chunk (the production [`CHUNK`]).
+    /// 64 pairs per chunk (the production `CHUNK`).
     C64,
     /// 128 pairs per chunk.
     C128,
@@ -276,7 +276,7 @@ impl<P: Protocol, O: Observer<P>> Simulator<P, O> {
     /// Simulates a block of `count` interactions as a
     /// gather/compute/scatter pipeline.
     ///
-    /// This is the engine's hot path. Per chunk of [`CHUNK`] pairs:
+    /// This is the engine's hot path. Per chunk of `CHUNK` pairs:
     ///
     /// 1. **Draw** — all pair indices up front (a single Lemire draw per
     ///    pair; the RNG dependency chain runs tight, untangled from the

@@ -11,6 +11,11 @@
 //! [`parallel_map`] call: no barrier between grid points, no idle workers
 //! while the last big run of a point finishes.
 //!
+//! Execution goes through the one generic driver [`Sweep::run_on`]: pick a
+//! [`Backend`] (agent array, count, or jump) and a [`Recording`] plan;
+//! the historical `run`/`run_ticked`/`run_with_memory`/`run_counted`/
+//! `run_jumped` entry points are one-line shims over it.
+//!
 //! Determinism: each cell derives a seed from the master seed and its grid
 //! position, and each run derives from the cell seed and its run index (the
 //! SplitMix64 chain of [`run_seed`]). Results depend only on the grid and
@@ -44,10 +49,14 @@
 //! ```
 
 use crate::adversary::AdversarySchedule;
-use crate::count_drive::{run_counted_cell, run_jumped_cell, CountRunSpec};
-use crate::experiment::{Experiment, InitMode};
+use crate::backend::{Backend, BackendError, CellSpec, ConfigError};
+use crate::count_sim::CountSimulator;
+use crate::experiment::expect_run;
+use crate::jump_sim::JumpSimulator;
+use crate::recording::{Recording, TrackedEstimates, WithMemory, WithTicks};
 use crate::runner::{parallel_map, run_seed};
 use crate::series::RunResult;
+use crate::simulator::Simulator;
 use pp_model::{
     DeterministicProtocol, FiniteProtocol, MemoryFootprint, SizeEstimator, TickProtocol,
 };
@@ -64,7 +73,8 @@ pub type InitFn<S> = Arc<dyn Fn(usize, usize) -> S + Send + Sync>;
 
 /// A builder for a seeded experiment grid: populations × schedules × runs.
 ///
-/// Every setting has the same default as [`Experiment`]; the grid defaults
+/// Every setting has the same default as [`Experiment`](crate::Experiment);
+/// the grid defaults
 /// to a single static (empty) schedule.
 pub struct Sweep<P: SizeEstimator> {
     protocol: P,
@@ -109,7 +119,7 @@ pub struct SweepCell {
 }
 
 impl SweepCell {
-    /// Iterates over the cell's [`RunResult`]s (for [`pp_analysis`]-style
+    /// Iterates over the cell's [`RunResult`]s (for `pp_analysis`-style
     /// pooling, e.g. `PooledSeries::pool(cell.runs.iter())`).
     pub fn runs(&self) -> impl Iterator<Item = &RunResult> {
         self.runs.iter()
@@ -235,15 +245,24 @@ where
         self
     }
 
+    /// Sets the snapshot interval in parallel time, or reports why the
+    /// value is invalid.
+    pub fn try_snapshot_every(mut self, every: f64) -> Result<Self, ConfigError> {
+        if every.is_nan() || every <= 0.0 {
+            return Err(ConfigError::NonPositiveSnapshotInterval { every });
+        }
+        self.snapshot_every = every;
+        Ok(self)
+    }
+
     /// Sets the snapshot interval in parallel time.
     ///
     /// # Panics
     ///
-    /// Panics if `every` is not strictly positive.
-    pub fn snapshot_every(mut self, every: f64) -> Self {
-        assert!(every > 0.0, "snapshot interval must be positive");
-        self.snapshot_every = every;
-        self
+    /// Panics if `every` is not strictly positive (see
+    /// [`Sweep::try_snapshot_every`] for the non-panicking form).
+    pub fn snapshot_every(self, every: f64) -> Self {
+        expect_run(self.try_snapshot_every(every))
     }
 
     /// Starts every agent in `f(i)` instead of the protocol's initial state.
@@ -267,11 +286,13 @@ where
         self
     }
 
-    /// Sets the initial per-state counts for the count-based fast paths
+    /// Sets the initial per-state counts for the count-based backends
     /// ([`Sweep::run_counted`] / [`Sweep::run_jumped`]): `f(n)` must return
     /// one count per state, summing to `n` (e.g. `|n| vec![n - 1, 1]` for
-    /// an epidemic seeded with one infected agent). Ignored by the
-    /// agent-array [`Sweep::run`].
+    /// an epidemic seeded with one infected agent). The agent-array
+    /// backend rejects it with a typed [`BackendError`] (its initial
+    /// configurations are per-agent: use [`Sweep::init_with`] /
+    /// [`Sweep::init_with_n`]).
     pub fn init_counts(mut self, f: impl Fn(u64) -> Vec<u64> + Send + Sync + 'static) -> Self {
         self.init_counts = Some(Arc::new(f));
         self
@@ -343,39 +364,77 @@ where
         }
     }
 
-    /// Runs the whole grid as one parallel batch, recording estimate
-    /// snapshots per run.
+    /// The one generic grid driver: runs every `(n, schedule, run)` task
+    /// of the grid on backend `B` under the given [`Recording`] plan, as a
+    /// single flat parallel batch.
+    ///
+    /// Every historical `run*` entry point is a one-line shim over this;
+    /// new backend × recording combinations (e.g. bare-snapshot counted
+    /// sweeps) need no new method.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`BackendError`] — before any cell runs — when the
+    /// grid requests a capability the backend lacks: adversary events
+    /// without [`Backend::SUPPORTS_ADVERSARY`], or per-agent initial
+    /// states / tick recording / memory recording without
+    /// [`Backend::SUPPORTS_AGENT_INDICES`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no populations were configured.
+    pub fn run_on<B, R>(self, recording: R) -> Result<SweepResults, BackendError>
+    where
+        B: Backend<Protocol = P, State = P::State>,
+        R: Recording<P>,
+    {
+        // Capability pre-flight: diagnose the whole grid before any work.
+        if !B::SUPPORTS_ADVERSARY && self.schedules.iter().any(|(_, s)| !s.is_empty()) {
+            return Err(BackendError::AdversaryUnsupported { backend: B::NAME });
+        }
+        if B::SUPPORTS_AGENT_INDICES {
+            if self.init_counts.is_some() {
+                return Err(BackendError::InitCountsUnsupported { backend: B::NAME });
+            }
+        } else if let Some(requested) =
+            crate::backend::requested_agent_feature::<P, R>(self.init.is_some())
+        {
+            return Err(BackendError::AgentIndicesUnsupported {
+                backend: B::NAME,
+                requested,
+            });
+        }
+        let (schedules, tasks) = self.build_tasks();
+        let start = Instant::now();
+        let results = parallel_map(tasks.len(), self.threads, |t| {
+            let task = &tasks[t];
+            let spec = CellSpec {
+                n: task.n,
+                seed: task.seed,
+                horizon: task.horizon,
+                snapshot_every: self.snapshot_every,
+                schedule: &schedules[task.schedule_index].1,
+                init_agents: self
+                    .init
+                    .as_deref()
+                    .map(|f| f as &dyn Fn(usize, usize) -> P::State),
+                init_counts: self.init_counts.as_ref().map(|f| f(task.n as u64)),
+            };
+            B::run_cell(self.protocol.clone(), &spec, &recording)
+        });
+        let wall = start.elapsed();
+        let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(self.collect(schedules, tasks, results, wall))
+    }
+
+    /// Runs the whole grid on the agent-array backend, recording estimate
+    /// snapshots per run (shim over [`Sweep::run_on`]).
     ///
     /// # Panics
     ///
     /// Panics if no populations were configured.
     pub fn run(self) -> SweepResults {
-        let (schedules, tasks) = self.build_tasks();
-        let start = Instant::now();
-        let results = parallel_map(tasks.len(), self.threads, |t| {
-            let task = &tasks[t];
-            self.experiment(task, &schedules).run()
-        });
-        let wall = start.elapsed();
-        self.collect(schedules, tasks, results, wall)
-    }
-
-    fn experiment(
-        &self,
-        task: &TaskSpec,
-        schedules: &[(String, AdversarySchedule)],
-    ) -> Experiment<P> {
-        let mut exp = Experiment::new(self.protocol.clone(), task.n)
-            .seed(task.seed)
-            .horizon(task.horizon)
-            .snapshot_every(self.snapshot_every)
-            .schedule(schedules[task.schedule_index].1.clone());
-        if let Some(init) = &self.init {
-            let init = Arc::clone(init);
-            let n = task.n;
-            exp = exp.init(InitMode::FromFn(Box::new(move |i| init(n, i))));
-        }
-        exp
+        expect_run(self.run_on::<Simulator<P>, _>(TrackedEstimates))
     }
 }
 
@@ -387,15 +446,9 @@ where
     /// Like [`Sweep::run`], additionally recording phase-clock tick events
     /// per run (the Theorem 2.2 burst/overlap analysis). Tick analyses
     /// assume stable agent indices, so prefer static schedules.
+    /// Shim over [`Sweep::run_on`].
     pub fn run_ticked(self) -> SweepResults {
-        let (schedules, tasks) = self.build_tasks();
-        let start = Instant::now();
-        let results = parallel_map(tasks.len(), self.threads, |t| {
-            let task = &tasks[t];
-            self.experiment(task, &schedules).run_with_ticks()
-        });
-        let wall = start.elapsed();
-        self.collect(schedules, tasks, results, wall)
+        expect_run(self.run_on::<Simulator<P>, _>(WithTicks(TrackedEstimates)))
     }
 }
 
@@ -406,16 +459,9 @@ where
 {
     /// Like [`Sweep::run`], additionally recording per-snapshot memory
     /// summaries (scans all agents at each snapshot; prefer coarse
-    /// snapshot intervals at large `n`).
+    /// snapshot intervals at large `n`). Shim over [`Sweep::run_on`].
     pub fn run_with_memory(self) -> SweepResults {
-        let (schedules, tasks) = self.build_tasks();
-        let start = Instant::now();
-        let results = parallel_map(tasks.len(), self.threads, |t| {
-            let task = &tasks[t];
-            self.experiment(task, &schedules).run_with_memory()
-        });
-        let wall = start.elapsed();
-        self.collect(schedules, tasks, results, wall)
+        expect_run(self.run_on::<Simulator<P>, _>(WithMemory(TrackedEstimates)))
     }
 }
 
@@ -425,44 +471,18 @@ where
     P::State: Clone + Send + Sync + 'static,
 {
     /// Like [`Sweep::run`], but drives every cell with the count-based
-    /// [`CountSimulator`](crate::CountSimulator): O(#states) memory per
-    /// run, so finite-state substrates sweep at populations the agent
-    /// array can't hold. Supports the full adversary-schedule grid;
-    /// per-agent `init_with` initializers do not apply (use
-    /// [`Sweep::init_counts`]).
+    /// [`CountSimulator`]: O(#states) memory per run, so finite-state
+    /// substrates sweep at populations the agent array can't hold.
+    /// Supports the full adversary-schedule grid; per-agent `init_with`
+    /// initializers do not apply (use [`Sweep::init_counts`]).
+    /// Shim over [`Sweep::run_on`].
     ///
     /// # Panics
     ///
     /// Panics if no populations were configured or a per-agent initializer
     /// was set.
     pub fn run_counted(self) -> SweepResults {
-        assert!(
-            self.init.is_none(),
-            "count-based sweeps have no per-agent indices; use init_counts(..)"
-        );
-        let (schedules, tasks) = self.build_tasks();
-        let start = Instant::now();
-        let results = parallel_map(tasks.len(), self.threads, |t| {
-            let task = &tasks[t];
-            run_counted_cell(self.protocol.clone(), &self.count_spec(task, &schedules))
-        });
-        let wall = start.elapsed();
-        self.collect(schedules, tasks, results, wall)
-    }
-
-    fn count_spec<'a>(
-        &self,
-        task: &TaskSpec,
-        schedules: &'a [(String, AdversarySchedule)],
-    ) -> CountRunSpec<'a> {
-        CountRunSpec {
-            n: task.n as u64,
-            seed: task.seed,
-            horizon: task.horizon,
-            snapshot_every: self.snapshot_every,
-            schedule: &schedules[task.schedule_index].1,
-            init: self.init_counts.as_ref().map(|f| f(task.n as u64)),
-        }
+        expect_run(self.run_on::<CountSimulator<P>, _>(TrackedEstimates))
     }
 }
 
@@ -475,6 +495,7 @@ where
     /// no-op interactions are skipped in closed form, so long horizons on
     /// nearly-quiescent substrates (late epidemics) cost only their
     /// effective interactions. Static schedules only.
+    /// Shim over [`Sweep::run_on`].
     ///
     /// # Panics
     ///
@@ -482,22 +503,7 @@ where
     /// was set, or any schedule carries events (the jump chain's closed
     /// form assumes a fixed population).
     pub fn run_jumped(self) -> SweepResults {
-        assert!(
-            self.init.is_none(),
-            "count-based sweeps have no per-agent indices; use init_counts(..)"
-        );
-        let (schedules, tasks) = self.build_tasks();
-        assert!(
-            schedules.iter().all(|(_, s)| s.is_empty()),
-            "run_jumped supports static schedules only; use run_counted for adversaries"
-        );
-        let start = Instant::now();
-        let results = parallel_map(tasks.len(), self.threads, |t| {
-            let task = &tasks[t];
-            run_jumped_cell(self.protocol.clone(), &self.count_spec(task, &schedules))
-        });
-        let wall = start.elapsed();
-        self.collect(schedules, tasks, results, wall)
+        expect_run(self.run_on::<JumpSimulator<P>, _>(TrackedEstimates))
     }
 }
 
@@ -784,6 +790,104 @@ mod tests {
             .horizon(2.0)
             .init_with(|i| i == 0)
             .run_counted();
+    }
+
+    impl TickProtocol for Or {
+        fn tick_count(&self, _: &bool) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn run_on_reports_typed_errors_for_unsupported_grids() {
+        let jumped = Sweep::new(Or)
+            .populations([16])
+            .schedule(
+                "crash",
+                AdversarySchedule::new().at(1.0, PopulationEvent::ResizeTo(8)),
+            )
+            .runs(1)
+            .horizon(2.0)
+            .run_on::<JumpSimulator<Or>, _>(TrackedEstimates);
+        assert_eq!(
+            jumped.unwrap_err(),
+            BackendError::AdversaryUnsupported { backend: "jump" }
+        );
+
+        let counted_init = Sweep::new(Or)
+            .populations([16])
+            .runs(1)
+            .horizon(2.0)
+            .init_with(|i| i == 0)
+            .run_on::<CountSimulator<Or>, _>(TrackedEstimates);
+        assert_eq!(
+            counted_init.unwrap_err(),
+            BackendError::AgentIndicesUnsupported {
+                backend: "count",
+                requested: "per-agent initial states (use init_counts(..))"
+            }
+        );
+
+        let counted_ticks = Sweep::new(Or)
+            .populations([16])
+            .runs(1)
+            .horizon(2.0)
+            .run_on::<CountSimulator<Or>, _>(WithTicks(TrackedEstimates));
+        assert_eq!(
+            counted_ticks.unwrap_err(),
+            BackendError::AgentIndicesUnsupported {
+                backend: "count",
+                requested: "tick recording"
+            }
+        );
+
+        let agent_counts = Sweep::new(Or)
+            .populations([16])
+            .runs(1)
+            .horizon(2.0)
+            .init_counts(|n| vec![n - 1, 1])
+            .run_on::<Simulator<Or>, _>(TrackedEstimates);
+        assert_eq!(
+            agent_counts.unwrap_err(),
+            BackendError::InitCountsUnsupported {
+                backend: "agent-array"
+            }
+        );
+    }
+
+    #[test]
+    fn scanned_estimates_record_the_same_rows_as_tracked() {
+        // The scan plan has zero per-interaction instrumentation but must
+        // produce value-identical cells — including through the adversary
+        // removals of the grid fixture.
+        let tracked = expect_run(grid().run_on::<Simulator<Max>, _>(TrackedEstimates));
+        let scanned = expect_run(grid().run_on::<Simulator<Max>, _>(crate::ScannedEstimates));
+        assert_eq!(tracked.cells, scanned.cells);
+    }
+
+    #[test]
+    fn snapshots_only_skips_estimate_readouts() {
+        let r = expect_run(
+            Sweep::new(Max)
+                .populations([16])
+                .runs(1)
+                .horizon(3.0)
+                .run_on::<Simulator<Max>, _>(crate::SnapshotsOnly),
+        );
+        let run = &r.cells[0].runs[0];
+        assert_eq!(run.snapshots.len(), 4);
+        assert!(run.snapshots.iter().all(|s| s.estimates.is_none()));
+        assert!(run.snapshots.iter().all(|s| s.memory.is_none()));
+    }
+
+    #[test]
+    fn sweep_try_snapshot_every_reports_typed_config_errors() {
+        let err = Sweep::new(Max).try_snapshot_every(-1.0).unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::NonPositiveSnapshotInterval { every: -1.0 }
+        );
+        assert!(Sweep::new(Max).try_snapshot_every(0.5).is_ok());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Implements the subset of the proptest API this workspace's tests use:
 //! the [`proptest!`] macro with `name in strategy` and `name: Type`
-//! parameters, range/tuple strategies, [`Strategy::prop_map`],
+//! parameters, range/tuple strategies, [`strategy::Strategy::prop_map`],
 //! [`collection::vec`], [`option::of`], [`arbitrary::any`], and the
 //! `prop_assert*` macros.
 //!

@@ -1,4 +1,4 @@
-//! Experiment implementations (DESIGN.md §4, E1–E11) and the declarative
+//! Experiment implementations (DESIGN.md §4, E1–E12) and the declarative
 //! registry the `dsc-bench` driver runs them from.
 //!
 //! Each module exposes `run(scale: &Scale) -> Vec<TableSpec>`: it executes
@@ -11,6 +11,7 @@
 
 pub mod ablation;
 pub mod accuracy;
+pub mod batched;
 pub mod burst_overlap;
 pub mod compare;
 pub mod convergence;
@@ -149,6 +150,14 @@ pub static REGISTRY: &[ExperimentSpec] = &[
         description: "averaging the dynamic estimate (accuracy vs bits)",
         run: accuracy::run,
     },
+    ExperimentSpec {
+        name: "batched",
+        paper_ref: "Lemma 4.2 at asymptotic n",
+        backend: "batched-count (+ count control)",
+        recording: "estimates",
+        description: "tau-leaping count dynamics up to n = 2^30",
+        run: batched::run,
+    },
 ];
 
 /// Looks up a registered experiment by name.
@@ -184,17 +193,17 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 12, "all twelve experiments must register");
+        assert_eq!(names.len(), 13, "all thirteen experiments must register");
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 12, "registry names must be unique");
+        assert_eq!(names.len(), 13, "registry names must be unique");
         assert!(find("fig2").is_some());
         assert!(find("no-such-experiment").is_none());
     }
 
     #[test]
     fn every_entry_declares_its_backend_and_recording() {
-        let backends = ["agent-array", "count", "jump"];
+        let backends = ["agent-array", "count", "jump", "batched-count"];
         let recordings = ["estimates", "memory", "ticks", "scanned", "snapshots"];
         for e in REGISTRY {
             assert!(

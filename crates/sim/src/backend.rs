@@ -1,6 +1,6 @@
-//! Simulation backends: one driver contract, three substrates.
+//! Simulation backends: one driver contract, four substrates.
 //!
-//! The paper's experiments run on three distinct substrates:
+//! The paper's experiments run on four distinct substrates:
 //!
 //! * the **agent-array** [`Simulator`] — a dense state vector with per-agent
 //!   indices; the only substrate for the paper's unbounded-state protocol,
@@ -12,9 +12,14 @@
 //! * the **jump** [`JumpSimulator`] — the count representation plus
 //!   closed-form skipping of no-op interactions for
 //!   [`DeterministicProtocol`]s (the Berenbrink et al. / ppsim
-//!   simulation-speedup idea); static populations only.
+//!   simulation-speedup idea); static populations only;
+//! * the **batched-count** [`BatchedCountSimulator`] — tau-leaping over
+//!   the counts for [`DeterministicProtocol`]s: many interactions per
+//!   draw at distribution-level fidelity, with an exact
+//!   trajectory-identical fallback below a population threshold (see its
+//!   module docs for the accuracy contract).
 //!
-//! [`Backend`] is the one contract all three implement: given a fully
+//! [`Backend`] is the one contract all four implement: given a fully
 //! specified cell ([`CellSpec`]) and a [`Recording`] plan, execute one run
 //! and return its [`RunResult`]. The generic drivers —
 //! [`Sweep::run_on`](crate::Sweep::run_on) for grids and
@@ -36,6 +41,7 @@
 //! contract in its own loop — see [`JumpSimulator`]'s `Backend` impl).
 
 use crate::adversary::{AdversarySchedule, PopulationEvent};
+use crate::batched_sim::BatchedCountSimulator;
 use crate::count_sim::CountSimulator;
 use crate::histogram::EstimateHistogram;
 use crate::jump_sim::JumpSimulator;
@@ -169,10 +175,10 @@ impl<S> fmt::Debug for CellSpec<'_, S> {
 
 /// A simulation substrate that can execute one fully specified run.
 ///
-/// Implemented by the three simulator types ([`Simulator`],
-/// [`CountSimulator`], [`JumpSimulator`]); the generic drivers are written
-/// once against this trait. See the [module docs](self) for the substrate
-/// comparison.
+/// Implemented by the four simulator types ([`Simulator`],
+/// [`CountSimulator`], [`JumpSimulator`], [`BatchedCountSimulator`]); the
+/// generic drivers are written once against this trait. See the
+/// [module docs](self) for the substrate comparison.
 pub trait Backend {
     /// The protocol this backend drives.
     type Protocol: SizeEstimator;
@@ -533,6 +539,136 @@ where
     }
 }
 
+/// The adversarial removal mode on the batched simulator's counts —
+/// the same highest-estimate-first semantics as
+/// [`remove_largest_estimates`] above, against the batched count store.
+fn remove_largest_estimates_batched<P>(sim: &mut BatchedCountSimulator<P>, count: u64)
+where
+    P: DeterministicProtocol + SizeEstimator,
+{
+    assert!(
+        count <= sim.population(),
+        "cannot remove {count} of {} agents",
+        sim.population()
+    );
+    let mut order: Vec<usize> = (0..sim.protocol().num_states()).collect();
+    order.sort_by(|&a, &b| {
+        let ea = sim
+            .protocol()
+            .estimate_log2(&sim.protocol().state_from_index(a));
+        let eb = sim
+            .protocol()
+            .estimate_log2(&sim.protocol().state_from_index(b));
+        eb.partial_cmp(&ea).expect("non-NaN estimates")
+    });
+    let mut left = count;
+    for idx in order {
+        if left == 0 {
+            break;
+        }
+        let have = sim.count(idx);
+        let take = have.min(left);
+        if take > 0 {
+            sim.set_count(idx, have - take);
+            left -= take;
+        }
+    }
+    debug_assert_eq!(left, 0);
+}
+
+/// Adapts a [`BatchedCountSimulator`] plus a [`Recording`] plan to the
+/// shared schedule driver. Snapshot and event boundaries arrive here as
+/// exact parallel-time spans, so batches never have to straddle a
+/// boundary — the batched clock stops at (or one interaction past) each
+/// one, same as the exact backends.
+struct BatchedDriver<'a, P, R>
+where
+    P: DeterministicProtocol + SizeEstimator,
+{
+    sim: &'a mut BatchedCountSimulator<P>,
+    _plan: PhantomData<R>,
+}
+
+impl<P, R> DrivableSim for BatchedDriver<'_, P, R>
+where
+    P: DeterministicProtocol + SizeEstimator,
+    R: Recording<P>,
+{
+    fn parallel_time(&self) -> f64 {
+        self.sim.parallel_time()
+    }
+    fn run_parallel_time(&mut self, duration: f64) {
+        self.sim.run_parallel_time(duration);
+    }
+    fn apply_event(&mut self, event: PopulationEvent) {
+        match event {
+            PopulationEvent::ResizeTo(target) => self.sim.resize_to(target as u64),
+            PopulationEvent::Add(count) => self.sim.add_agents(count as u64),
+            PopulationEvent::RemoveUniform(count) => self.sim.remove_uniform(count as u64),
+            PopulationEvent::RemoveLargestEstimates(count) => {
+                remove_largest_estimates_batched(self.sim, count as u64)
+            }
+        }
+    }
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            parallel_time: self.sim.parallel_time(),
+            interactions: self.sim.interactions(),
+            n: self.sim.population() as usize,
+            estimates: if R::ESTIMATES {
+                summarize(self.sim.protocol(), self.sim.counts())
+            } else {
+                None
+            },
+            memory: None,
+        }
+    }
+}
+
+impl<P> Backend for BatchedCountSimulator<P>
+where
+    P: DeterministicProtocol + SizeEstimator,
+{
+    type Protocol = P;
+    type State = P::State;
+    const NAME: &'static str = "batched-count";
+    const SUPPORTS_ADVERSARY: bool = true;
+    const SUPPORTS_AGENT_INDICES: bool = false;
+
+    fn run_cell<R>(
+        protocol: P,
+        spec: &CellSpec<'_, P::State>,
+        recording: &R,
+    ) -> Result<RunResult, BackendError>
+    where
+        R: Recording<P>,
+    {
+        let _ = recording;
+        reject_agent_features::<P, R, _>(Self::NAME, spec)?;
+        let mut sim = match &spec.init_counts {
+            Some(counts) => BatchedCountSimulator::from_counts(protocol, counts.clone(), spec.seed),
+            None => BatchedCountSimulator::with_seed(protocol, spec.n as u64, spec.seed),
+        };
+        debug_assert_eq!(sim.population(), spec.n as u64, "init counts must sum to n");
+        let snapshots = drive_schedule(
+            &mut BatchedDriver::<P, R> {
+                sim: &mut sim,
+                _plan: PhantomData,
+            },
+            spec.horizon,
+            spec.snapshot_every,
+            spec.schedule,
+        );
+        let final_n = sim.population() as usize;
+        Ok(RunResult {
+            seed: spec.seed,
+            snapshots,
+            ticks: Vec::new(),
+            final_n,
+        })
+    }
+}
+
 impl<P> Backend for JumpSimulator<P>
 where
     P: DeterministicProtocol + SizeEstimator,
@@ -734,6 +870,51 @@ mod tests {
         assert!(
             r.snapshots[0].estimates.is_none()
                 || r.snapshots[0].estimates.unwrap().without_estimate > 0
+        );
+    }
+
+    #[test]
+    fn batched_cell_snapshots_land_on_grid_and_apply_adversary_events() {
+        let schedule = AdversarySchedule::new().at(3.0, PopulationEvent::ResizeTo(10));
+        let r =
+            BatchedCountSimulator::run_cell(Or, &spec(200, 2, 6.0, &schedule), &TrackedEstimates)
+                .unwrap();
+        assert_eq!(r.final_n, 10);
+        assert_eq!(r.snapshot_at(2.0).n, 200);
+        assert_eq!(r.snapshot_at(5.0).n, 10);
+        for (i, s) in r.snapshots.iter().enumerate() {
+            assert!((s.parallel_time - i as f64).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn batched_cell_matches_counted_cell_below_the_exact_threshold() {
+        // At n ≤ EXACT_POPULATION_THRESHOLD the batched backend steps
+        // exactly — same draws, same trajectory, snapshot for snapshot.
+        let schedule = AdversarySchedule::new().at(2.0, PopulationEvent::RemoveUniform(100));
+        let cell = spec(1_000, 5, 8.0, &schedule);
+        let mut cell = cell;
+        cell.init_counts = Some(vec![999, 1]);
+        let batched = BatchedCountSimulator::run_cell(Or, &cell, &TrackedEstimates).unwrap();
+        let counted = CountSimulator::run_cell(Or, &cell, &TrackedEstimates).unwrap();
+        assert_eq!(batched.snapshots, counted.snapshots);
+        assert_eq!(batched.final_n, counted.final_n);
+    }
+
+    #[test]
+    fn batched_backend_rejects_per_agent_features_with_typed_errors() {
+        let none = AdversarySchedule::new();
+        assert_eq!(
+            BatchedCountSimulator::run_cell(
+                Or,
+                &spec(16, 1, 2.0, &none),
+                &WithTicks(TrackedEstimates)
+            )
+            .unwrap_err(),
+            BackendError::AgentIndicesUnsupported {
+                backend: "batched-count",
+                requested: "tick recording"
+            }
         );
     }
 

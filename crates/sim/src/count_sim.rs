@@ -1030,6 +1030,105 @@ mod tests {
     }
 
     #[test]
+    fn remove_uniform_to_zero_leaves_a_consistent_empty_simulator() {
+        // The batched backend's adversary schedules can crash the whole
+        // population mid-run: keep == 0 takes the survivor branch with
+        // zero draws and must leave every invariant (counts, bounds,
+        // prefix) consistent, not a half-updated husk.
+        let mut sim = CountSimulator::from_counts(Inert, spread_counts(), 61);
+        let n = sim.population();
+        sim.remove_uniform(n);
+        assert_eq!(sim.population(), 0);
+        assert!(sim.counts().iter().all(|&c| c == 0));
+        assert_eq!(sim.min_occupied(), None);
+        assert_eq!(sim.max_occupied(), None);
+        // Time still passes on an empty population (no interactions)...
+        sim.run_parallel_time(5.0);
+        assert!(sim.parallel_time() >= 5.0);
+        // ...and the simulator comes back to life when agents are added.
+        sim.add_agents(50);
+        assert_eq!(sim.population(), 50);
+        sim.step_n(100);
+        assert_eq!(sim.counts().iter().sum::<u64>(), 50);
+    }
+
+    #[test]
+    fn removal_and_growth_of_zero_agents_are_no_ops() {
+        let mut sim = CountSimulator::from_counts(Or, vec![60, 40], 62);
+        let before = sim.counts().to_vec();
+        sim.remove_uniform(0);
+        sim.add_agents(0);
+        sim.resize_to(100);
+        assert_eq!(sim.counts(), &before[..]);
+        assert_eq!(sim.population(), 100);
+    }
+
+    #[test]
+    fn mass_removal_shrinks_the_occupied_range_consistently() {
+        // Survivor-branch removal rebuilds counts from scratch; the
+        // occupied bound and the Fenwick prefix must both resync with the
+        // new (much sparser) configuration or later draws walk off the
+        // end of the old range.
+        let mut sim = CountSimulator::from_counts(Inert, spread_counts(), 63);
+        let n = sim.population();
+        sim.remove_uniform(n - 4); // survivor branch: keep 4 of 1000
+        assert_eq!(sim.population(), 4);
+        let survivors = sim.counts().to_vec();
+        let top = survivors.iter().rposition(|&c| c > 0).unwrap();
+        assert_eq!(sim.max_occupied(), Some(top), "bound must match counts");
+        assert!(
+            sim.prefix.is_some(),
+            "wide spaces keep the tree after removal"
+        );
+        // Inert transitions never change counts, so any drift here means
+        // the post-removal sampler state was inconsistent.
+        sim.step_n(500);
+        assert_eq!(sim.counts(), &survivors[..]);
+    }
+
+    #[test]
+    fn small_branch_removal_that_empties_a_state_tightens_the_bound() {
+        // All mass in one high state: small-branch draws hit it
+        // deterministically; removing down to zero there must not strand
+        // max_occupied above the (now empty) top state forever.
+        let mut counts = vec![0u64; DRIFT_STATES];
+        counts[170] = 100;
+        counts[3] = 100;
+        let mut sim = CountSimulator::from_counts(Inert, counts, 64);
+        sim.set_count(170, 0); // remove-to-zero of the top state mid-run
+        assert_eq!(sim.population(), 100);
+        assert_eq!(sim.max_occupied(), Some(3));
+        sim.step_n(200); // draws must stay inside the live range
+        assert_eq!(sim.count(3), 100);
+    }
+
+    #[test]
+    fn resize_across_the_frozen_alias_mode_stays_consistent() {
+        // Freeze the static distribution into the alias table, then hit it
+        // with every adversary resize shape: each mutation must invalidate
+        // the table, and the table must re-freeze once the distribution is
+        // static again — with the trajectory matching a never-frozen twin.
+        let mut sim = CountSimulator::from_counts(Inert, spread_counts(), 65);
+        sim.step_n(400); // rebuild threshold is max(64, #states) no-ops
+        assert!(sim.alias_clean, "inert protocol must reach alias mode");
+
+        sim.resize_to(1_500); // grow across the frozen table
+        assert!(!sim.alias_clean, "growth must invalidate the table");
+        assert_eq!(sim.population(), 1_500);
+        sim.step_n(400);
+        assert!(sim.alias_clean, "static again: the table must re-freeze");
+
+        sim.resize_to(12); // survivor-branch shrink across the frozen table
+        assert!(!sim.alias_clean, "mass removal must invalidate the table");
+        assert_eq!(sim.population(), 12);
+        assert_eq!(sim.counts().iter().sum::<u64>(), 12);
+        let survivors = sim.counts().to_vec();
+        sim.step_n(400);
+        assert_eq!(sim.counts(), &survivors[..], "inert counts must not drift");
+        assert!(sim.alias_clean, "the table must re-freeze after the crash");
+    }
+
+    #[test]
     #[should_panic(expected = "at least two agents")]
     fn stepping_a_lone_agent_panics() {
         let mut sim = CountSimulator::from_counts(Or, vec![1, 0], 9);

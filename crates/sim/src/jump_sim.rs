@@ -146,12 +146,15 @@ impl<P: DeterministicProtocol> JumpSimulator<P> {
     }
 
     /// Ordered pairs whose interaction would change something.
-    fn effective_pairs(&self) -> u64 {
+    ///
+    /// Computed in u128: a single pair product reaches ~10¹⁸ at n = 10⁹
+    /// and the sum (like the total `n(n−1)`) exceeds u64 beyond n = 2³².
+    fn effective_pairs(&self) -> u128 {
         self.active
             .iter()
             .map(|&(si, sj)| {
                 let same = u64::from(si == sj);
-                self.counts[si] * self.counts[sj].saturating_sub(same)
+                u128::from(self.counts[si]) * u128::from(self.counts[sj].saturating_sub(same))
             })
             .sum()
     }
@@ -175,24 +178,41 @@ impl<P: DeterministicProtocol> JumpSimulator<P> {
         if w == 0 {
             return false;
         }
-        let t = self.n * (self.n - 1);
+        // Total ordered pairs, in u128: n(n−1) overflows u64 at n > 2³²
+        // (u64 arithmetic here silently wrapped — and panicked in debug —
+        // exactly at the 10⁹-and-beyond populations batching targets).
+        let t = u128::from(self.n) * u128::from(self.n - 1);
         // Skip the geometric run of no-ops in closed form.
         let p = w as f64 / t as f64;
         let skips = if p >= 1.0 {
             0u64
         } else {
+            // ln(1 − p) via ln_1p: the naive `(1.0 - p).ln()` rounds to
+            // ln(1) = −0.0 for p below ~1e-16 (one effective pair among
+            // 10⁹ agents is p ≈ 1e-18), turning the skip into ±inf.
+            // Guarding u away from 0 keeps ln finite; the f64→u64 cast
+            // saturates, and saturating_add caps the counter instead of
+            // wrapping.
             let u: f64 = self.rng.random();
             // Geometric(p) on {0, 1, …}: floor(ln u / ln(1 − p)).
-            (u.ln() / (1.0 - p).ln()) as u64
+            (u.max(f64::MIN_POSITIVE).ln() / (-p).ln_1p()) as u64
         };
-        self.interactions += skips + 1;
-        self.parallel_time += (skips + 1) as f64 / self.n as f64;
+        self.interactions = self.interactions.saturating_add(skips).saturating_add(1);
+        self.parallel_time += (skips as f64 + 1.0) / self.n as f64;
 
-        // Draw the effective pair proportional to its pair count.
-        let mut r = self.rng.random_range(0..w);
+        // Draw the effective pair proportional to its pair count. Weights
+        // fit u64 for every feasible sub-2³² population, where the narrow
+        // draw preserves the historical trajectories; beyond that, a
+        // two-word rejection sampler covers the u128 range.
+        let mut r = if w <= u128::from(u64::MAX) {
+            u128::from(self.rng.random_range(0..w as u64))
+        } else {
+            uniform_u128_below(&mut self.rng, w)
+        };
         for &(si, sj) in &self.active {
             let same = u64::from(si == sj);
-            let pairs = self.counts[si] * self.counts[sj].saturating_sub(same);
+            let pairs =
+                u128::from(self.counts[si]) * u128::from(self.counts[sj].saturating_sub(same));
             if r < pairs {
                 let s = self.protocol.num_states();
                 let (oi, oj) = self.delta[si * s + sj];
@@ -214,6 +234,20 @@ impl<P: DeterministicProtocol> JumpSimulator<P> {
             if !self.step_event() {
                 return;
             }
+        }
+    }
+}
+
+/// Uniform draw from `[0, span)` for spans beyond u64, by masked
+/// rejection over the smallest covering power of two (two RNG words per
+/// attempt, < 2 attempts expected).
+fn uniform_u128_below(rng: &mut impl Rng, span: u128) -> u128 {
+    debug_assert!(span > u128::from(u64::MAX), "use the u64 path below 2^64");
+    let mask = u128::MAX >> span.leading_zeros();
+    loop {
+        let x = ((u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())) & mask;
+        if x < span {
+            return x;
         }
     }
 }
@@ -348,6 +382,51 @@ mod tests {
             sim.interactions(),
             events
         );
+    }
+
+    #[test]
+    fn populations_beyond_u32_do_not_overflow_pair_arithmetic() {
+        // n(n−1) exceeds u64::MAX just past n = 2³²: before the u128
+        // widening, `step_event` overflowed (a debug-build panic, silent
+        // wrap in release) at exactly the ≥ 10⁹ populations the batched
+        // backend targets.
+        let n = (1u64 << 32) + 10;
+        let mut sim = JumpSimulator::from_counts(Or, vec![n - 1, 1], 6);
+        for _ in 0..5 {
+            assert!(sim.step_event());
+        }
+        assert_eq!(sim.counts().iter().sum::<u64>(), n, "population conserved");
+        assert_eq!(sim.count(1), 6, "five infections applied");
+        assert!(sim.interactions() > 0);
+        assert!(sim.parallel_time() > 0.0);
+        assert!(sim.parallel_time().is_finite());
+    }
+
+    #[test]
+    fn vanishing_effective_probability_yields_finite_skips() {
+        // One effective pair among 3·10⁹ agents: p ≈ 2·10⁻¹⁹, far below
+        // the ~1e-16 threshold where `(1.0 - p).ln()` rounds to −0.0 and
+        // the old skip formula produced ±inf. ln_1p keeps the geometric
+        // skip finite (if astronomically long).
+        let n = 3_000_000_000u64;
+        let mut sim = JumpSimulator::from_counts(Or, vec![n - 1, 1], 8);
+        assert!(sim.step_event());
+        assert_eq!(sim.count(1), 2);
+        assert!(sim.parallel_time().is_finite());
+        assert!(sim.interactions() >= 1);
+    }
+
+    #[test]
+    fn uniform_u128_below_is_in_range_and_reaches_past_u64() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let span = (u128::from(u64::MAX) + 1) * 3;
+        let mut seen_high = false;
+        for _ in 0..200 {
+            let x = uniform_u128_below(&mut rng, span);
+            assert!(x < span);
+            seen_high |= x > u128::from(u64::MAX);
+        }
+        assert!(seen_high, "draws must cover the beyond-u64 region");
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //! ready-made population protocol simulators (its §5 makes the same
 //! observation about ppsim and builds a custom C++ simulator). This crate is
 //! the Rust equivalent, built from scratch, organized as **one driver over
-//! three backends**:
+//! four backends**:
 //!
-//! * [`backend`] — the [`Backend`] contract implemented by all three
+//! * [`backend`] — the [`Backend`] contract implemented by all four
 //!   simulators, plus the typed [`BackendError`]/[`ConfigError`] values for
 //!   unsupported combinations.
 //! * [`Simulator`] — the agent-array backend: a dense vector of states, the
@@ -19,6 +19,12 @@
 //! * [`JumpSimulator`] — the jump backend: the count representation plus
 //!   closed-form skipping of no-op interactions for deterministic
 //!   protocols (static populations only).
+//! * [`BatchedCountSimulator`] — the batched-count backend: tau-leaping
+//!   over the count vector for deterministic protocols; advances many
+//!   interactions per draw (binomial splitting over the pair-weight
+//!   table), making n = 10⁹ sweeps cheap at distribution-level (not
+//!   trajectory-level) fidelity, with an exact fallback below a
+//!   population threshold.
 //! * [`recording`] — declarative [`Recording`] plans (estimate snapshots,
 //!   memory summaries, tick events) that compose like the [`observer`]
 //!   tuples they install; a plan without per-interaction recordings costs
@@ -37,6 +43,7 @@
 
 pub mod adversary;
 pub mod backend;
+pub mod batched_sim;
 pub mod count_sim;
 pub mod experiment;
 pub mod histogram;
@@ -50,6 +57,7 @@ pub mod sweep;
 
 pub use adversary::{AdversarySchedule, PopulationEvent, ScheduledEvent};
 pub use backend::{Backend, BackendError, CellSpec, ConfigError};
+pub use batched_sim::BatchedCountSimulator;
 pub use count_sim::CountSimulator;
 pub use experiment::{Experiment, InitMode};
 pub use histogram::EstimateHistogram;

@@ -12,7 +12,8 @@
 //! while the last big run of a point finishes.
 //!
 //! Execution goes through the one generic driver [`Sweep::run_on`]: pick a
-//! [`Backend`] (agent array, count, or jump) and a [`Recording`] plan;
+//! [`Backend`] (agent array, count, jump, or batched count) and a
+//! [`Recording`] plan;
 //! the historical `run`/`run_ticked`/`run_with_memory`/`run_counted`/
 //! `run_jumped` entry points are one-line shims over it.
 //!
@@ -50,6 +51,7 @@
 
 use crate::adversary::AdversarySchedule;
 use crate::backend::{Backend, BackendError, CellSpec, ConfigError};
+use crate::batched_sim::BatchedCountSimulator;
 use crate::count_sim::CountSimulator;
 use crate::experiment::expect_run;
 use crate::jump_sim::JumpSimulator;
@@ -505,6 +507,23 @@ where
     pub fn run_jumped(self) -> SweepResults {
         expect_run(self.run_on::<JumpSimulator<P>, _>(TrackedEstimates))
     }
+
+    /// Like [`Sweep::run_counted`], but with the tau-leaping
+    /// [`BatchedCountSimulator`]: many interactions advance per draw, so
+    /// populations of 10⁹ and beyond sweep in seconds. Results are
+    /// **distribution-level** approximations of the count backend's (not
+    /// trajectory-identical above the exact-fallback threshold — see the
+    /// [`batched_sim`](crate::batched_sim) accuracy contract). Supports
+    /// the full adversary-schedule grid.
+    /// Shim over [`Sweep::run_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no populations were configured or a per-agent initializer
+    /// was set.
+    pub fn run_batched(self) -> SweepResults {
+        expect_run(self.run_on::<BatchedCountSimulator<P>, _>(TrackedEstimates))
+    }
 }
 
 #[cfg(test)]
@@ -765,6 +784,44 @@ mod tests {
             let last = run.snapshots.last().unwrap().estimates.unwrap();
             assert_eq!(last.without_estimate, 0, "epidemic finished within 60 pt");
         }
+    }
+
+    #[test]
+    fn batched_sweep_completes_epidemics_at_extreme_scale() {
+        // 10^8 agents per run: far beyond the agent array, and a 60-pt
+        // horizon is 6·10^9 interactions — only batching makes this cheap.
+        let n = 100_000_000usize;
+        let r = Sweep::new(Or)
+            .populations([n])
+            .runs(2)
+            .master_seed(17)
+            .horizon(60.0)
+            .snapshot_every(10.0)
+            .init_counts(|n| vec![n - 1, 1])
+            .run_batched();
+        for run in &r.cells[0].runs {
+            let last = run.snapshots.last().unwrap().estimates.unwrap();
+            assert_eq!(last.without_estimate, 0, "epidemic finished within 60 pt");
+        }
+    }
+
+    #[test]
+    fn batched_sweep_is_bit_identical_across_thread_counts() {
+        let sweep_with = |threads| {
+            Sweep::new(Or)
+                .populations([100_000])
+                .schedule(
+                    "halve@4",
+                    AdversarySchedule::new().at(4.0, PopulationEvent::ResizeTo(50_000)),
+                )
+                .runs(3)
+                .master_seed(19)
+                .horizon(12.0)
+                .threads(threads)
+                .init_counts(|n| vec![n - 1, 1])
+                .run_batched()
+        };
+        assert_eq!(sweep_with(1).cells, sweep_with(4).cells);
     }
 
     #[test]

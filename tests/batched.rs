@@ -1,0 +1,164 @@
+//! Batch-vs-exact equivalence for the tau-leaping backend.
+//!
+//! Above its exact-fallback threshold the batched backend is a
+//! distribution-level approximation, so these tests compare the
+//! *statistics* the paper's lemmas bound — epidemic completion windows
+//! (Lemma 4.2) and CHVP decay bands (Lemmas 4.3/4.4) — between matched
+//! count and batched sweeps, never trajectories. Below the threshold the
+//! batched backend steps exactly, and the tests pin bit-identical
+//! trajectories there, adversary events included.
+
+use dynamic_size_counting::protocols::{BoundedChvp, Infection};
+use dynamic_size_counting::sim::batched_sim::EXACT_POPULATION_THRESHOLD;
+use dynamic_size_counting::sim::{AdversarySchedule, PopulationEvent, Sweep, SweepResults};
+
+fn log2n(n: usize) -> f64 {
+    (n as f64).log2()
+}
+
+/// First snapshot time at which every agent holds an estimate.
+fn completion_time(run: &dynamic_size_counting::sim::RunResult) -> Option<f64> {
+    run.snapshots
+        .iter()
+        .find(|s| s.estimates.is_some_and(|e| e.without_estimate == 0))
+        .map(|s| s.parallel_time)
+}
+
+/// Mean completion time over every run of a single-cell sweep.
+fn mean_completion(results: &SweepResults) -> f64 {
+    let runs = &results.cells[0].runs;
+    let times: Vec<f64> = runs
+        .iter()
+        .map(|r| completion_time(r).expect("run must complete within the horizon"))
+        .collect();
+    times.iter().sum::<f64>() / times.len() as f64
+}
+
+fn infection_sweep(n: usize, master_seed: u64) -> Sweep<Infection> {
+    Sweep::new(Infection::new())
+        .populations([n])
+        .runs(12)
+        .master_seed(master_seed)
+        .horizon(8.0 * log2n(n))
+        .snapshot_every(1.0)
+        .init_counts(|n| vec![n - 1, 1])
+}
+
+#[test]
+fn infection_completion_distribution_matches_count_backend() {
+    // Well above the exact threshold, so batching genuinely engages.
+    let n = 1 << 14;
+    let counted = mean_completion(&infection_sweep(n, 41).run_counted());
+    let batched = mean_completion(&infection_sweep(n, 42).run_batched());
+    let ratio = batched / counted;
+    assert!(
+        (0.85..1.18).contains(&ratio),
+        "completion means disagree: count {counted:.1} vs batched {batched:.1} (ratio {ratio:.2})"
+    );
+    // Both sit inside the Lemma 4.2 window (k = 1): O(log n) with the
+    // one-way-spread constant, bracketed as in the registry experiments.
+    let bound = 8.0 * log2n(n);
+    assert!(counted < bound && batched < bound);
+}
+
+#[test]
+fn chvp_decay_bands_agree_between_backends() {
+    // Lemmas 4.3/4.4: the max value decays inside a deterministic-width
+    // window, so at a fixed readout time the estimate bands of matched
+    // sweeps must overlap tightly — the same ±tolerance the agent/count
+    // cross-check uses.
+    let n = 1 << 14;
+    let start = 100u32;
+    let readout = 40.0;
+    let sweep = |seed| {
+        Sweep::new(BoundedChvp::new(start))
+            .populations([n])
+            .runs(8)
+            .master_seed(seed)
+            .horizon(readout)
+            .snapshot_every(readout)
+            .init_counts(move |n| {
+                let mut counts = vec![0u64; start as usize + 1];
+                counts[start as usize] = n;
+                counts
+            })
+    };
+    let band = |results: &SweepResults| {
+        let runs = &results.cells[0].runs;
+        runs.iter()
+            .map(|r| r.snapshots.last().unwrap().estimates.unwrap().max)
+            .sum::<f64>()
+            / runs.len() as f64
+    };
+    let counted = band(&sweep(51).run_counted());
+    let batched = band(&sweep(52).run_batched());
+    assert!(
+        (counted - batched).abs() <= 25.0,
+        "CHVP decay bands diverged: count max {counted:.1} vs batched max {batched:.1}"
+    );
+    assert!(counted < f64::from(start) && batched < f64::from(start));
+}
+
+#[test]
+fn below_threshold_batched_sweep_is_trajectory_identical_to_count() {
+    // Populations at or below EXACT_POPULATION_THRESHOLD never batch:
+    // the same seeds must reproduce the count backend's runs snapshot for
+    // snapshot, through every adversary event shape.
+    let threshold = EXACT_POPULATION_THRESHOLD as usize;
+    let sweep = || {
+        Sweep::new(Infection::new())
+            .populations([512, threshold])
+            .schedule("static", AdversarySchedule::new())
+            .schedule(
+                "churn",
+                AdversarySchedule::new()
+                    .at(2.0, PopulationEvent::RemoveUniform(100))
+                    .at(4.0, PopulationEvent::Add(50))
+                    .at(6.0, PopulationEvent::ResizeTo(256))
+                    .at(8.0, PopulationEvent::RemoveLargestEstimates(10)),
+            )
+            .runs(3)
+            .master_seed(61)
+            .horizon(10.0)
+            .init_counts(|n| vec![n - 1, 1])
+    };
+    let counted = sweep().run_counted();
+    let batched = sweep().run_batched();
+    assert_eq!(
+        counted.cells, batched.cells,
+        "below the exact threshold the batched backend must replay the count backend bit for bit"
+    );
+}
+
+#[test]
+fn crossing_the_threshold_mid_run_stays_consistent() {
+    // Start above the threshold (batching active), crash below it
+    // (exact stepping takes over): population accounting and estimates
+    // must stay coherent across the regime switch.
+    let n = 4 * EXACT_POPULATION_THRESHOLD as usize;
+    let survivors = EXACT_POPULATION_THRESHOLD as usize / 2;
+    let r = Sweep::new(Infection::new())
+        .populations([n])
+        .schedule(
+            "crash",
+            // By t = 10 roughly 2^10 agents are infected, so the 8× crash
+            // cannot plausibly extinguish the epidemic.
+            AdversarySchedule::new().at(10.0, PopulationEvent::ResizeTo(survivors)),
+        )
+        .runs(4)
+        .master_seed(71)
+        .horizon(8.0 * log2n(n))
+        .snapshot_every(1.0)
+        .init_counts(|n| vec![n - 1, 1])
+        .run_batched();
+    for run in &r.cells[0].runs {
+        assert_eq!(run.final_n, survivors);
+        assert!(
+            completion_time(run).is_some(),
+            "epidemic must still complete after the crash"
+        );
+        for s in &run.snapshots {
+            assert!(s.n == n || s.n == survivors, "no phantom population sizes");
+        }
+    }
+}

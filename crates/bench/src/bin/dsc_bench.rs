@@ -2,10 +2,15 @@
 //!
 //! ```text
 //! dsc-bench <EXPERIMENT>… [flags]   run the named experiments, in order
+//! dsc-bench scenario <TRACE>        run one built-in fault-injection trace
 //! dsc-bench all [flags]             run the whole registry (repro order)
 //! dsc-bench repro [flags]           alias for `all`
 //! dsc-bench list                    print the registry and exit
 //! ```
+//!
+//! A positional naming a built-in scenario trace (`dsc-bench scenario
+//! flash_crowd`, or just `dsc-bench flash_crowd`) selects the `scenario`
+//! experiment restricted to that trace (equivalent to `--trace NAME`).
 //!
 //! Flags are the shared `Scale` flags: `--full | --smoke`, `--runs N`,
 //! `--seed S`, `--threads T` (0 = machine parallelism), `--out DIR`
@@ -41,7 +46,7 @@ fn print_registry() {
 }
 
 fn main() {
-    let (scale, names) = Scale::parse_args(std::env::args().skip(1));
+    let (mut scale, names) = Scale::parse_args(std::env::args().skip(1));
     if names.is_empty() {
         print_registry();
         std::process::exit(2);
@@ -62,6 +67,16 @@ fn main() {
     for name in &names {
         if name == "all" || name == "repro" {
             run_all = true;
+        } else if pp_sim::scenario::builtin(name).is_some() {
+            // A bare trace name selects the scenario experiment
+            // restricted to that trace: `dsc-bench scenario flash_crowd`.
+            scale.trace = Some(name.clone());
+            if !picked
+                .iter()
+                .any(|s: &&ExperimentSpec| s.name == "scenario")
+            {
+                picked.push(experiments::find("scenario").expect("scenario is registered"));
+            }
         } else if let Some(spec) = experiments::find(name) {
             picked.push(spec);
         } else {

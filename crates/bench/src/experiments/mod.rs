@@ -22,6 +22,7 @@ pub mod fig5;
 pub mod holding;
 pub mod lemmas;
 pub mod memory;
+pub mod scenario;
 
 use crate::Scale;
 use pp_analysis::TableSpec;
@@ -50,7 +51,7 @@ pub struct ExperimentSpec {
     pub run: fn(&Scale) -> Vec<TableSpec>,
 }
 
-/// Every experiment, in `repro` execution order. All twelve run through
+/// Every experiment, in `repro` execution order. All fourteen run through
 /// the [`Sweep`](pp_sim::Sweep) grid engine and return their rows for the
 /// shared writer; `dsc-bench all` walks this list.
 pub static REGISTRY: &[ExperimentSpec] = &[
@@ -158,6 +159,14 @@ pub static REGISTRY: &[ExperimentSpec] = &[
         description: "tau-leaping count dynamics up to n = 2^30",
         run: batched::run,
     },
+    ExperimentSpec {
+        name: "scenario",
+        paper_ref: "§3 adversary (Doty-Eftekhari)",
+        backend: "batched-count",
+        recording: "estimates",
+        description: "fault-injection trace catalog: ramps, flash crowds, crash bursts, poachers",
+        run: scenario::run,
+    },
 ];
 
 /// Looks up a registered experiment by name.
@@ -193,10 +202,10 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 13, "all thirteen experiments must register");
+        assert_eq!(names.len(), 14, "all fourteen experiments must register");
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 13, "registry names must be unique");
+        assert_eq!(names.len(), 14, "registry names must be unique");
         assert!(find("fig2").is_some());
         assert!(find("no-such-experiment").is_none());
     }

@@ -46,6 +46,10 @@ pub struct Scale {
     pub threads: usize,
     /// Output directory for CSV files.
     pub out_dir: String,
+    /// Restricts the `scenario` experiment to one built-in trace
+    /// (`--trace NAME`, or a bare trace name on the `dsc-bench` command
+    /// line). `None` runs the whole catalog.
+    pub trace: Option<String>,
 }
 
 impl Default for Scale {
@@ -57,6 +61,7 @@ impl Default for Scale {
             seed: 0xD5C0_2024,
             threads: 0,
             out_dir: "results".into(),
+            trace: None,
         }
     }
 }
@@ -73,9 +78,10 @@ impl Scale {
     }
 
     /// Parses flags from an argument iterator (`--full`, `--smoke`,
-    /// `--runs N`, `--seed S`, `--threads T`, `--out DIR`), returning the
-    /// scale and any positional (non-flag) arguments in order — the
-    /// `dsc-bench` driver reads experiment names from the latter.
+    /// `--runs N`, `--seed S`, `--threads T`, `--out DIR`,
+    /// `--trace NAME`), returning the scale and any positional (non-flag)
+    /// arguments in order — the `dsc-bench` driver reads experiment names
+    /// from the latter.
     ///
     /// # Panics
     ///
@@ -116,10 +122,11 @@ impl Scale {
                         .expect("--threads takes a number")
                 }
                 "--out" => scale.out_dir = value("--out"),
+                "--trace" => scale.trace = Some(value("--trace")),
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [EXPERIMENT…] [--full | --smoke] [--runs N] [--seed S] \
-                         [--threads T] [--out DIR]"
+                         [--threads T] [--out DIR] [--trace NAME]"
                     );
                     std::process::exit(0);
                 }

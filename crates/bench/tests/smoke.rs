@@ -84,6 +84,34 @@ fn run_and_write_emits_csv_for_every_table() {
     let _ = std::fs::remove_dir_all(&scale.out_dir);
 }
 
+/// `--trace NAME` (or a bare trace name on the `dsc-bench` command line)
+/// restricts the scenario experiment to one catalog entry; without it the
+/// whole built-in catalog emits a row per trace.
+#[test]
+fn scenario_trace_flag_restricts_the_catalog() {
+    let spec = experiments::find("scenario").expect("scenario is registered");
+
+    let mut one = smoke_scale("scenario_one_trace");
+    one.trace = Some("flash_crowd".into());
+    let tables = (spec.run)(&one);
+    let rows: Vec<&Vec<String>> = tables.iter().flat_map(|t| t.rows.iter()).collect();
+    assert!(!rows.is_empty());
+    assert!(
+        rows.iter().all(|r| r[0] == "flash_crowd"),
+        "--trace must restrict the run to the named trace"
+    );
+
+    let all = smoke_scale("scenario_catalog");
+    let tables = (spec.run)(&all);
+    let rows: Vec<&Vec<String>> = tables.iter().flat_map(|t| t.rows.iter()).collect();
+    for name in pp_sim::BUILTIN_TRACES {
+        assert!(
+            rows.iter().any(|r| r[0] == name),
+            "catalog run must emit a {name} row"
+        );
+    }
+}
+
 /// The lemma families all contribute rows — a regression guard for the
 /// three execution paths the experiment mixes (direct GRV sampling, the
 /// jump backend, and the count backend through `Sweep::run_on`).

@@ -40,7 +40,7 @@
 //! backend, whose clock leaps past boundaries, reproduces the same grid
 //! contract in its own loop — see [`JumpSimulator`]'s `Backend` impl).
 
-use crate::adversary::{AdversarySchedule, PopulationEvent};
+use crate::adversary::{AdversarySchedule, PopulationEvent, ScheduleError};
 use crate::batched_sim::BatchedCountSimulator;
 use crate::count_sim::CountSimulator;
 use crate::histogram::EstimateHistogram;
@@ -56,7 +56,7 @@ use std::marker::PhantomData;
 ///
 /// These are *contract* errors — the request itself is unsupported, so they
 /// surface before any simulation work starts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BackendError {
     /// The backend cannot apply adversary population events
     /// (its [`Backend::SUPPORTS_ADVERSARY`] is `false`).
@@ -81,6 +81,16 @@ pub enum BackendError {
         /// [`Backend::NAME`] of the rejecting backend.
         backend: &'static str,
     },
+    /// The adversary schedule (hand-written or compiled from a scenario
+    /// trace) is impossible against this cell's population or backend —
+    /// see [`ScheduleError`] for the exact violation. Reported by the
+    /// up-front validation pass, before any simulation work.
+    InvalidSchedule {
+        /// [`Backend::NAME`] of the rejecting backend.
+        backend: &'static str,
+        /// The exact schedule violation.
+        error: ScheduleError,
+    },
 }
 
 impl fmt::Display for BackendError {
@@ -100,6 +110,9 @@ impl fmt::Display for BackendError {
                 "the {backend} backend builds per-agent initial configurations; \
                  init_counts(..) is unsupported (use init_with(..) / init_with_n(..))"
             ),
+            BackendError::InvalidSchedule { backend, error } => {
+                write!(f, "invalid schedule for the {backend} backend: {error}")
+            }
         }
     }
 }
@@ -196,6 +209,14 @@ pub trait Backend {
     /// per-agent initial configurations, tick recording, and memory scans.
     const SUPPORTS_AGENT_INDICES: bool;
 
+    /// Whether the backend can keep running after an adversary event leaves
+    /// the population empty. The count backends track per-state counters and
+    /// simply let the clock run; the agent-array backend's estimate scans and
+    /// uniform-removal draws assume at least one agent, so schedules that
+    /// empty it are rejected up front with a typed
+    /// [`BackendError::InvalidSchedule`].
+    const SUPPORTS_EMPTY_POPULATION: bool = true;
+
     /// Executes one run of `spec` under `recording`.
     ///
     /// Returns a typed [`BackendError`] (before any simulation work) when
@@ -231,7 +252,7 @@ where
 
 /// Rejects per-agent features (initial states, tick recording, memory
 /// scans) on a backend without agent indices.
-fn reject_agent_features<P, R, S>(
+pub(crate) fn reject_agent_features<P, R, S>(
     backend: &'static str,
     spec: &CellSpec<'_, S>,
 ) -> Result<(), BackendError>
@@ -243,6 +264,21 @@ where
         Some(requested) => Err(BackendError::AgentIndicesUnsupported { backend, requested }),
         None => Ok(()),
     }
+}
+
+/// Validates `spec`'s schedule against its initial population, wrapping the
+/// violation in [`BackendError::InvalidSchedule`] tagged with the backend.
+/// Shared by every adversary-capable `run_cell`, and by
+/// [`Sweep`](crate::Sweep)'s grid-level pre-flight via the same
+/// [`AdversarySchedule::validate_for`], so the two paths agree.
+pub(crate) fn validate_schedule<S>(
+    backend: &'static str,
+    spec: &CellSpec<'_, S>,
+    allows_empty: bool,
+) -> Result<(), BackendError> {
+    spec.schedule
+        .validate_for(spec.n as u64, allows_empty)
+        .map_err(|error| BackendError::InvalidSchedule { backend, error })
 }
 
 /// The minimal simulator interface [`drive_schedule`] needs: clock access,
@@ -275,35 +311,116 @@ pub(crate) fn drive_schedule<S: DrivableSim>(
     snapshot_every: f64,
     schedule: &AdversarySchedule,
 ) -> Vec<Snapshot> {
-    let mut snapshots = Vec::with_capacity((horizon / snapshot_every) as usize + 2);
-    let mut next_event = 0usize;
-    snapshots.push(sim.snapshot());
-    let mut next_snapshot = snapshot_every;
-    // Fire any events scheduled at time zero before the first step.
-    while schedule.next_time(next_event).is_some_and(|t| t <= 0.0) {
-        sim.apply_event(schedule.events()[next_event].event);
-        next_event += 1;
+    let mut cursor = DriveCursor::fresh(sim, horizon, snapshot_every, schedule);
+    drive_schedule_from(
+        sim,
+        &mut cursor,
+        horizon,
+        snapshot_every,
+        schedule,
+        f64::INFINITY,
+    );
+    cursor.snapshots
+}
+
+/// Resumable position inside the drive loop: the index of the next pending
+/// schedule event, the next snapshot-grid point, and the rows collected so
+/// far. These three fields plus the simulator state are exactly what
+/// [checkpoint/resume](crate::checkpoint) serializes — restoring them and
+/// re-entering [`drive_schedule_from`] replays the identical remaining
+/// boundary sequence, which is what makes a split run bit-identical to an
+/// uninterrupted one.
+pub(crate) struct DriveCursor {
+    /// Index of the first schedule event not yet applied.
+    pub(crate) next_event: usize,
+    /// Next snapshot-grid point.
+    pub(crate) next_snapshot: f64,
+    /// Snapshots collected so far.
+    pub(crate) snapshots: Vec<Snapshot>,
+}
+
+impl DriveCursor {
+    /// Starts a fresh drive: records the t = 0 snapshot and fires any
+    /// time-zero events before the first step.
+    pub(crate) fn fresh<S: DrivableSim>(
+        sim: &mut S,
+        horizon: f64,
+        snapshot_every: f64,
+        schedule: &AdversarySchedule,
+    ) -> Self {
+        let mut snapshots = Vec::with_capacity((horizon / snapshot_every) as usize + 2);
+        snapshots.push(sim.snapshot());
+        let mut next_event = 0usize;
+        while schedule.next_time(next_event).is_some_and(|t| t <= 0.0) {
+            sim.apply_event(schedule.events()[next_event].event);
+            next_event += 1;
+        }
+        Self {
+            next_event,
+            next_snapshot: snapshot_every,
+            snapshots,
+        }
     }
+
+    /// Rebuilds a cursor from checkpointed state, skipping the fresh-start
+    /// bookkeeping (the t = 0 snapshot and time-zero events already fired
+    /// before the checkpoint was taken).
+    pub(crate) fn resumed(next_event: usize, next_snapshot: f64, snapshots: Vec<Snapshot>) -> Self {
+        Self {
+            next_event,
+            next_snapshot,
+            snapshots,
+        }
+    }
+}
+
+/// The drive loop proper, resumable at `cursor`. Runs to `horizon` unless
+/// `stop_after` intervenes: the drive pauses immediately after recording the
+/// first snapshot-grid point at or past `stop_after` (pass `f64::INFINITY`
+/// to never pause). Returns `true` when the horizon was reached, `false`
+/// when the drive paused.
+///
+/// Pausing *only* at the loop's own snapshot boundaries is load-bearing for
+/// checkpoint bit-identity: each `run_parallel_time` call computes its
+/// float target as `parallel_time + (boundary − parallel_time)`, so a
+/// resumed drive reproduces the uninterrupted run's exact (time, boundary)
+/// pairs — hence the same step counts, the same RNG stream, and
+/// byte-identical snapshots. A pause at an arbitrary mid-span time would
+/// split one `run_parallel_time` span into two with a different float
+/// target sequence.
+pub(crate) fn drive_schedule_from<S: DrivableSim>(
+    sim: &mut S,
+    cursor: &mut DriveCursor,
+    horizon: f64,
+    snapshot_every: f64,
+    schedule: &AdversarySchedule,
+    stop_after: f64,
+) -> bool {
     while sim.parallel_time() < horizon {
-        let event_time = schedule.next_time(next_event).unwrap_or(f64::INFINITY);
-        let boundary = next_snapshot.min(event_time).min(horizon);
+        let event_time = schedule
+            .next_time(cursor.next_event)
+            .unwrap_or(f64::INFINITY);
+        let boundary = cursor.next_snapshot.min(event_time).min(horizon);
         let remaining = boundary - sim.parallel_time();
         if remaining > 0.0 {
             sim.run_parallel_time(remaining);
         }
         while schedule
-            .next_time(next_event)
+            .next_time(cursor.next_event)
             .is_some_and(|t| t <= sim.parallel_time())
         {
-            sim.apply_event(schedule.events()[next_event].event);
-            next_event += 1;
+            sim.apply_event(schedule.events()[cursor.next_event].event);
+            cursor.next_event += 1;
         }
-        if sim.parallel_time() + 1e-12 >= next_snapshot {
-            snapshots.push(sim.snapshot());
-            next_snapshot += snapshot_every;
+        if sim.parallel_time() + 1e-12 >= cursor.next_snapshot {
+            cursor.snapshots.push(sim.snapshot());
+            cursor.next_snapshot += snapshot_every;
+            if sim.parallel_time() + 1e-12 >= stop_after {
+                return false;
+            }
         }
     }
-    snapshots
+    true
 }
 
 /// Adapts a [`Simulator`] plus a [`Recording`] plan to [`DrivableSim`].
@@ -357,6 +474,7 @@ where
     const NAME: &'static str = "agent-array";
     const SUPPORTS_ADVERSARY: bool = true;
     const SUPPORTS_AGENT_INDICES: bool = true;
+    const SUPPORTS_EMPTY_POPULATION: bool = false;
 
     fn run_cell<R>(
         protocol: P,
@@ -371,6 +489,7 @@ where
                 backend: Self::NAME,
             });
         }
+        validate_schedule(Self::NAME, spec, Self::SUPPORTS_EMPTY_POPULATION)?;
         let config = match spec.init_agents {
             Some(f) => Configuration::from_fn(spec.n, |i| f(spec.n, i)),
             None => Configuration::fresh(&protocol, spec.n),
@@ -451,12 +570,12 @@ where
 /// Adapts a [`CountSimulator`] plus a [`Recording`] plan to the shared
 /// schedule driver, so counted cells execute exactly [`drive_schedule`]'s
 /// boundary and event-ordering semantics.
-struct CountDriver<'a, P, R>
+pub(crate) struct CountDriver<'a, P, R>
 where
     P: FiniteProtocol + SizeEstimator,
 {
-    sim: &'a mut CountSimulator<P>,
-    _plan: PhantomData<R>,
+    pub(crate) sim: &'a mut CountSimulator<P>,
+    pub(crate) _plan: PhantomData<R>,
 }
 
 impl<P, R> DrivableSim for CountDriver<'_, P, R>
@@ -515,6 +634,7 @@ where
     {
         let _ = recording;
         reject_agent_features::<P, R, _>(Self::NAME, spec)?;
+        validate_schedule(Self::NAME, spec, Self::SUPPORTS_EMPTY_POPULATION)?;
         let mut sim = match &spec.init_counts {
             Some(counts) => CountSimulator::from_counts(protocol, counts.clone(), spec.seed),
             None => CountSimulator::with_seed(protocol, spec.n as u64, spec.seed),
@@ -581,12 +701,12 @@ where
 /// exact parallel-time spans, so batches never have to straddle a
 /// boundary — the batched clock stops at (or one interaction past) each
 /// one, same as the exact backends.
-struct BatchedDriver<'a, P, R>
+pub(crate) struct BatchedDriver<'a, P, R>
 where
     P: DeterministicProtocol + SizeEstimator,
 {
-    sim: &'a mut BatchedCountSimulator<P>,
-    _plan: PhantomData<R>,
+    pub(crate) sim: &'a mut BatchedCountSimulator<P>,
+    pub(crate) _plan: PhantomData<R>,
 }
 
 impl<P, R> DrivableSim for BatchedDriver<'_, P, R>
@@ -645,6 +765,7 @@ where
     {
         let _ = recording;
         reject_agent_features::<P, R, _>(Self::NAME, spec)?;
+        validate_schedule(Self::NAME, spec, Self::SUPPORTS_EMPTY_POPULATION)?;
         let mut sim = match &spec.init_counts {
             Some(counts) => BatchedCountSimulator::from_counts(protocol, counts.clone(), spec.seed),
             None => BatchedCountSimulator::with_seed(protocol, spec.n as u64, spec.seed),
@@ -973,6 +1094,59 @@ mod tests {
     }
 
     #[test]
+    fn impossible_schedules_are_rejected_before_any_simulation() {
+        // Removal exceeding the live population: typed error on every
+        // adversary-capable backend, no mid-run panic.
+        let schedule = AdversarySchedule::new().at(1.0, PopulationEvent::RemoveUniform(500));
+        let expected = ScheduleError::RemovesTooMany {
+            at: 1.0,
+            remove: 500,
+            population: 100,
+        };
+        assert_eq!(
+            CountSimulator::run_cell(Or, &spec(100, 1, 4.0, &schedule), &TrackedEstimates)
+                .unwrap_err(),
+            BackendError::InvalidSchedule {
+                backend: "count",
+                error: expected
+            }
+        );
+        assert_eq!(
+            BatchedCountSimulator::run_cell(Or, &spec(100, 1, 4.0, &schedule), &TrackedEstimates)
+                .unwrap_err(),
+            BackendError::InvalidSchedule {
+                backend: "batched-count",
+                error: expected
+            }
+        );
+        assert_eq!(
+            Simulator::run_cell(Or, &spec(100, 1, 4.0, &schedule), &TrackedEstimates).unwrap_err(),
+            BackendError::InvalidSchedule {
+                backend: "agent-array",
+                error: expected
+            }
+        );
+    }
+
+    #[test]
+    fn emptying_the_population_is_an_error_on_the_agent_array_only() {
+        let schedule = AdversarySchedule::new().at(2.0, PopulationEvent::ResizeTo(0));
+        assert_eq!(
+            Simulator::run_cell(Or, &spec(100, 1, 4.0, &schedule), &TrackedEstimates).unwrap_err(),
+            BackendError::InvalidSchedule {
+                backend: "agent-array",
+                error: ScheduleError::EmptiesPopulation { at: 2.0 }
+            }
+        );
+        // The count backends run the emptied population to the horizon:
+        // the clock keeps advancing, the rows just report n = 0.
+        let r = CountSimulator::run_cell(Or, &spec(100, 1, 4.0, &schedule), &TrackedEstimates)
+            .expect("count backend runs empty populations");
+        assert_eq!(r.final_n, 0);
+        assert_eq!(r.snapshots.last().unwrap().n, 0);
+    }
+
+    #[test]
     fn error_displays_name_the_backend_and_hint() {
         let e = BackendError::AdversaryUnsupported { backend: "jump" };
         assert!(e.to_string().contains("static schedules only"));
@@ -983,5 +1157,11 @@ mod tests {
         assert!(e.to_string().contains("use init_counts"));
         let e = ConfigError::NonPositiveSnapshotInterval { every: 0.0 };
         assert!(e.to_string().contains("snapshot interval must be positive"));
+        let e = BackendError::InvalidSchedule {
+            backend: "agent-array",
+            error: ScheduleError::EmptiesPopulation { at: 2.0 },
+        };
+        assert!(e.to_string().contains("agent-array"));
+        assert!(e.to_string().contains("empties the population"));
     }
 }

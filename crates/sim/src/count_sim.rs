@@ -343,6 +343,35 @@ impl<P: FiniteProtocol, R: Rng> CountSimulator<P, R> {
         }
     }
 
+    /// Rebuilds a simulator from checkpointed state: per-state counts, the
+    /// generator mid-stream, and the clocks.
+    ///
+    /// Only the five arguments are serialized; everything else is derived.
+    /// `occupied_hi` and the prefix tree rebuild from the counts (pinned
+    /// equal to the incrementally maintained versions by the
+    /// `prefix_tree_stays_consistent_with_counts` test), and the sampler
+    /// accelerators (`alias`, `noop_streak`) restart cold — they select a
+    /// sampling *mode*, and all modes are draw-for-draw identical (pinned by
+    /// `tree_and_linear_samplers_produce_identical_trajectories` and
+    /// `alias_sampler_engages_and_matches_the_linear_trajectory`), so a
+    /// restored simulator replays the uninterrupted run bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != protocol.num_states()`.
+    pub fn restore(
+        protocol: P,
+        counts: Vec<u64>,
+        rng: R,
+        interactions: u64,
+        parallel_time: f64,
+    ) -> Self {
+        let mut sim = Self::from_counts_with_rng(protocol, counts, rng);
+        sim.interactions = interactions;
+        sim.parallel_time = parallel_time;
+        sim
+    }
+
     /// The protocol under simulation.
     pub fn protocol(&self) -> &P {
         &self.protocol

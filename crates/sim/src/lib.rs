@@ -31,7 +31,18 @@
 //!   nothing in the hot loop.
 //! * [`adversary`] — the dynamic-population adversary of Doty & Eftekhari
 //!   2022: timed events that add agents (in the protocol's initial state) or
-//!   remove arbitrary agents.
+//!   remove arbitrary agents; schedules validate up front against the
+//!   initial population, so impossible traces are typed
+//!   [`ScheduleError`]s, not mid-run panics.
+//! * [`scenario`] — declarative churn traces ([`ScenarioTrace`]): ramps,
+//!   diurnal cycles, flash crowds, correlated crash bursts, and targeted
+//!   removal campaigns that compile deterministically (per seed) into
+//!   [`AdversarySchedule`]s, making whole fault-injection scenarios
+//!   reproducible grid axes.
+//! * [`checkpoint`] — pause/resume for long-horizon count-backend runs:
+//!   a versioned on-disk format capturing counts, RNG state, and the
+//!   drive-loop cursor, restoring **bit-identically** (a split run's rows
+//!   are byte-for-byte an uninterrupted run's).
 //! * [`Experiment`] / [`Sweep`] — the single-run and grid drivers; both
 //!   execute any backend × recording combination through one generic path
 //!   ([`Experiment::run_on`] / [`Sweep::run_on`]).
@@ -44,6 +55,7 @@
 pub mod adversary;
 pub mod backend;
 pub mod batched_sim;
+pub mod checkpoint;
 pub mod count_sim;
 pub mod experiment;
 pub mod histogram;
@@ -51,13 +63,17 @@ pub mod jump_sim;
 pub mod observer;
 pub mod recording;
 pub mod runner;
+pub mod scenario;
 pub mod series;
 pub mod simulator;
 pub mod sweep;
 
-pub use adversary::{AdversarySchedule, PopulationEvent, ScheduledEvent};
+pub use adversary::{AdversarySchedule, PopulationEvent, ScheduleError, ScheduledEvent};
 pub use backend::{Backend, BackendError, CellSpec, ConfigError};
 pub use batched_sim::BatchedCountSimulator;
+pub use checkpoint::{
+    CheckpointError, CheckpointOutcome, Checkpointable, RunCheckpoint, CHECKPOINT_VERSION,
+};
 pub use count_sim::CountSimulator;
 pub use experiment::{Experiment, InitMode};
 pub use histogram::EstimateHistogram;
@@ -67,6 +83,7 @@ pub use recording::{
     Recording, ScannedEstimates, SnapshotsOnly, TrackedEstimates, WithMemory, WithTicks,
 };
 pub use runner::parallel_map;
+pub use scenario::{ScenarioTrace, TraceSegment, BUILTIN_TRACES};
 pub use series::{EstimateSummary, MemorySummary, RunResult, Snapshot, TickEvent};
 pub use simulator::{ChunkSize, Simulator};
 pub use sweep::{Sweep, SweepCell, SweepResults};

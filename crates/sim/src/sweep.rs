@@ -23,6 +23,14 @@
 //! the master seed — never on `threads` — which the integration tests pin
 //! down bit-for-bit.
 //!
+//! Schedule axes come in two flavors: fixed [`AdversarySchedule`]s
+//! ([`Sweep::schedule`]) and declarative [`ScenarioTrace`]s
+//! ([`Sweep::scenario`]), which compile into a concrete schedule *per
+//! cell* — sized to the cell's population, seeded from the cell's position
+//! in the same SplitMix64 chain (at a sentinel run index no real run
+//! uses) — so randomized traces are exactly as reproducible and
+//! thread-independent as everything else in the grid.
+//!
 //! # Examples
 //!
 //! ```
@@ -49,7 +57,7 @@
 //! assert_eq!(results.cells[0].runs.len(), 4);
 //! ```
 
-use crate::adversary::AdversarySchedule;
+use crate::adversary::{AdversarySchedule, ScheduleError};
 use crate::backend::{Backend, BackendError, CellSpec, ConfigError};
 use crate::batched_sim::BatchedCountSimulator;
 use crate::count_sim::CountSimulator;
@@ -57,6 +65,7 @@ use crate::experiment::expect_run;
 use crate::jump_sim::JumpSimulator;
 use crate::recording::{Recording, TrackedEstimates, WithMemory, WithTicks};
 use crate::runner::{parallel_map, run_seed};
+use crate::scenario::ScenarioTrace;
 use crate::series::RunResult;
 use crate::simulator::Simulator;
 use pp_model::{
@@ -73,6 +82,25 @@ use std::time::{Duration, Instant};
 /// per cell (`|n, i| i == n - 1`) or scale an initial estimate with `n`.
 pub type InitFn<S> = Arc<dyn Fn(usize, usize) -> S + Send + Sync>;
 
+/// A schedule grid axis: either a fixed hand-written schedule or a
+/// declarative trace compiled per cell (see [`Sweep::scenario`]).
+#[derive(Clone)]
+enum ScheduleSource {
+    Fixed(AdversarySchedule),
+    Trace(ScenarioTrace),
+}
+
+impl ScheduleSource {
+    /// Whether the axis carries population events (needs
+    /// [`Backend::SUPPORTS_ADVERSARY`]).
+    fn is_dynamic(&self) -> bool {
+        match self {
+            ScheduleSource::Fixed(s) => !s.is_empty(),
+            ScheduleSource::Trace(t) => !t.segments().is_empty(),
+        }
+    }
+}
+
 /// A builder for a seeded experiment grid: populations × schedules × runs.
 ///
 /// Every setting has the same default as [`Experiment`](crate::Experiment);
@@ -81,7 +109,7 @@ pub type InitFn<S> = Arc<dyn Fn(usize, usize) -> S + Send + Sync>;
 pub struct Sweep<P: SizeEstimator> {
     protocol: P,
     populations: Vec<usize>,
-    schedules: Vec<(String, AdversarySchedule)>,
+    schedules: Vec<(String, ScheduleSource)>,
     runs: usize,
     master_seed: u64,
     threads: usize,
@@ -205,7 +233,26 @@ where
     /// Without any, the sweep runs the single static (empty) schedule
     /// labeled `"static"`.
     pub fn schedule(mut self, label: impl Into<String>, schedule: AdversarySchedule) -> Self {
-        self.schedules.push((label.into(), schedule));
+        self.schedules
+            .push((label.into(), ScheduleSource::Fixed(schedule)));
+        self
+    }
+
+    /// Adds a labeled [`ScenarioTrace`] to the grid as a schedule axis.
+    ///
+    /// The trace compiles into a concrete [`AdversarySchedule`] **per
+    /// cell** — event sizes scale with the cell's population, and any
+    /// randomized placement (crash-burst times) draws from a seed derived
+    /// from the master seed and the cell's grid position, at a sentinel
+    /// run index (`usize::MAX`) no real run ever uses. Same grid + same
+    /// master seed → same compiled schedules, on any thread count.
+    ///
+    /// Compilation failures ([`ScheduleError::InvalidTraceParameter`] and
+    /// friends) surface from [`Sweep::run_on`] as typed
+    /// [`BackendError::InvalidSchedule`] values before any cell runs.
+    pub fn scenario(mut self, label: impl Into<String>, trace: ScenarioTrace) -> Self {
+        self.schedules
+            .push((label.into(), ScheduleSource::Trace(trace)));
         self
     }
 
@@ -301,28 +348,46 @@ where
     }
 
     /// Precomputes the flattened task grid: one entry per
-    /// `(population, schedule, run)` with its seed already derived, so the
-    /// parallel workers only index into preallocated buffers.
-    fn build_tasks(&self) -> (Vec<(String, AdversarySchedule)>, Vec<TaskSpec>) {
+    /// `(population, schedule, run)` with its seed already derived, plus
+    /// one concrete schedule per cell (scenario traces compile here, on
+    /// the builder thread, so the parallel workers only index into
+    /// preallocated buffers).
+    #[allow(clippy::type_complexity)]
+    fn build_tasks(
+        &self,
+    ) -> Result<(Vec<String>, Vec<AdversarySchedule>, Vec<TaskSpec>), ScheduleError> {
         assert!(
             !self.populations.is_empty(),
             "sweep grid has no populations; call .populations(..)"
         );
-        let schedules = if self.schedules.is_empty() {
-            vec![("static".to_string(), AdversarySchedule::new())]
+        let sources = if self.schedules.is_empty() {
+            vec![(
+                "static".to_string(),
+                ScheduleSource::Fixed(AdversarySchedule::new()),
+            )]
         } else {
             self.schedules.clone()
         };
-        let cells = self.populations.len() * schedules.len();
+        let cells = self.populations.len() * sources.len();
+        let mut cell_schedules = Vec::with_capacity(cells);
         let mut tasks = Vec::with_capacity(cells * self.runs);
         for (pi, &n) in self.populations.iter().enumerate() {
             let horizon = (self.horizon)(n);
-            for si in 0..schedules.len() {
-                let cell = pi * schedules.len() + si;
+            for (si, (_, source)) in sources.iter().enumerate() {
+                let cell = pi * sources.len() + si;
                 // Two-level SplitMix64 chain: a cell seed from the grid
                 // position, then one seed per run. Changing `threads` can
                 // never change any seed.
                 let cell_seed = run_seed(self.master_seed, cell);
+                cell_schedules.push(match source {
+                    ScheduleSource::Fixed(s) => s.clone(),
+                    // Trace compilation draws from the sentinel run index
+                    // usize::MAX — `runs` is always far smaller, so trace
+                    // randomness never collides with any run's seed.
+                    ScheduleSource::Trace(t) => {
+                        t.compile(n as u64, run_seed(cell_seed, usize::MAX))?
+                    }
+                });
                 for r in 0..self.runs {
                     tasks.push(TaskSpec {
                         cell,
@@ -334,24 +399,25 @@ where
                 }
             }
         }
-        (schedules, tasks)
+        let labels = sources.into_iter().map(|(label, _)| label).collect();
+        Ok((labels, cell_schedules, tasks))
     }
 
     /// Regroups the flat, index-ordered run results into grid cells.
     fn collect(
         &self,
-        schedules: Vec<(String, AdversarySchedule)>,
+        labels: Vec<String>,
         tasks: Vec<TaskSpec>,
         results: Vec<RunResult>,
         wall: Duration,
     ) -> SweepResults {
-        let cells_len = self.populations.len() * schedules.len();
+        let cells_len = self.populations.len() * labels.len();
         let mut cells: Vec<SweepCell> = Vec::with_capacity(cells_len);
         for (task, result) in tasks.iter().zip(results) {
             if task.cell == cells.len() {
                 cells.push(SweepCell {
                     n: task.n,
-                    schedule: schedules[task.schedule_index].0.clone(),
+                    schedule: labels[task.schedule_index].clone(),
                     schedule_index: task.schedule_index,
                     runs: Vec::with_capacity(self.runs),
                 });
@@ -378,9 +444,11 @@ where
     ///
     /// Returns a typed [`BackendError`] — before any cell runs — when the
     /// grid requests a capability the backend lacks: adversary events
-    /// without [`Backend::SUPPORTS_ADVERSARY`], or per-agent initial
+    /// without [`Backend::SUPPORTS_ADVERSARY`], per-agent initial
     /// states / tick recording / memory recording without
-    /// [`Backend::SUPPORTS_AGENT_INDICES`].
+    /// [`Backend::SUPPORTS_AGENT_INDICES`], or a schedule (hand-written or
+    /// trace-compiled) that is impossible against its cell's population
+    /// ([`BackendError::InvalidSchedule`]).
     ///
     /// # Panics
     ///
@@ -391,7 +459,7 @@ where
         R: Recording<P>,
     {
         // Capability pre-flight: diagnose the whole grid before any work.
-        if !B::SUPPORTS_ADVERSARY && self.schedules.iter().any(|(_, s)| !s.is_empty()) {
+        if !B::SUPPORTS_ADVERSARY && self.schedules.iter().any(|(_, s)| s.is_dynamic()) {
             return Err(BackendError::AdversaryUnsupported { backend: B::NAME });
         }
         if B::SUPPORTS_AGENT_INDICES {
@@ -406,7 +474,20 @@ where
                 requested,
             });
         }
-        let (schedules, tasks) = self.build_tasks();
+        let invalid = |error| BackendError::InvalidSchedule {
+            backend: B::NAME,
+            error,
+        };
+        let (labels, cell_schedules, tasks) = self.build_tasks().map_err(invalid)?;
+        // Schedule pre-flight: every cell's (possibly trace-compiled)
+        // schedule must be possible against that cell's population, so a
+        // bad axis fails the whole grid here instead of mid-sweep.
+        for (cell, schedule) in cell_schedules.iter().enumerate() {
+            let n = self.populations[cell / labels.len()];
+            schedule
+                .validate_for(n as u64, B::SUPPORTS_EMPTY_POPULATION)
+                .map_err(invalid)?;
+        }
         let start = Instant::now();
         let results = parallel_map(tasks.len(), self.threads, |t| {
             let task = &tasks[t];
@@ -415,7 +496,7 @@ where
                 seed: task.seed,
                 horizon: task.horizon,
                 snapshot_every: self.snapshot_every,
-                schedule: &schedules[task.schedule_index].1,
+                schedule: &cell_schedules[task.cell],
                 init_agents: self
                     .init
                     .as_deref()
@@ -426,7 +507,7 @@ where
         });
         let wall = start.elapsed();
         let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
-        Ok(self.collect(schedules, tasks, results, wall))
+        Ok(self.collect(labels, tasks, results, wall))
     }
 
     /// Runs the whole grid on the agent-array backend, recording estimate
@@ -945,6 +1026,99 @@ mod tests {
             ConfigError::NonPositiveSnapshotInterval { every: -1.0 }
         );
         assert!(Sweep::new(Max).try_snapshot_every(0.5).is_ok());
+    }
+
+    #[test]
+    fn scenario_axes_compile_per_cell_and_stay_thread_identical() {
+        use crate::scenario::TraceSegment;
+        let sweep_with = |threads| {
+            Sweep::new(Or)
+                .populations([512, 2048])
+                .scenario(
+                    "bursts",
+                    ScenarioTrace::new().segment(TraceSegment::CrashBursts {
+                        start: 1.0,
+                        end: 7.0,
+                        bursts: 2,
+                        fraction: 0.25,
+                        volley: 2,
+                        spacing: 0.1,
+                    }),
+                )
+                .runs(3)
+                .master_seed(23)
+                .horizon(8.0)
+                .threads(threads)
+                .init_counts(|n| vec![n - 1, 1])
+                .run_counted()
+        };
+        let single = sweep_with(1);
+        // Event sizes scale with each cell's population: two bursts of a
+        // quarter each leave the larger cell with more survivors.
+        let final_n = |r: &SweepResults, n| r.cell(n, "bursts").unwrap().runs[0].final_n;
+        assert!(final_n(&single, 512) < 512);
+        assert!(final_n(&single, 2048) < 2048);
+        assert!(final_n(&single, 2048) > final_n(&single, 512));
+        assert_eq!(single.cells, sweep_with(4).cells, "thread-identical");
+    }
+
+    #[test]
+    fn bad_traces_fail_the_whole_grid_with_a_typed_error() {
+        use crate::scenario::TraceSegment;
+        let err = Sweep::new(Or)
+            .populations([64])
+            .scenario(
+                "bad",
+                ScenarioTrace::new().segment(TraceSegment::Ramp {
+                    start: 5.0,
+                    end: 5.0, // zero-length ramp: invalid
+                    to_fraction: 0.5,
+                    steps: 2,
+                }),
+            )
+            .runs(1)
+            .horizon(8.0)
+            .init_counts(|n| vec![n - 1, 1])
+            .run_on::<CountSimulator<Or>, _>(TrackedEstimates)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BackendError::InvalidSchedule {
+                backend: "count",
+                error: ScheduleError::InvalidTraceParameter {
+                    segment: "ramp",
+                    ..
+                }
+            }
+        ));
+    }
+
+    #[test]
+    fn cell_impossible_schedules_fail_the_grid_before_any_run() {
+        // The removal is fine at n = 1000 but impossible at n = 100: the
+        // grid-level pre-flight must reject the whole sweep.
+        let err = Sweep::new(Or)
+            .populations([100, 1000])
+            .schedule(
+                "crash",
+                AdversarySchedule::new().at(1.0, PopulationEvent::RemoveUniform(500)),
+            )
+            .runs(1)
+            .horizon(4.0)
+            .init_counts(|n| vec![n - 1, 1])
+            .run_on::<CountSimulator<Or>, _>(TrackedEstimates)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BackendError::InvalidSchedule {
+                backend: "count",
+                error: ScheduleError::RemovesTooMany {
+                    at: 1.0,
+                    remove: 500,
+                    population: 100
+                }
+            }
+        );
     }
 
     #[test]

@@ -10,7 +10,10 @@
 
 use dynamic_size_counting::protocols::{BoundedChvp, Infection};
 use dynamic_size_counting::sim::batched_sim::EXACT_POPULATION_THRESHOLD;
-use dynamic_size_counting::sim::{AdversarySchedule, PopulationEvent, Sweep, SweepResults};
+use dynamic_size_counting::sim::scenario::TraceSegment;
+use dynamic_size_counting::sim::{
+    AdversarySchedule, PopulationEvent, ScenarioTrace, Sweep, SweepResults,
+};
 
 fn log2n(n: usize) -> f64 {
     (n as f64).log2()
@@ -127,6 +130,64 @@ fn below_threshold_batched_sweep_is_trajectory_identical_to_count() {
     assert_eq!(
         counted.cells, batched.cells,
         "below the exact threshold the batched backend must replay the count backend bit for bit"
+    );
+}
+
+#[test]
+fn crash_trace_completion_bands_agree_across_backends_at_scale() {
+    // Adversary coverage far above EXACT_POPULATION_THRESHOLD: a
+    // crash-burst trace at n = 10⁷ (batched, so tau-leaping genuinely
+    // carries the adversary events) against a matched count-backend
+    // control at n = 2·10⁴, each judged against the Lemma 4.2 window of
+    // its *own* population.
+    //
+    // Why the window survives the bursts: uniform removals preserve the
+    // infected fraction in expectation, and Lemma 4.2's epidemic argument
+    // bounds the time to grow the infected *fraction* — shrinking n only
+    // shortens the remaining work. The bursts start at t = 4, by when the
+    // infected count is ≈ e⁴ ≈ 50, so a 30% uniform burst extinguishing
+    // the epidemic (probability ≈ 0.3⁵⁰) is not a realistic flake source.
+    let trace = ScenarioTrace::new().segment(TraceSegment::CrashBursts {
+        start: 4.0,
+        end: 10.0,
+        bursts: 2,
+        fraction: 0.3,
+        volley: 2,
+        spacing: 0.25,
+    });
+    let sweep = |n: usize, seed: u64| {
+        Sweep::new(Infection::new())
+            .populations([n])
+            .scenario("bursts", trace.clone())
+            .runs(8)
+            .master_seed(seed)
+            .horizon(8.0 * log2n(n))
+            .snapshot_every(1.0)
+            .init_counts(|n| vec![n - 1, 1])
+    };
+    let batched_n = 10_000_000;
+    let counted_n = 20_000;
+    let batched = sweep(batched_n, 81).run_batched();
+    let counted = sweep(counted_n, 82).run_counted();
+    for (results, n) in [(&batched, batched_n), (&counted, counted_n)] {
+        for run in &results.cells[0].runs {
+            let t = completion_time(run).expect("epidemic completes despite the bursts");
+            assert!(
+                t <= 8.0 * log2n(n),
+                "completion at {t:.1} pt breaks the Lemma 4.2 window for n = {n}"
+            );
+        }
+    }
+    // Lemma 4.2 (k = 1) brackets one-way completion between log2 n and
+    // 8·log2 n parallel time, i.e. normalized completion ∈ [1, 8] with
+    // width Δ = 7. Two faithful backends sampling the same distribution
+    // must land well inside a Δ/4 = 1.75 agreement margin; a systematic
+    // batching bias would push the 10⁷-agent mean outside it.
+    let normalized_batched = mean_completion(&batched) / log2n(batched_n);
+    let normalized_counted = mean_completion(&counted) / log2n(counted_n);
+    assert!(
+        (normalized_batched - normalized_counted).abs() <= 1.75,
+        "normalized completion diverged: batched {normalized_batched:.2} vs count {normalized_counted:.2}"
     );
 }
 

@@ -1,0 +1,348 @@
+//! Checkpoint/resume: the bit-identity contract end to end, plus every
+//! typed failure path of the on-disk format.
+//!
+//! The headline guarantee: a run split across a save/load cycle produces
+//! a [`RunResult`] *equal* to the uninterrupted run — same snapshots,
+//! same final population, same everything — because the drive loop only
+//! pauses on snapshot-grid boundaries the whole run also hits, and the
+//! checkpoint carries the full RNG state. Adversary events straddle every
+//! split point here on purpose.
+
+use dynamic_size_counting::protocols::{BoundedChvp, Infection};
+use dynamic_size_counting::sim::{
+    AdversarySchedule, BatchedCountSimulator, CellSpec, CheckpointError, CheckpointOutcome,
+    Checkpointable, CountSimulator, PopulationEvent, RunCheckpoint, RunResult, TrackedEstimates,
+};
+
+fn finished(outcome: CheckpointOutcome) -> RunResult {
+    match outcome {
+        CheckpointOutcome::Finished(r) => r,
+        CheckpointOutcome::Paused(c) => {
+            panic!(
+                "expected a finished run, got a pause at {}",
+                c.parallel_time()
+            )
+        }
+    }
+}
+
+fn paused(outcome: CheckpointOutcome) -> RunCheckpoint {
+    match outcome {
+        CheckpointOutcome::Finished(_) => panic!("expected a pause, the run finished"),
+        CheckpointOutcome::Paused(c) => c,
+    }
+}
+
+/// A churn schedule with events on both sides of every split point used
+/// below (splits at 5 and 9; events at 3, 7, and 11).
+fn straddling_schedule() -> AdversarySchedule {
+    AdversarySchedule::new()
+        .at(3.0, PopulationEvent::RemoveUniform(200))
+        .at(7.0, PopulationEvent::Add(150))
+        .at(11.0, PopulationEvent::RemoveLargestEstimates(50))
+}
+
+fn infection_spec(
+    schedule: &AdversarySchedule,
+) -> CellSpec<'_, <Infection as dynamic_size_counting::model::Protocol>::State> {
+    let n = 2_000usize;
+    CellSpec {
+        n,
+        seed: 7,
+        horizon: 14.0,
+        snapshot_every: 1.0,
+        schedule,
+        init_agents: None,
+        init_counts: Some(vec![n as u64 - 1, 1]),
+    }
+}
+
+#[test]
+fn split_run_is_bit_identical_on_the_count_backend() {
+    let schedule = straddling_schedule();
+    let spec = infection_spec(&schedule);
+
+    let whole = finished(
+        CountSimulator::run_cell_until(Infection::new(), &spec, &TrackedEstimates, f64::INFINITY)
+            .unwrap(),
+    );
+
+    // Split through the on-disk format, not just in memory.
+    let ck = paused(
+        CountSimulator::run_cell_until(Infection::new(), &spec, &TrackedEstimates, 5.0).unwrap(),
+    );
+    assert_eq!(ck.backend(), "count");
+    assert!(
+        ck.parallel_time() >= 5.0,
+        "pause lands at or past the stop time"
+    );
+    assert!(
+        !ck.snapshots().is_empty(),
+        "the first leg's snapshots travel inside the checkpoint"
+    );
+    let path = std::env::temp_dir().join(format!("dsc_ckpt_count_{}.bin", std::process::id()));
+    ck.save(&path).unwrap();
+    let loaded = RunCheckpoint::load(&path).unwrap();
+    assert_eq!(loaded, ck, "the on-disk round trip is lossless");
+    let split = finished(
+        CountSimulator::resume_cell(
+            Infection::new(),
+            &spec,
+            &TrackedEstimates,
+            &loaded,
+            f64::INFINITY,
+        )
+        .unwrap(),
+    );
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(split, whole, "split and uninterrupted runs must be equal");
+}
+
+#[test]
+fn split_run_is_bit_identical_on_the_batched_backend() {
+    // Well above EXACT_POPULATION_THRESHOLD so tau-leaping genuinely
+    // carries the state across the checkpoint.
+    let n = 50_000usize;
+    let schedule = AdversarySchedule::new()
+        .at(3.0, PopulationEvent::RemoveUniform(5_000))
+        .at(8.0, PopulationEvent::Add(2_500));
+    let spec = CellSpec {
+        n,
+        seed: 11,
+        horizon: 12.0,
+        snapshot_every: 1.0,
+        schedule: &schedule,
+        init_agents: None,
+        init_counts: Some(vec![n as u64 - 1, 1]),
+    };
+
+    let whole = finished(
+        BatchedCountSimulator::run_cell_until(
+            Infection::new(),
+            &spec,
+            &TrackedEstimates,
+            f64::INFINITY,
+        )
+        .unwrap(),
+    );
+    let ck = paused(
+        BatchedCountSimulator::run_cell_until(Infection::new(), &spec, &TrackedEstimates, 5.0)
+            .unwrap(),
+    );
+    assert_eq!(ck.backend(), "batched-count");
+    let bytes = ck.to_bytes();
+    let loaded = RunCheckpoint::from_bytes(&bytes).unwrap();
+    let split = finished(
+        BatchedCountSimulator::resume_cell(
+            Infection::new(),
+            &spec,
+            &TrackedEstimates,
+            &loaded,
+            f64::INFINITY,
+        )
+        .unwrap(),
+    );
+    assert_eq!(split, whole, "batched split must replay bit for bit");
+}
+
+#[test]
+fn a_resumed_run_can_pause_again() {
+    // Three legs: 0→5, 5→9, 9→finish. Same result as the whole run.
+    let schedule = straddling_schedule();
+    let spec = infection_spec(&schedule);
+    let whole = finished(
+        CountSimulator::run_cell_until(Infection::new(), &spec, &TrackedEstimates, f64::INFINITY)
+            .unwrap(),
+    );
+    let leg1 = paused(
+        CountSimulator::run_cell_until(Infection::new(), &spec, &TrackedEstimates, 5.0).unwrap(),
+    );
+    let leg2 = paused(
+        CountSimulator::resume_cell(Infection::new(), &spec, &TrackedEstimates, &leg1, 9.0)
+            .unwrap(),
+    );
+    assert!(leg2.parallel_time() > leg1.parallel_time());
+    assert!(leg2.interactions() > leg1.interactions());
+    let split = finished(
+        CountSimulator::resume_cell(
+            Infection::new(),
+            &spec,
+            &TrackedEstimates,
+            &leg2,
+            f64::INFINITY,
+        )
+        .unwrap(),
+    );
+    assert_eq!(split, whole, "a three-leg split must still be exact");
+}
+
+#[test]
+fn stopping_past_the_horizon_just_finishes() {
+    let schedule = AdversarySchedule::new();
+    let spec = infection_spec(&schedule);
+    let outcome =
+        CountSimulator::run_cell_until(Infection::new(), &spec, &TrackedEstimates, 100.0).unwrap();
+    assert!(matches!(outcome, CheckpointOutcome::Finished(_)));
+}
+
+#[test]
+fn malformed_files_yield_typed_errors() {
+    let schedule = straddling_schedule();
+    let spec = infection_spec(&schedule);
+    let ck = paused(
+        CountSimulator::run_cell_until(Infection::new(), &spec, &TrackedEstimates, 5.0).unwrap(),
+    );
+    let good = ck.to_bytes();
+    assert_eq!(
+        RunCheckpoint::from_bytes(&good).unwrap(),
+        ck,
+        "the pristine bytes parse back exactly"
+    );
+
+    // Not a checkpoint at all.
+    let mut bad_magic = good.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        RunCheckpoint::from_bytes(&bad_magic),
+        Err(CheckpointError::BadMagic)
+    ));
+
+    // A future format version: refused by name, not misparsed.
+    let mut future = good.clone();
+    future[8..12].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        RunCheckpoint::from_bytes(&future),
+        Err(CheckpointError::UnsupportedVersion { found: 99 })
+    ));
+
+    // Cut anywhere in the payload: Truncated, never a panic. Sweep a few
+    // cut points including the empty file and a missing checksum tail.
+    for cut in [0, 7, 12, good.len() / 2, good.len() - 8, good.len() - 1] {
+        assert!(
+            matches!(
+                RunCheckpoint::from_bytes(&good[..cut]),
+                Err(CheckpointError::Truncated)
+            ),
+            "cut at {cut} must report Truncated"
+        );
+    }
+
+    // A flipped payload byte (inside the count vector, so the structure
+    // still parses): caught by the trailing checksum.
+    let mut flipped = good.clone();
+    let counts_offset = 8 + 4 + 1 + 8 + 32 + 8 * 7 + 8; // header + fixed fields + counts len
+    flipped[counts_offset + 2] ^= 0x40;
+    assert!(matches!(
+        RunCheckpoint::from_bytes(&flipped),
+        Err(CheckpointError::ChecksumMismatch)
+    ));
+
+    // Bytes appended after the checksum: structurally refused.
+    let mut trailing = good.clone();
+    trailing.push(0);
+    assert!(matches!(
+        RunCheckpoint::from_bytes(&trailing),
+        Err(CheckpointError::Corrupt { .. })
+    ));
+
+    // Loading a file that does not exist surfaces the I/O error.
+    let missing = std::env::temp_dir().join("dsc_ckpt_does_not_exist.bin");
+    assert!(matches!(
+        RunCheckpoint::load(&missing),
+        Err(CheckpointError::Io(_))
+    ));
+}
+
+#[test]
+fn resume_pins_backend_and_spec() {
+    let schedule = straddling_schedule();
+    let spec = infection_spec(&schedule);
+    let ck = paused(
+        CountSimulator::run_cell_until(Infection::new(), &spec, &TrackedEstimates, 5.0).unwrap(),
+    );
+
+    // Wrong backend: a count checkpoint cannot resume on the batched
+    // simulator (its trajectory would diverge above the exact threshold).
+    assert!(matches!(
+        BatchedCountSimulator::resume_cell(
+            Infection::new(),
+            &spec,
+            &TrackedEstimates,
+            &ck,
+            f64::INFINITY
+        ),
+        Err(CheckpointError::BackendMismatch {
+            expected: "batched-count",
+            found: "count"
+        })
+    ));
+
+    // Wrong protocol: the state space gives it away.
+    let chvp_spec = CellSpec {
+        n: spec.n,
+        seed: spec.seed,
+        horizon: spec.horizon,
+        snapshot_every: spec.snapshot_every,
+        schedule: spec.schedule,
+        init_agents: None,
+        init_counts: Some({
+            let mut counts = vec![0u64; 11];
+            counts[10] = spec.n as u64;
+            counts
+        }),
+    };
+    assert!(matches!(
+        CountSimulator::resume_cell(
+            BoundedChvp::new(10),
+            &chvp_spec,
+            &TrackedEstimates,
+            &ck,
+            f64::INFINITY
+        ),
+        Err(CheckpointError::StateSpaceMismatch {
+            expected: 11,
+            found: 2
+        })
+    ));
+
+    // Spec drift: each divergence is named.
+    let mut wrong_seed = infection_spec(&schedule);
+    wrong_seed.seed = 8;
+    assert!(matches!(
+        CountSimulator::resume_cell(
+            Infection::new(),
+            &wrong_seed,
+            &TrackedEstimates,
+            &ck,
+            f64::INFINITY
+        ),
+        Err(CheckpointError::SpecMismatch { what: "seed" })
+    ));
+
+    let mut wrong_horizon = infection_spec(&schedule);
+    wrong_horizon.horizon = 20.0;
+    assert!(matches!(
+        CountSimulator::resume_cell(
+            Infection::new(),
+            &wrong_horizon,
+            &TrackedEstimates,
+            &ck,
+            f64::INFINITY
+        ),
+        Err(CheckpointError::SpecMismatch { what: "horizon" })
+    ));
+
+    let other_schedule = AdversarySchedule::new().at(3.0, PopulationEvent::RemoveUniform(199));
+    let wrong_schedule = infection_spec(&other_schedule);
+    assert!(matches!(
+        CountSimulator::resume_cell(
+            Infection::new(),
+            &wrong_schedule,
+            &TrackedEstimates,
+            &ck,
+            f64::INFINITY
+        ),
+        Err(CheckpointError::SpecMismatch { what: "schedule" })
+    ));
+}

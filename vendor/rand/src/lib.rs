@@ -273,6 +273,27 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words (checkpoint support; not part
+        /// of the upstream `rand` API — see `vendor/README.md`).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from raw state words previously read with
+        /// [`SmallRng::state`], continuing the stream exactly where it
+        /// left off. The all-zero state (unreachable from any seeded
+        /// generator, since xoshiro never enters it) is remapped to the
+        /// same fixed constants `from_seed` uses rather than producing a
+        /// stuck all-zero stream.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return Self::from_seed([0; 32]);
+            }
+            SmallRng { s }
+        }
+    }
+
     impl Rng for SmallRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
@@ -341,6 +362,25 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut a = SmallRng::seed_from_u64(11);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = SmallRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn all_zero_state_is_remapped_not_stuck() {
+        let mut r = SmallRng::from_state([0; 4]);
+        assert_ne!(r.state(), [0; 4]);
+        assert_ne!(r.next_u64(), r.next_u64());
     }
 
     #[test]

@@ -120,6 +120,7 @@ mod tests {
             seed: 0,
             snapshots: snaps,
             ticks: vec![],
+            recovery: vec![],
             final_n: 100,
         }
     }

@@ -13,6 +13,8 @@
 //!   logs (Theorem 2.2).
 //! * [`relative_error`] — relative deviation from `log2 n` (Fig. 3).
 //! * [`memory`] — per-agent bit footprints (Theorem 2.1's space bound).
+//! * [`outcomes`] — resilient-grid readouts: per-cell outcome tallies in
+//!   one shared CSV shape, and time-to-recovery after a fault injection.
 //! * [`table`] / [`csv`] / [`sparkline`](mod@sparkline) — output: ASCII tables, plot-ready
 //!   CSV, and terminal sparklines.
 //! * [`report`] — named row tables ([`TableSpec`]) and the single shared
@@ -25,6 +27,7 @@ pub mod clock_analysis;
 pub mod convergence;
 pub mod csv;
 pub mod memory;
+pub mod outcomes;
 pub mod relative_error;
 pub mod report;
 pub mod series;
@@ -36,6 +39,7 @@ pub use clock_analysis::{Burst, ClockDecomposition, ClockVerdict};
 pub use convergence::{convergence_time, holding_time, Band, HoldingTime};
 pub use csv::write_csv;
 pub use memory::{memory_profile, theorem_bound_bits, MemoryProfile};
+pub use outcomes::{outcome_columns, recovery_after, RecoveryReadout, OUTCOME_HEADERS};
 pub use relative_error::{relative_deviation, RelativeDeviation};
 pub use report::{write_tables, TableSpec};
 pub use series::{PooledPoint, PooledSeries};

@@ -75,6 +75,7 @@ mod tests {
                 })
                 .collect(),
             ticks: vec![],
+            recovery: vec![],
             final_n: 10,
         }
     }
@@ -94,6 +95,7 @@ mod tests {
             seed: 0,
             snapshots: vec![],
             ticks: vec![],
+            recovery: vec![],
             final_n: 0,
         };
         assert_eq!(memory_profile(&r, 0.0), None);

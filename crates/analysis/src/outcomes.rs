@@ -1,0 +1,149 @@
+//! Readouts for resilient grid executions: per-cell outcome tallies and
+//! the time-to-recovery metric of the fault-injection experiments.
+//!
+//! Resilient sweeps ([`Sweep::run_resilient_on`](pp_sim::Sweep::run_resilient_on))
+//! return typed [`CellOutcome`](pp_sim::CellOutcome)s instead of aborting on
+//! the first bad run; [`OUTCOME_HEADERS`]/[`outcome_columns`] are the one
+//! shared shape those tallies take in every CSV, so downstream plots can
+//! join outcome columns across experiments.
+//!
+//! [`recovery_after`] turns a run's recorded recovery transitions (the
+//! [`WithRecovery`](pp_sim::WithRecovery) plan) into the loose-stabilization
+//! readout: how much parallel time after an injection the population needed
+//! to re-enter the estimate band, distinguishing *unperturbed* runs (the
+//! injection never pushed any reporting agent out of the band) from
+//! *censored* ones (the run ended still outside it).
+
+use pp_sim::{FailureSummary, RunResult};
+
+/// CSV headers for a [`FailureSummary`], in [`outcome_columns`] order.
+pub const OUTCOME_HEADERS: [&str; 4] = ["completed", "failed", "panicked", "budget_exceeded"];
+
+/// One CSV column per [`OUTCOME_HEADERS`] entry.
+pub fn outcome_columns(summary: FailureSummary) -> [String; 4] {
+    [
+        summary.completed.to_string(),
+        summary.failed.to_string(),
+        summary.panicked.to_string(),
+        summary.budget_exceeded.to_string(),
+    ]
+}
+
+/// The time-to-recovery readout of one run relative to one injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryReadout {
+    /// The injection never pushed the estimates out of the band — there is
+    /// no recovery to time.
+    Unperturbed,
+    /// The estimates left the band and re-entered it this much parallel
+    /// time after the injection.
+    Recovered(f64),
+    /// The estimates left the band and the run ended without re-entering
+    /// it (a right-censored observation, like the holding experiment's).
+    Censored,
+}
+
+impl RecoveryReadout {
+    /// The recovery time, charging `horizon_pt` for censored runs (the
+    /// conservative accounting a mean over runs needs) and `0` for
+    /// unperturbed ones.
+    pub fn charged(self, horizon_pt: f64) -> f64 {
+        match self {
+            RecoveryReadout::Unperturbed => 0.0,
+            RecoveryReadout::Recovered(pt) => pt,
+            RecoveryReadout::Censored => horizon_pt,
+        }
+    }
+}
+
+/// Classifies `run`'s recovery relative to an injection at interaction
+/// index `injection`, converting interaction counts to parallel time via
+/// the population size `n`.
+///
+/// The departure searched for is the first unrecovered transition at or
+/// after `injection`; recovery is the first recovered transition after
+/// that departure. Transitions before the injection (initial convergence,
+/// earlier injections) are ignored.
+pub fn recovery_after(run: &RunResult, injection: u64, n: usize) -> RecoveryReadout {
+    let Some(departed) = run
+        .recovery
+        .iter()
+        .find(|p| !p.recovered && p.interaction >= injection)
+    else {
+        return RecoveryReadout::Unperturbed;
+    };
+    match run.recovered_at(departed.interaction) {
+        Some(back) => RecoveryReadout::Recovered((back - injection) as f64 / n.max(1) as f64),
+        None => RecoveryReadout::Censored,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_sim::RecoveryPoint;
+
+    fn run_with(points: Vec<RecoveryPoint>) -> RunResult {
+        RunResult {
+            seed: 0,
+            snapshots: Vec::new(),
+            ticks: Vec::new(),
+            recovery: points,
+            final_n: 100,
+        }
+    }
+
+    fn point(interaction: u64, recovered: bool) -> RecoveryPoint {
+        RecoveryPoint {
+            interaction,
+            recovered,
+        }
+    }
+
+    #[test]
+    fn outcome_columns_match_headers() {
+        let summary = FailureSummary {
+            completed: 7,
+            failed: 1,
+            panicked: 2,
+            budget_exceeded: 3,
+        };
+        assert_eq!(outcome_columns(summary), ["7", "1", "2", "3"]);
+        assert_eq!(OUTCOME_HEADERS.len(), outcome_columns(summary).len());
+    }
+
+    #[test]
+    fn recovery_after_times_the_departure_and_return() {
+        // Converged at 50, knocked out by the injection at 1000, back at
+        // 1800: recovery = 800 interactions = 8 parallel time at n = 100.
+        let run = run_with(vec![point(50, true), point(1000, false), point(1800, true)]);
+        assert_eq!(
+            recovery_after(&run, 1000, 100),
+            RecoveryReadout::Recovered(8.0)
+        );
+    }
+
+    #[test]
+    fn pre_injection_transitions_are_ignored() {
+        // The initial convergence (unrecovered until 300) must not count
+        // as the injection's departure.
+        let run = run_with(vec![point(0, false), point(300, true)]);
+        assert_eq!(
+            recovery_after(&run, 1000, 100),
+            RecoveryReadout::Unperturbed
+        );
+        // …but an adversarial start measured from injection 0 does.
+        assert_eq!(
+            recovery_after(&run, 0, 100),
+            RecoveryReadout::Recovered(3.0)
+        );
+    }
+
+    #[test]
+    fn a_run_that_never_returns_is_censored() {
+        let run = run_with(vec![point(50, true), point(1000, false)]);
+        assert_eq!(recovery_after(&run, 1000, 100), RecoveryReadout::Censored);
+        assert_eq!(recovery_after(&run, 1000, 100).charged(40.0), 40.0);
+        assert_eq!(RecoveryReadout::Unperturbed.charged(40.0), 0.0);
+    }
+}

@@ -79,6 +79,7 @@ mod tests {
                 })
                 .collect(),
             ticks: vec![],
+            recovery: vec![],
             final_n: 16,
         }
     }

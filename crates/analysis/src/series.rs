@@ -131,6 +131,7 @@ mod tests {
                 })
                 .collect(),
             ticks: vec![],
+            recovery: vec![],
             final_n: 10,
         }
     }

@@ -1,4 +1,4 @@
-//! Experiment implementations (DESIGN.md §4, E1–E12) and the declarative
+//! Experiment implementations (DESIGN.md §4, E1–E14) and the declarative
 //! registry the `dsc-bench` driver runs them from.
 //!
 //! Each module exposes `run(scale: &Scale) -> Vec<TableSpec>`: it executes
@@ -15,6 +15,7 @@ pub mod batched;
 pub mod burst_overlap;
 pub mod compare;
 pub mod convergence;
+pub mod faults;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -51,7 +52,7 @@ pub struct ExperimentSpec {
     pub run: fn(&Scale) -> Vec<TableSpec>,
 }
 
-/// Every experiment, in `repro` execution order. All fourteen run through
+/// Every experiment, in `repro` execution order. All fifteen run through
 /// the [`Sweep`](pp_sim::Sweep) grid engine and return their rows for the
 /// shared writer; `dsc-bench all` walks this list.
 pub static REGISTRY: &[ExperimentSpec] = &[
@@ -167,6 +168,15 @@ pub static REGISTRY: &[ExperimentSpec] = &[
         description: "fault-injection trace catalog: ramps, flash crowds, crash bursts, poachers",
         run: scenario::run,
     },
+    ExperimentSpec {
+        name: "faults",
+        paper_ref: "§2 loose stabilization (Doty-Eftekhari)",
+        backend: "agent-array + count",
+        recording: "estimates + recovery",
+        description:
+            "state corruption, Byzantine liars, adversarial starts: recovery vs the holding bound",
+        run: faults::run,
+    },
 ];
 
 /// Looks up a registered experiment by name.
@@ -202,10 +212,10 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 14, "all fourteen experiments must register");
+        assert_eq!(names.len(), 15, "all fifteen experiments must register");
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 14, "registry names must be unique");
+        assert_eq!(names.len(), 15, "registry names must be unique");
         assert!(find("fig2").is_some());
         assert!(find("no-such-experiment").is_none());
     }

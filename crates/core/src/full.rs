@@ -31,8 +31,8 @@
 use crate::config::DscConfig;
 use crate::phase::Phase;
 use crate::state::{narrow_max, DscState};
-use pp_model::{grv, Protocol, SizeEstimator, TickProtocol};
-use rand::Rng;
+use pp_model::{grv, Corruptible, Protocol, SizeEstimator, TickProtocol};
+use rand::{Rng, RngExt};
 
 /// The paper's uniform, loosely-stabilizing dynamic size counting protocol
 /// (Algorithm 2), which doubles as a uniform phase clock (Theorem 2.2).
@@ -210,6 +210,50 @@ impl SizeEstimator for DynamicSizeCounting {
     #[inline]
     fn estimate_bucket(&self, state: &DscState) -> Option<u32> {
         Some(self.reported_estimate(state) as u32)
+    }
+}
+
+impl Corruptible for DynamicSizeCounting {
+    /// Scrambles a state within the protocol's *plausible* value ranges:
+    /// either a randomized reset (fresh `max`/`lastMax` drawn like GRVs,
+    /// `time` anywhere in the reset window) or low-bit flips of the three
+    /// exchanged fields.
+    ///
+    /// The corruption is deliberately bounded: maxima stay ≤ 64 (the
+    /// w.h.p. range of a `GRV`) and `time ≤ τ1·max{max, lastMax}` (the
+    /// largest value line 6 can write), so the corrupted configuration is
+    /// *reachable* in the loose-stabilization sense. Recovery from a
+    /// planted `max = 10⁹` would instead be dominated by the `τ1·max`
+    /// countdown — time linear in the planted value, which Theorem 2.3
+    /// covers separately and the holding-bound check must not conflate
+    /// with recovery from corruption.
+    fn corrupt_state<R: Rng + ?Sized>(&self, state: &DscState, rng: &mut R) -> DscState {
+        let c = &self.config;
+        if rng.random_bool(0.5) {
+            // Randomized reset: every field redrawn from its natural range.
+            let max = narrow_max(c.overestimate * u64::from(rng.random_range(1u32..=64)));
+            let last_max = narrow_max(c.overestimate * u64::from(rng.random_range(0u32..=64)));
+            let ceiling = (c.tau1 as i64 * i64::from(max.max(last_max))).max(1);
+            DscState {
+                max,
+                last_max,
+                time: rng.random_range(0..=ceiling),
+                interactions: rng.random_range(0..=u32::from(u16::MAX)),
+                ticks: state.ticks,
+            }
+        } else {
+            // Low-bit flips of the exchanged fields (memory-corruption
+            // model of the survey, arXiv 2105.05408): flipped maxima stay
+            // within a factor of ~2 of the original.
+            let flip = |x: u32, r: &mut R| (x ^ (1u32 << r.random_range(0u32..6))).max(1);
+            DscState {
+                max: flip(state.max, rng),
+                last_max: flip(state.last_max, rng),
+                time: state.time ^ i64::from(1u32 << rng.random_range(0..8)),
+                interactions: state.interactions,
+                ticks: state.ticks,
+            }
+        }
     }
 }
 

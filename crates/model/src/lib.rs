@@ -48,7 +48,9 @@ pub use config::Configuration;
 pub use grv::{geometric, grv_max};
 pub use inline::InlineVec;
 pub use memory::{bit_len, MemoryFootprint};
-pub use protocol::{DeterministicProtocol, FiniteProtocol, Protocol, SizeEstimator, TickProtocol};
+pub use protocol::{
+    Corruptible, DeterministicProtocol, FiniteProtocol, Protocol, SizeEstimator, TickProtocol,
+};
 pub use scheduler::{
     fill_random_ordered_pairs, ordered_pair_from_draw, ordered_pair_span, random_ordered_pair,
     Scheduler, UniformScheduler,

@@ -130,6 +130,26 @@ pub trait TickProtocol: Protocol {
     fn tick_count(&self, state: &Self::State) -> u64;
 }
 
+/// A protocol whose states can be adversarially corrupted for fault
+/// injection.
+///
+/// Loose stabilization (Doty & Eftekhari, arXiv 2202.12864) demands
+/// recovery from *any* reachable configuration, so a fault injector needs
+/// a way to scramble an agent's state mid-run. Implementations return a
+/// replacement state drawn from the protocol's own plausible state space —
+/// randomized resets and field bit-flips, not arbitrary bit patterns —
+/// so the corrupted configuration stays *reachable* and the measured
+/// recovery time reflects the loose-stabilization bound rather than the
+/// magnitude of an impossible planted value.
+pub trait Corruptible: Protocol {
+    /// Returns a corrupted replacement for `state`.
+    ///
+    /// Must be a pure function of `state` and the words drawn from `rng`
+    /// (no global state), so fault injection stays bit-identical across
+    /// thread counts.
+    fn corrupt_state<R: Rng + ?Sized>(&self, state: &Self::State, rng: &mut R) -> Self::State;
+}
+
 /// Marker for protocols whose transition function is deterministic: it
 /// makes no use of the RNG passed to [`Protocol::interact`].
 ///

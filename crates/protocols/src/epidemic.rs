@@ -10,8 +10,8 @@
 //! GRV, the `lastMax` trailing estimate, and the reset→exchange transition
 //! all spread epidemically.
 
-use pp_model::{FiniteProtocol, Protocol, SizeEstimator};
-use rand::Rng;
+use pp_model::{Corruptible, FiniteProtocol, Protocol, SizeEstimator};
+use rand::{Rng, RngExt};
 
 /// One-way max epidemic over unbounded `u64` values.
 ///
@@ -97,6 +97,14 @@ impl SizeEstimator for Infection {
     /// `without_estimate` (Lemma 4.2 reads epidemic completion off it).
     fn estimate_log2(&self, state: &bool) -> Option<f64> {
         state.then_some(1.0)
+    }
+}
+
+impl Corruptible for Infection {
+    /// A corrupted infection bit is simply re-randomized — both values are
+    /// reachable, so any corruption keeps the configuration valid.
+    fn corrupt_state<R: Rng + ?Sized>(&self, _state: &bool, rng: &mut R) -> bool {
+        rng.random_bool(0.5)
     }
 }
 

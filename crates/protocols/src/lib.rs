@@ -25,10 +25,16 @@
 //! * [`leader`] / [`junta`] — the election substrates those baselines need.
 //! * [`clock_modm`] — a non-uniform leaderless mod-m phase clock (the
 //!   construction the paper's uniform clock replaces).
+//!
+//! ## Adversaries
+//!
+//! * [`byzantine`] — a wrapper pinning `k` agents to a lying state for the
+//!   fault-injection experiments (robustness layer).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod byzantine;
 pub mod chvp;
 pub mod clock_modm;
 pub mod coin;
@@ -41,6 +47,7 @@ pub mod epidemic;
 pub mod junta;
 pub mod leader;
 
+pub use byzantine::{Byzantine, ByzantineState};
 pub use chvp::{BoundedChvp, Chvp, Clvp};
 pub use clock_modm::{ModClockState, ModMClock};
 pub use coin::{GrvSampler, ParityBit};

@@ -35,7 +35,7 @@
 //! the exact unsupported combination.
 //!
 //! All three backends execute the *same* schedule semantics: the shared
-//! `drive_schedule` loop is the single source of truth for event
+//! drive loop is the single source of truth for event
 //! ordering, snapshot-grid tolerance, and time-zero events (the jump
 //! backend, whose clock leaps past boundaries, reproduces the same grid
 //! contract in its own loop — see [`JumpSimulator`]'s `Backend` impl).
@@ -43,6 +43,7 @@
 use crate::adversary::{AdversarySchedule, PopulationEvent, ScheduleError};
 use crate::batched_sim::BatchedCountSimulator;
 use crate::count_sim::CountSimulator;
+use crate::fault::FaultError;
 use crate::histogram::EstimateHistogram;
 use crate::jump_sim::JumpSimulator;
 use crate::recording::Recording;
@@ -91,6 +92,29 @@ pub enum BackendError {
         /// The exact schedule violation.
         error: ScheduleError,
     },
+    /// The run crossed its interaction-count watchdog budget
+    /// ([`CellSpec::interaction_budget`]) and was aborted at the next
+    /// drive-loop boundary. Unlike the other variants this one is reported
+    /// *mid-run*: it is resilient execution's runaway-cell guard, mapped
+    /// to [`CellOutcome::BudgetExceeded`](crate::CellOutcome) by the
+    /// sweep layer.
+    BudgetExhausted {
+        /// [`Backend::NAME`] of the aborting backend.
+        backend: &'static str,
+        /// Interactions simulated when the budget check tripped.
+        interactions: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The fault plan is malformed for this cell — see [`FaultError`] for
+    /// the exact violation. Reported by the up-front compile pass, before
+    /// any simulation work (a bad plan fails the whole grid).
+    InvalidFaultPlan {
+        /// [`Backend::NAME`] of the rejecting backend.
+        backend: &'static str,
+        /// The exact fault-plan violation.
+        error: FaultError,
+    },
 }
 
 impl fmt::Display for BackendError {
@@ -112,6 +136,18 @@ impl fmt::Display for BackendError {
             ),
             BackendError::InvalidSchedule { backend, error } => {
                 write!(f, "invalid schedule for the {backend} backend: {error}")
+            }
+            BackendError::BudgetExhausted {
+                backend,
+                interactions,
+                budget,
+            } => write!(
+                f,
+                "the {backend} backend aborted a runaway cell: \
+                 {interactions} interactions exceed the budget of {budget}"
+            ),
+            BackendError::InvalidFaultPlan { backend, error } => {
+                write!(f, "invalid fault plan for the {backend} backend: {error}")
             }
         }
     }
@@ -170,6 +206,13 @@ pub struct CellSpec<'a, S> {
     /// the agent-array backend answers with a typed [`BackendError`],
     /// since its initial configuration is per-agent).
     pub init_counts: Option<Vec<u64>>,
+    /// Interaction-count watchdog: when set, the run is aborted with a
+    /// typed [`BackendError::BudgetExhausted`] at the first drive-loop
+    /// boundary past this many interactions. `None` (the default
+    /// everywhere outside resilient sweeps) imposes no limit and leaves
+    /// the drive loop's float arithmetic untouched, so budget-less runs
+    /// stay bit-identical to historical results.
+    pub interaction_budget: Option<u64>,
 }
 
 impl<S> fmt::Debug for CellSpec<'_, S> {
@@ -182,6 +225,7 @@ impl<S> fmt::Debug for CellSpec<'_, S> {
             .field("events", &self.schedule.events().len())
             .field("init_agents", &self.init_agents.is_some())
             .field("init_counts", &self.init_counts.is_some())
+            .field("interaction_budget", &self.interaction_budget)
             .finish()
     }
 }
@@ -245,6 +289,8 @@ where
         Some("tick recording")
     } else if R::MEMORY {
         Some("memory recording")
+    } else if R::RECOVERY {
+        Some("recovery recording")
     } else {
         None
     }
@@ -281,7 +327,7 @@ pub(crate) fn validate_schedule<S>(
         .map_err(|error| BackendError::InvalidSchedule { backend, error })
 }
 
-/// The minimal simulator interface [`drive_schedule`] needs: clock access,
+/// The minimal simulator interface the drive loop needs: clock access,
 /// advancing by parallel time, applying an adversary event, and taking a
 /// snapshot. Implemented for the agent-array and count simulators, so both
 /// execute the *same* boundary/ordering/tolerance semantics for a given
@@ -289,6 +335,8 @@ pub(crate) fn validate_schedule<S>(
 pub(crate) trait DrivableSim {
     /// Parallel time elapsed.
     fn parallel_time(&self) -> f64;
+    /// Total interactions simulated (the watchdog-budget metric).
+    fn interactions(&self) -> u64;
     /// Advances by `duration` units of parallel time.
     fn run_parallel_time(&mut self, duration: f64);
     /// Applies one adversary event.
@@ -297,30 +345,88 @@ pub(crate) trait DrivableSim {
     fn snapshot(&self) -> Snapshot;
 }
 
-/// Shared run loop: advances the simulator between snapshot and event
-/// boundaries, applying events in order and snapshotting on the grid.
+/// Shared run loop: advances the simulator between snapshot, event, and
+/// fault-injection boundaries, applying events in order, firing injections
+/// the moment the clock passes their scheduled times, and snapshotting on
+/// the grid — with an optional interaction-count watchdog checked after
+/// every span.
 ///
 /// This is the single source of truth for schedule semantics (time-zero
 /// events fire before the first step; events apply the moment the clock
 /// passes them; snapshots land on the grid within a 1e-12 tolerance) —
 /// agent-array and count-based cells both run through it, which keeps the
-/// two paths cross-checkable.
-pub(crate) fn drive_schedule<S: DrivableSim>(
+/// two paths cross-checkable. With `budget = None` and no `inject_times`
+/// the boundary sequence is float-for-float identical to the unguarded
+/// loop ([`drive_schedule_from`] with an infinite `stop_after`): the extra
+/// `.min(f64::INFINITY)` is a no-op and the budget check never fires, so
+/// healthy cells stay bit-identical to historical results.
+///
+/// `inject_times` must be sorted ascending (in parallel time); injections
+/// at `t <= 0` fire after the t = 0 snapshot and any time-zero adversary
+/// events. On budget exhaustion the run aborts with
+/// `Err((interactions, budget))`, discarding partial snapshots — a
+/// runaway cell's rows are meaningless anyway.
+pub(crate) fn drive_schedule_guarded<S: DrivableSim>(
     sim: &mut S,
     horizon: f64,
     snapshot_every: f64,
     schedule: &AdversarySchedule,
-) -> Vec<Snapshot> {
-    let mut cursor = DriveCursor::fresh(sim, horizon, snapshot_every, schedule);
-    drive_schedule_from(
-        sim,
-        &mut cursor,
-        horizon,
-        snapshot_every,
-        schedule,
-        f64::INFINITY,
+    budget: Option<u64>,
+    inject_times: &[f64],
+    inject: &mut dyn FnMut(&mut S, usize),
+) -> Result<Vec<Snapshot>, (u64, u64)> {
+    debug_assert!(
+        inject_times.windows(2).all(|w| w[0] <= w[1]),
+        "injection times must be sorted"
     );
-    cursor.snapshots
+    let mut cursor = DriveCursor::fresh(sim, horizon, snapshot_every, schedule);
+    let mut next_inject = 0usize;
+    while inject_times.get(next_inject).is_some_and(|&t| t <= 0.0) {
+        inject(sim, next_inject);
+        next_inject += 1;
+    }
+    while sim.parallel_time() < horizon {
+        let event_time = schedule
+            .next_time(cursor.next_event)
+            .unwrap_or(f64::INFINITY);
+        let inject_time = inject_times
+            .get(next_inject)
+            .copied()
+            .unwrap_or(f64::INFINITY);
+        let boundary = cursor
+            .next_snapshot
+            .min(event_time)
+            .min(inject_time)
+            .min(horizon);
+        let remaining = boundary - sim.parallel_time();
+        if remaining > 0.0 {
+            sim.run_parallel_time(remaining);
+        }
+        if let Some(limit) = budget {
+            if sim.interactions() > limit {
+                return Err((sim.interactions(), limit));
+            }
+        }
+        while schedule
+            .next_time(cursor.next_event)
+            .is_some_and(|t| t <= sim.parallel_time())
+        {
+            sim.apply_event(schedule.events()[cursor.next_event].event);
+            cursor.next_event += 1;
+        }
+        while inject_times
+            .get(next_inject)
+            .is_some_and(|&t| t <= sim.parallel_time())
+        {
+            inject(sim, next_inject);
+            next_inject += 1;
+        }
+        if sim.parallel_time() + 1e-12 >= cursor.next_snapshot {
+            cursor.snapshots.push(sim.snapshot());
+            cursor.next_snapshot += snapshot_every;
+        }
+    }
+    Ok(cursor.snapshots)
 }
 
 /// Resumable position inside the drive loop: the index of the next pending
@@ -424,13 +530,13 @@ pub(crate) fn drive_schedule_from<S: DrivableSim>(
 }
 
 /// Adapts a [`Simulator`] plus a [`Recording`] plan to [`DrivableSim`].
-struct AgentDriver<'a, P, R>
+pub(crate) struct AgentDriver<'a, P, R>
 where
     P: SizeEstimator,
     R: Recording<P>,
 {
-    sim: &'a mut Simulator<P, R::Observer>,
-    _plan: PhantomData<R>,
+    pub(crate) sim: &'a mut Simulator<P, R::Observer>,
+    pub(crate) _plan: PhantomData<R>,
 }
 
 impl<P, R> DrivableSim for AgentDriver<'_, P, R>
@@ -440,6 +546,9 @@ where
 {
     fn parallel_time(&self) -> f64 {
         self.sim.parallel_time()
+    }
+    fn interactions(&self) -> u64 {
+        self.sim.interactions()
     }
     fn run_parallel_time(&mut self, duration: f64) {
         self.sim.run_parallel_time(duration);
@@ -496,7 +605,7 @@ where
         };
         let mut sim =
             Simulator::from_config_with_observer(protocol, config, spec.seed, recording.observer());
-        let snapshots = drive_schedule(
+        let snapshots = drive_schedule_guarded(
             &mut AgentDriver::<P, R> {
                 sim: &mut sim,
                 _plan: PhantomData,
@@ -504,13 +613,23 @@ where
             spec.horizon,
             spec.snapshot_every,
             spec.schedule,
-        );
+            spec.interaction_budget,
+            &[],
+            &mut |_, _| {},
+        )
+        .map_err(|(interactions, budget)| BackendError::BudgetExhausted {
+            backend: Self::NAME,
+            interactions,
+            budget,
+        })?;
         let final_n = sim.population();
         let (_, observer) = sim.into_parts();
+        let (ticks, recovery) = R::into_records(observer);
         Ok(RunResult {
             seed: spec.seed,
             snapshots,
-            ticks: R::into_ticks(observer),
+            ticks,
+            recovery,
             final_n,
         })
     }
@@ -568,7 +687,7 @@ where
 }
 
 /// Adapts a [`CountSimulator`] plus a [`Recording`] plan to the shared
-/// schedule driver, so counted cells execute exactly [`drive_schedule`]'s
+/// schedule driver, so counted cells execute exactly the drive loop's
 /// boundary and event-ordering semantics.
 pub(crate) struct CountDriver<'a, P, R>
 where
@@ -585,6 +704,9 @@ where
 {
     fn parallel_time(&self) -> f64 {
         self.sim.parallel_time()
+    }
+    fn interactions(&self) -> u64 {
+        self.sim.interactions()
     }
     fn run_parallel_time(&mut self, duration: f64) {
         self.sim.run_parallel_time(duration);
@@ -640,7 +762,7 @@ where
             None => CountSimulator::with_seed(protocol, spec.n as u64, spec.seed),
         };
         debug_assert_eq!(sim.population(), spec.n as u64, "init counts must sum to n");
-        let snapshots = drive_schedule(
+        let snapshots = drive_schedule_guarded(
             &mut CountDriver::<P, R> {
                 sim: &mut sim,
                 _plan: PhantomData,
@@ -648,12 +770,21 @@ where
             spec.horizon,
             spec.snapshot_every,
             spec.schedule,
-        );
+            spec.interaction_budget,
+            &[],
+            &mut |_, _| {},
+        )
+        .map_err(|(interactions, budget)| BackendError::BudgetExhausted {
+            backend: Self::NAME,
+            interactions,
+            budget,
+        })?;
         let final_n = sim.population() as usize;
         Ok(RunResult {
             seed: spec.seed,
             snapshots,
             ticks: Vec::new(),
+            recovery: Vec::new(),
             final_n,
         })
     }
@@ -717,6 +848,9 @@ where
     fn parallel_time(&self) -> f64 {
         self.sim.parallel_time()
     }
+    fn interactions(&self) -> u64 {
+        self.sim.interactions()
+    }
     fn run_parallel_time(&mut self, duration: f64) {
         self.sim.run_parallel_time(duration);
     }
@@ -771,7 +905,7 @@ where
             None => BatchedCountSimulator::with_seed(protocol, spec.n as u64, spec.seed),
         };
         debug_assert_eq!(sim.population(), spec.n as u64, "init counts must sum to n");
-        let snapshots = drive_schedule(
+        let snapshots = drive_schedule_guarded(
             &mut BatchedDriver::<P, R> {
                 sim: &mut sim,
                 _plan: PhantomData,
@@ -779,12 +913,21 @@ where
             spec.horizon,
             spec.snapshot_every,
             spec.schedule,
-        );
+            spec.interaction_budget,
+            &[],
+            &mut |_, _| {},
+        )
+        .map_err(|(interactions, budget)| BackendError::BudgetExhausted {
+            backend: Self::NAME,
+            interactions,
+            budget,
+        })?;
         let final_n = sim.population() as usize;
         Ok(RunResult {
             seed: spec.seed,
             snapshots,
             ticks: Vec::new(),
+            recovery: Vec::new(),
             final_n,
         })
     }
@@ -848,6 +991,19 @@ where
         while sim.parallel_time() < horizon {
             let before = sim.counts().to_vec();
             let advanced = sim.step_event();
+            // The jump chain skips no-op interactions in closed form, so the
+            // watchdog meters the interactions the clock *implies* (t·n) —
+            // the same budget currency as the stepping backends.
+            if let (Some(limit), true) = (spec.interaction_budget, advanced) {
+                let implied = (sim.parallel_time().min(horizon) * n as f64) as u64;
+                if implied > limit {
+                    return Err(BackendError::BudgetExhausted {
+                        backend: Self::NAME,
+                        interactions: implied,
+                        budget: limit,
+                    });
+                }
+            }
             let now = if advanced {
                 sim.parallel_time()
             } else {
@@ -868,6 +1024,7 @@ where
             seed,
             snapshots,
             ticks: Vec::new(),
+            recovery: Vec::new(),
             final_n: n as usize,
         })
     }
@@ -929,6 +1086,7 @@ mod tests {
             schedule,
             init_agents: None,
             init_counts: None,
+            interaction_budget: None,
         }
     }
 
@@ -1147,6 +1305,57 @@ mod tests {
     }
 
     #[test]
+    fn overdrawn_budget_aborts_with_a_typed_error_on_every_backend() {
+        let none = AdversarySchedule::new();
+        let mut tight = spec(100, 1, 10.0, &none);
+        tight.interaction_budget = Some(150);
+        match CountSimulator::run_cell(Or, &tight, &TrackedEstimates).unwrap_err() {
+            BackendError::BudgetExhausted {
+                backend: "count",
+                interactions,
+                budget: 150,
+            } => assert!(interactions > 150),
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        match Simulator::run_cell(Or, &tight, &TrackedEstimates).unwrap_err() {
+            BackendError::BudgetExhausted {
+                backend: "agent-array",
+                ..
+            } => {}
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        match BatchedCountSimulator::run_cell(Or, &tight, &TrackedEstimates).unwrap_err() {
+            BackendError::BudgetExhausted {
+                backend: "batched-count",
+                ..
+            } => {}
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // The jump backend meters implied interactions (t·n): one infected
+        // agent keeps the chain advancing past the budget.
+        let mut tight = spec(100, 1, 10.0, &none);
+        tight.interaction_budget = Some(150);
+        tight.init_counts = Some(vec![99, 1]);
+        match JumpSimulator::run_cell(Or, &tight, &TrackedEstimates).unwrap_err() {
+            BackendError::BudgetExhausted {
+                backend: "jump", ..
+            } => {}
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_leaves_runs_bit_identical() {
+        let schedule = AdversarySchedule::new().at(3.0, PopulationEvent::ResizeTo(50));
+        let free =
+            CountSimulator::run_cell(Or, &spec(100, 9, 8.0, &schedule), &TrackedEstimates).unwrap();
+        let mut guarded = spec(100, 9, 8.0, &schedule);
+        guarded.interaction_budget = Some(u64::MAX);
+        let capped = CountSimulator::run_cell(Or, &guarded, &TrackedEstimates).unwrap();
+        assert_eq!(free, capped, "a generous budget must not perturb the run");
+    }
+
+    #[test]
     fn error_displays_name_the_backend_and_hint() {
         let e = BackendError::AdversaryUnsupported { backend: "jump" };
         assert!(e.to_string().contains("static schedules only"));
@@ -1163,5 +1372,12 @@ mod tests {
         };
         assert!(e.to_string().contains("agent-array"));
         assert!(e.to_string().contains("empties the population"));
+        let e = BackendError::BudgetExhausted {
+            backend: "count",
+            interactions: 212,
+            budget: 150,
+        };
+        assert!(e.to_string().contains("212 interactions"));
+        assert!(e.to_string().contains("budget of 150"));
     }
 }

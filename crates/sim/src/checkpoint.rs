@@ -58,6 +58,7 @@
 //! let spec = CellSpec {
 //!     n: 200, seed: 7, horizon: 10.0, snapshot_every: 1.0,
 //!     schedule: &schedule, init_agents: None, init_counts: None,
+//!     interaction_budget: None,
 //! };
 //! // Pause at t = 5, then resume to the horizon.
 //! let paused = CountSimulator::run_cell_until(Or, &spec, &TrackedEstimates, 5.0).unwrap();
@@ -180,6 +181,37 @@ impl From<std::io::Error> for CheckpointError {
     fn from(e: std::io::Error) -> Self {
         CheckpointError::Io(e)
     }
+}
+
+/// One write-fsync-rename cycle: the only sequence that guarantees `path`
+/// always holds a complete checkpoint (old or new) across a crash.
+fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; the original error is what matters.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// I/O error kinds worth retrying: the call may succeed moments later.
+fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
 }
 
 /// FNV-1a 64-bit, the same digest the run artifacts use for content checks.
@@ -400,11 +432,25 @@ impl RunCheckpoint {
         })
     }
 
-    /// Writes the checkpoint to `path` (atomic at the whole-file level:
-    /// the bytes are assembled in memory first).
+    /// Writes the checkpoint to `path`, crash-safely: the bytes go to a
+    /// sibling temp file first, are fsynced, and only then renamed over
+    /// `path`, so a crash mid-save leaves either the old checkpoint or the
+    /// new one — never a torn file. Transient I/O errors (interrupted,
+    /// would-block, timed out) are retried a bounded number of times
+    /// before surfacing as [`CheckpointError::Io`].
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        std::fs::write(path, self.to_bytes())?;
-        Ok(())
+        let path = path.as_ref();
+        let bytes = self.to_bytes();
+        const ATTEMPTS: usize = 3;
+        let mut last = None;
+        for _ in 0..ATTEMPTS {
+            match write_atomically(path, &bytes) {
+                Ok(()) => return Ok(()),
+                Err(e) if is_transient(&e) => last = Some(e),
+                Err(e) => return Err(CheckpointError::Io(e)),
+            }
+        }
+        Err(CheckpointError::Io(last.expect("retried at least once")))
     }
 
     /// Reads a checkpoint back from `path`.
@@ -537,6 +583,7 @@ fn outcome<S>(
             seed: spec.seed,
             snapshots: cursor.snapshots,
             ticks: Vec::new(),
+            recovery: Vec::new(),
             final_n,
         })
     } else {

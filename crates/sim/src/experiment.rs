@@ -203,6 +203,7 @@ impl<P: SizeEstimator> Experiment<P> {
                 .is_some()
                 .then_some(&adapter as &dyn Fn(usize, usize) -> P::State),
             init_counts: None,
+            interaction_budget: None,
         };
         B::run_cell(protocol, &spec, &recording)
     }

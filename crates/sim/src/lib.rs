@@ -39,6 +39,13 @@
 //!   removal campaigns that compile deterministically (per seed) into
 //!   [`AdversarySchedule`]s, making whole fault-injection scenarios
 //!   reproducible grid axes.
+//! * [`fault`] — fault injection: declarative, seeded [`FaultPlan`]s
+//!   (randomized state corruption, adversarial initial configurations,
+//!   Byzantine liar validation) compiled per cell like scenario traces,
+//!   executed through the [`FaultBackend`] hook with recovery measured by
+//!   the [`WithRecovery`] recording plan — plus resilient grid execution
+//!   ([`Sweep::run_resilient_on`]) that isolates panics and runaway cells
+//!   into typed per-cell [`CellOutcome`]s.
 //! * [`checkpoint`] — pause/resume for long-horizon count-backend runs:
 //!   a versioned on-disk format capturing counts, RNG state, and the
 //!   drive-loop cursor, restoring **bit-identically** (a split run's rows
@@ -58,6 +65,7 @@ pub mod batched_sim;
 pub mod checkpoint;
 pub mod count_sim;
 pub mod experiment;
+pub mod fault;
 pub mod histogram;
 pub mod jump_sim;
 pub mod observer;
@@ -76,14 +84,22 @@ pub use checkpoint::{
 };
 pub use count_sim::CountSimulator;
 pub use experiment::{Experiment, InitMode};
+pub use fault::{
+    CompiledFaultPlan, FaultBackend, FaultError, FaultKind, FaultPlan, Injection, InjectionAction,
+    FAULT_SEED_INDEX,
+};
 pub use histogram::EstimateHistogram;
 pub use jump_sim::JumpSimulator;
-pub use observer::{EstimateTracker, Observer, TickRecorder};
+pub use observer::{EstimateTracker, Observer, RecoveryObserver, TickRecorder};
 pub use recording::{
-    Recording, ScannedEstimates, SnapshotsOnly, TrackedEstimates, WithMemory, WithTicks,
+    Recording, ScannedEstimates, SnapshotsOnly, TrackedEstimates, WithMemory, WithRecovery,
+    WithTicks,
 };
 pub use runner::parallel_map;
 pub use scenario::{ScenarioTrace, TraceSegment, BUILTIN_TRACES};
-pub use series::{EstimateSummary, MemorySummary, RunResult, Snapshot, TickEvent};
+pub use series::{EstimateSummary, MemorySummary, RecoveryPoint, RunResult, Snapshot, TickEvent};
 pub use simulator::{ChunkSize, Simulator};
-pub use sweep::{Sweep, SweepCell, SweepResults};
+pub use sweep::{
+    CellOutcome, FailureSummary, ResiliencePolicy, ResilientCell, ResilientResults, Sweep,
+    SweepCell, SweepResults,
+};

@@ -29,14 +29,17 @@
 //!   states; requires [`MemoryFootprint`]).
 //! * [`WithTicks`] — adds phase-clock tick recording (requires
 //!   [`TickProtocol`]).
+//! * [`WithRecovery`] — adds recovered/unrecovered transition recording
+//!   (a [`RecoveryObserver`] watching a Lemma 4.1 band around `log2 n`),
+//!   the fault-injection experiments' time-to-recovery readout.
 //!
 //! Composition nests: `WithTicks(WithMemory(TrackedEstimates))` is the old
 //! `Experiment::run_full`, and installs exactly the old
 //! `(EstimateTracker, TickRecorder)` observer tuple.
 
 use crate::histogram::EstimateHistogram;
-use crate::observer::{EstimateTracker, Observer, TickRecorder};
-use crate::series::{EstimateSummary, MemorySummary, TickEvent};
+use crate::observer::{EstimateTracker, Observer, RecoveryObserver, TickRecorder};
+use crate::series::{EstimateSummary, MemorySummary, RecoveryPoint, TickEvent};
 use pp_model::{MemoryFootprint, SizeEstimator, TickProtocol};
 
 /// A statically-dispatched recording plan for one run.
@@ -59,6 +62,9 @@ pub trait Recording<P: SizeEstimator>: Sync {
 
     /// Whether the run records [`TickEvent`]s (agent-array only).
     const TICKS: bool;
+
+    /// Whether the run records [`RecoveryPoint`]s (agent-array only).
+    const RECOVERY: bool = false;
 
     /// A fresh observer for one run.
     fn observer(&self) -> Self::Observer;
@@ -83,6 +89,17 @@ pub trait Recording<P: SizeEstimator>: Sync {
     fn into_ticks(observer: Self::Observer) -> Vec<TickEvent> {
         let _ = observer;
         Vec::new()
+    }
+
+    /// Consumes the run's observer, returning the recorded tick events and
+    /// recovery transitions together (the driver's one extraction point).
+    ///
+    /// Wrapper plans that split the observer into parts ([`WithTicks`],
+    /// [`WithRecovery`]) override this; leaf plans inherit the default,
+    /// which forwards to [`Recording::into_ticks`] and records no recovery
+    /// points.
+    fn into_records(observer: Self::Observer) -> (Vec<TickEvent>, Vec<RecoveryPoint>) {
+        (Self::into_ticks(observer), Vec::new())
     }
 }
 
@@ -186,6 +203,7 @@ where
     const ESTIMATES: bool = E::ESTIMATES;
     const MEMORY: bool = true;
     const TICKS: bool = E::TICKS;
+    const RECOVERY: bool = E::RECOVERY;
 
     fn observer(&self) -> E::Observer {
         self.0.observer()
@@ -206,6 +224,10 @@ where
     fn into_ticks(observer: E::Observer) -> Vec<TickEvent> {
         E::into_ticks(observer)
     }
+
+    fn into_records(observer: E::Observer) -> (Vec<TickEvent>, Vec<RecoveryPoint>) {
+        E::into_records(observer)
+    }
 }
 
 /// Adds phase-clock tick recording (a [`TickRecorder`] observer) to an
@@ -222,6 +244,7 @@ where
     const ESTIMATES: bool = E::ESTIMATES;
     const MEMORY: bool = E::MEMORY;
     const TICKS: bool = true;
+    const RECOVERY: bool = E::RECOVERY;
 
     fn observer(&self) -> Self::Observer {
         (self.0.observer(), TickRecorder::new())
@@ -243,6 +266,73 @@ where
         let mut ticks = E::into_ticks(observer.0);
         ticks.extend(observer.1.into_events());
         ticks
+    }
+
+    fn into_records(observer: Self::Observer) -> (Vec<TickEvent>, Vec<RecoveryPoint>) {
+        let (mut ticks, recovery) = E::into_records(observer.0);
+        ticks.extend(observer.1.into_events());
+        (ticks, recovery)
+    }
+}
+
+/// Adds recovered/unrecovered transition recording (a [`RecoveryObserver`]
+/// watching the band `[lo·log2 n, hi·log2 n]`) to an inner plan — the
+/// fault-injection experiments' time-to-recovery readout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WithRecovery<E> {
+    /// The inner plan.
+    pub inner: E,
+    /// Lower band factor (Lemma 4.1: 0.5).
+    pub lo: f64,
+    /// Upper band factor (Lemma 4.1: `2(k+1)`).
+    pub hi: f64,
+}
+
+impl<E> WithRecovery<E> {
+    /// Wraps `inner` with the band `[lo·log2 n, hi·log2 n]`.
+    pub fn band(inner: E, lo: f64, hi: f64) -> Self {
+        WithRecovery { inner, lo, hi }
+    }
+}
+
+impl<P, E> Recording<P> for WithRecovery<E>
+where
+    P: SizeEstimator,
+    E: Recording<P>,
+{
+    type Observer = (E::Observer, RecoveryObserver);
+    const ESTIMATES: bool = E::ESTIMATES;
+    const MEMORY: bool = E::MEMORY;
+    const TICKS: bool = E::TICKS;
+    const RECOVERY: bool = true;
+
+    fn observer(&self) -> Self::Observer {
+        (
+            self.inner.observer(),
+            RecoveryObserver::new(self.lo, self.hi),
+        )
+    }
+
+    fn estimates(
+        protocol: &P,
+        observer: &Self::Observer,
+        states: &[P::State],
+    ) -> Option<EstimateSummary> {
+        E::estimates(protocol, &observer.0, states)
+    }
+
+    fn memory(states: &[P::State]) -> Option<MemorySummary> {
+        E::memory(states)
+    }
+
+    fn into_ticks(observer: Self::Observer) -> Vec<TickEvent> {
+        E::into_ticks(observer.0)
+    }
+
+    fn into_records(observer: Self::Observer) -> (Vec<TickEvent>, Vec<RecoveryPoint>) {
+        let (ticks, mut recovery) = E::into_records(observer.0);
+        recovery.extend(observer.1.into_points());
+        (ticks, recovery)
     }
 }
 
@@ -310,6 +400,21 @@ mod tests {
             None
         );
         assert_eq!(<SnapshotsOnly as Recording<Max>>::memory(&states), None);
+    }
+
+    #[test]
+    fn recovery_plan_composes_and_extracts_records() {
+        type Plan = WithRecovery<TrackedEstimates>;
+        const {
+            assert!(<Plan as Recording<Max>>::RECOVERY);
+            assert!(<Plan as Recording<Max>>::ESTIMATES);
+            assert!(!<TrackedEstimates as Recording<Max>>::RECOVERY);
+        }
+        let plan = WithRecovery::band(TrackedEstimates, 0.5, 2.0);
+        let observer = <Plan as Recording<Max>>::observer(&plan);
+        let (ticks, recovery) = <Plan as Recording<Max>>::into_records(observer);
+        assert!(ticks.is_empty());
+        assert!(recovery.is_empty(), "no agents, no transitions");
     }
 
     #[test]

@@ -57,6 +57,19 @@ pub struct TickEvent {
     pub agent: u32,
 }
 
+/// A transition of the population's recovered/unrecovered status, recorded
+/// by the [`RecoveryObserver`](crate::RecoveryObserver) when fault
+/// injection knocks the estimates out of (or back into) the Lemma 4.1
+/// band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPoint {
+    /// Interaction index of the transition.
+    pub interaction: u64,
+    /// `true` when the population entered the recovered state (every
+    /// reporting agent inside the band), `false` when it left it.
+    pub recovered: bool,
+}
+
 /// Everything recorded from one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
@@ -66,6 +79,9 @@ pub struct RunResult {
     pub snapshots: Vec<Snapshot>,
     /// Tick events, when tick recording was enabled.
     pub ticks: Vec<TickEvent>,
+    /// Recovered/unrecovered transitions, when recovery recording was
+    /// enabled (see [`WithRecovery`](crate::WithRecovery)).
+    pub recovery: Vec<RecoveryPoint>,
     /// Final population size.
     pub final_n: usize,
 }
@@ -94,6 +110,16 @@ impl RunResult {
             .iter()
             .filter_map(|s| s.estimates.as_ref().map(|e| (s.parallel_time, e)))
     }
+
+    /// The first interaction at or past `after` at which the population
+    /// (re-)entered the recovered state, if any — the readout the
+    /// fault-injection experiments measure time-to-recovery from.
+    pub fn recovered_at(&self, after: u64) -> Option<u64> {
+        self.recovery
+            .iter()
+            .find(|p| p.recovered && p.interaction >= after)
+            .map(|p| p.interaction)
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +142,7 @@ mod tests {
             seed: 0,
             snapshots: vec![snap(0.0), snap(1.0), snap(2.0)],
             ticks: vec![],
+            recovery: vec![],
             final_n: 10,
         };
         assert_eq!(run.snapshot_at(1.4).parallel_time, 1.0);
@@ -130,6 +157,7 @@ mod tests {
             seed: 0,
             snapshots: vec![],
             ticks: vec![],
+            recovery: vec![],
             final_n: 0,
         };
         let _ = run.snapshot_at(0.0);
@@ -149,6 +177,7 @@ mod tests {
             seed: 0,
             snapshots: vec![s1, snap(1.0)],
             ticks: vec![],
+            recovery: vec![],
             final_n: 10,
         };
         assert_eq!(run.estimate_series().count(), 1);

@@ -243,6 +243,20 @@ impl<P: Protocol, O: Observer<P>> Simulator<P, O> {
         self.config.get_mut(i)
     }
 
+    /// Replaces agent `i`'s state, keeping the observer's incremental
+    /// metrics in sync (it sees a removal of the old state and an addition
+    /// of the new one) — the hook fault injection corrupts states through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn replace_state(&mut self, i: usize, state: P::State) {
+        let old = std::mem::replace(self.config.get_mut(i), state);
+        self.observer.agent_removed(&self.protocol, &old);
+        self.observer
+            .agent_added(&self.protocol, self.config.get(i));
+    }
+
     /// The observer.
     pub fn observer(&self) -> &O {
         &self.observer

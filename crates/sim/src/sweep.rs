@@ -62,6 +62,7 @@ use crate::backend::{Backend, BackendError, CellSpec, ConfigError};
 use crate::batched_sim::BatchedCountSimulator;
 use crate::count_sim::CountSimulator;
 use crate::experiment::expect_run;
+use crate::fault::{CompiledFaultPlan, FaultBackend, FaultPlan, FAULT_SEED_INDEX};
 use crate::jump_sim::JumpSimulator;
 use crate::recording::{Recording, TrackedEstimates, WithMemory, WithTicks};
 use crate::runner::{parallel_map, run_seed};
@@ -71,6 +72,7 @@ use crate::simulator::Simulator;
 use pp_model::{
     DeterministicProtocol, FiniteProtocol, MemoryFootprint, SizeEstimator, TickProtocol,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -189,6 +191,186 @@ impl SweepResults {
         schedule: &'a str,
     ) -> impl Iterator<Item = &'a SweepCell> {
         self.cells.iter().filter(move |c| c.schedule == schedule)
+    }
+}
+
+/// The outcome of one run under resilient execution
+/// ([`Sweep::run_resilient_on`] / [`Sweep::run_faulted_on`]): instead of
+/// one bad run aborting the whole grid, every run resolves to a typed
+/// outcome and the grid returns all of them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// The run finished normally.
+    Completed(RunResult),
+    /// The backend reported a typed error for this run.
+    Failed(BackendError),
+    /// The run panicked; the payload message is preserved. The panic was
+    /// confined to this run — sibling runs and cells are unaffected.
+    Panicked(String),
+    /// The run crossed its interaction-count watchdog budget
+    /// (see [`ResiliencePolicy::budget_factor`]).
+    BudgetExceeded {
+        /// Interactions simulated when the watchdog tripped.
+        interactions: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl CellOutcome {
+    /// The completed run's result, if this outcome is [`Completed`](Self::Completed).
+    pub fn result(&self) -> Option<&RunResult> {
+        match self {
+            CellOutcome::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether the run finished normally.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, CellOutcome::Completed(_))
+    }
+}
+
+/// All outcomes of one grid point under resilient execution — the
+/// [`SweepCell`] analogue where every run may independently have failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientCell {
+    /// Population size of this cell.
+    pub n: usize,
+    /// Label of the adversary schedule (`"static"` for the default).
+    pub schedule: String,
+    /// Index of the schedule in the sweep's schedule list.
+    pub schedule_index: usize,
+    /// Per-run outcomes, in run-index order.
+    pub outcomes: Vec<CellOutcome>,
+}
+
+impl ResilientCell {
+    /// Iterates over the results of the runs that completed.
+    pub fn completed_runs(&self) -> impl Iterator<Item = &RunResult> {
+        self.outcomes.iter().filter_map(CellOutcome::result)
+    }
+
+    /// Tallies this cell's run outcomes.
+    pub fn summary(&self) -> FailureSummary {
+        let mut summary = FailureSummary::default();
+        for outcome in &self.outcomes {
+            match outcome {
+                CellOutcome::Completed(_) => summary.completed += 1,
+                CellOutcome::Failed(_) => summary.failed += 1,
+                CellOutcome::Panicked(_) => summary.panicked += 1,
+                CellOutcome::BudgetExceeded { .. } => summary.budget_exceeded += 1,
+            }
+        }
+        summary
+    }
+}
+
+/// Structured output of resilient execution: every cell in grid order with
+/// per-run [`CellOutcome`]s, plus execution metadata. Partial results are
+/// the point — healthy cells carry their (bit-identical) rows even when a
+/// sibling cell panicked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientResults {
+    /// Master seed the grid was derived from.
+    pub master_seed: u64,
+    /// Cells in grid order (populations outer, schedules inner).
+    pub cells: Vec<ResilientCell>,
+    /// Wall-clock time of the parallel execution phase.
+    pub wall: Duration,
+    /// Worker threads requested (0 = machine parallelism).
+    pub threads: usize,
+}
+
+impl ResilientResults {
+    /// Tallies every run outcome across the grid.
+    pub fn summary(&self) -> FailureSummary {
+        self.cells.iter().fold(FailureSummary::default(), |acc, c| {
+            let s = c.summary();
+            FailureSummary {
+                completed: acc.completed + s.completed,
+                failed: acc.failed + s.failed,
+                panicked: acc.panicked + s.panicked,
+                budget_exceeded: acc.budget_exceeded + s.budget_exceeded,
+            }
+        })
+    }
+
+    /// The cell for a population size under the given schedule label.
+    pub fn cell(&self, n: usize, schedule: &str) -> Option<&ResilientCell> {
+        self.cells
+            .iter()
+            .find(|c| c.n == n && c.schedule == schedule)
+    }
+}
+
+/// Outcome tallies of one resilient grid execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FailureSummary {
+    /// Runs that finished normally.
+    pub completed: usize,
+    /// Runs that returned a typed [`BackendError`].
+    pub failed: usize,
+    /// Runs that panicked.
+    pub panicked: usize,
+    /// Runs aborted by the interaction-count watchdog.
+    pub budget_exceeded: usize,
+}
+
+impl FailureSummary {
+    /// Total runs executed.
+    pub fn total(&self) -> usize {
+        self.completed + self.failed + self.panicked + self.budget_exceeded
+    }
+
+    /// Whether every run completed normally.
+    pub fn all_completed(&self) -> bool {
+        self.failed == 0 && self.panicked == 0 && self.budget_exceeded == 0
+    }
+}
+
+impl std::fmt::Display for FailureSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} completed, {} failed, {} panicked, {} budget-exceeded",
+            self.completed, self.failed, self.panicked, self.budget_exceeded
+        )
+    }
+}
+
+/// Knobs for resilient grid execution. The default policy (no watchdog,
+/// no retries) adds only panic isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResiliencePolicy {
+    /// Interaction-count watchdog, as a multiple of each cell's *expected*
+    /// interactions (`horizon · n`): a run is aborted with
+    /// [`CellOutcome::BudgetExceeded`] once it crosses
+    /// `ceil(factor · horizon · n)` interactions. `None` disables the
+    /// watchdog (and leaves runs bit-identical to non-resilient
+    /// execution). Factors must be > 1 to be useful — the drive loop
+    /// itself schedules about `horizon · n` interactions.
+    pub budget_factor: Option<f64>,
+    /// How many times to re-execute a *panicked* run before recording
+    /// [`CellOutcome::Panicked`]. Typed [`BackendError`]s and budget
+    /// aborts are deterministic, so they are never retried — a retry
+    /// would deterministically fail the same way. Retries re-run the
+    /// identical seeded spec, so a retry that succeeds is bit-identical
+    /// to a run that never panicked (useful only against nondeterministic
+    /// environmental failures, e.g. resource exhaustion).
+    pub retries: usize,
+}
+
+/// Renders a caught panic payload (the `Box<dyn Any>` from
+/// [`catch_unwind`]) as the human-readable message `panic!` produced.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -458,7 +640,29 @@ where
         B: Backend<Protocol = P, State = P::State>,
         R: Recording<P>,
     {
-        // Capability pre-flight: diagnose the whole grid before any work.
+        let (labels, cell_schedules, tasks) = self.prepare::<B, R>()?;
+        let start = Instant::now();
+        let results = parallel_map(tasks.len(), self.threads, |t| {
+            let task = &tasks[t];
+            let spec = self.cell_spec(task, &cell_schedules, None);
+            B::run_cell(self.protocol.clone(), &spec, &recording)
+        });
+        let wall = start.elapsed();
+        let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(self.collect(labels, tasks, results, wall))
+    }
+
+    /// Capability and schedule pre-flight shared by every grid driver:
+    /// diagnoses the whole grid before any cell runs, then builds the flat
+    /// task list.
+    #[allow(clippy::type_complexity)]
+    fn prepare<B, R>(
+        &self,
+    ) -> Result<(Vec<String>, Vec<AdversarySchedule>, Vec<TaskSpec>), BackendError>
+    where
+        B: Backend<Protocol = P, State = P::State>,
+        R: Recording<P>,
+    {
         if !B::SUPPORTS_ADVERSARY && self.schedules.iter().any(|(_, s)| s.is_dynamic()) {
             return Err(BackendError::AdversaryUnsupported { backend: B::NAME });
         }
@@ -488,26 +692,197 @@ where
                 .validate_for(n as u64, B::SUPPORTS_EMPTY_POPULATION)
                 .map_err(invalid)?;
         }
+        Ok((labels, cell_schedules, tasks))
+    }
+
+    /// Builds the [`CellSpec`] for one task.
+    fn cell_spec<'a>(
+        &'a self,
+        task: &TaskSpec,
+        cell_schedules: &'a [AdversarySchedule],
+        interaction_budget: Option<u64>,
+    ) -> CellSpec<'a, P::State> {
+        CellSpec {
+            n: task.n,
+            seed: task.seed,
+            horizon: task.horizon,
+            snapshot_every: self.snapshot_every,
+            schedule: &cell_schedules[task.cell],
+            init_agents: self
+                .init
+                .as_deref()
+                .map(|f| f as &dyn Fn(usize, usize) -> P::State),
+            init_counts: self.init_counts.as_ref().map(|f| f(task.n as u64)),
+            interaction_budget,
+        }
+    }
+
+    /// Like [`Sweep::run_on`], but **resilient**: one bad run no longer
+    /// aborts the grid. Every run executes under a panic boundary and an
+    /// optional interaction-count watchdog
+    /// ([`ResiliencePolicy::budget_factor`]), and resolves to a typed
+    /// [`CellOutcome`]; the grid returns all of them
+    /// ([`ResilientResults`]), so healthy cells keep their rows when a
+    /// sibling cell panics, runs away, or fails.
+    ///
+    /// Healthy runs are **bit-identical** to [`Sweep::run_on`]'s: the seed
+    /// chain, drive loop, and float arithmetic are unchanged (with no
+    /// watchdog the budget check never perturbs the loop), and panic
+    /// isolation is purely observational.
+    ///
+    /// Whole-grid capability errors (unsupported backend features, invalid
+    /// schedules) still fail up front with `Err`, exactly like
+    /// [`Sweep::run_on`] — those are grid construction bugs, not runtime
+    /// faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no populations were configured.
+    pub fn run_resilient_on<B, R>(
+        self,
+        recording: R,
+        policy: ResiliencePolicy,
+    ) -> Result<ResilientResults, BackendError>
+    where
+        B: Backend<Protocol = P, State = P::State>,
+        R: Recording<P>,
+    {
+        self.resilient_impl::<B, R, _>(recording, policy, None, |proto, spec, _plan, rec| {
+            B::run_cell(proto, spec, rec)
+        })
+    }
+
+    /// Like [`Sweep::run_resilient_on`], with `plan`'s faults injected
+    /// into every run (see [`FaultPlan`] and
+    /// [`FaultBackend::run_cell_faulted`]).
+    ///
+    /// The plan is compiled once per grid cell under the reserved
+    /// [`FAULT_SEED_INDEX`] of the cell's seed chain, so fault draws are
+    /// bit-identical across thread counts and never collide with run
+    /// seeds. A malformed plan fails the whole grid up front with a typed
+    /// [`BackendError::InvalidFaultPlan`], mirroring schedule validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no populations were configured.
+    pub fn run_faulted_on<B, R>(
+        self,
+        plan: &FaultPlan,
+        recording: R,
+        policy: ResiliencePolicy,
+    ) -> Result<ResilientResults, BackendError>
+    where
+        B: FaultBackend<Protocol = P, State = P::State>,
+        R: Recording<P>,
+    {
+        self.resilient_impl::<B, R, _>(recording, policy, Some(plan), |proto, spec, plan, rec| {
+            B::run_cell_faulted(
+                proto,
+                spec,
+                plan.expect("faulted path pre-compiles a plan per cell"),
+                rec,
+            )
+        })
+    }
+
+    /// Shared resilient executor: pre-flight, per-cell fault-plan
+    /// compilation (when a plan is given), then one flat parallel batch
+    /// where each run is wrapped in [`catch_unwind`] and classified into a
+    /// [`CellOutcome`].
+    fn resilient_impl<B, R, E>(
+        self,
+        recording: R,
+        policy: ResiliencePolicy,
+        plan: Option<&FaultPlan>,
+        exec: E,
+    ) -> Result<ResilientResults, BackendError>
+    where
+        B: Backend<Protocol = P, State = P::State>,
+        R: Recording<P>,
+        E: Fn(
+                P,
+                &CellSpec<'_, P::State>,
+                Option<&CompiledFaultPlan>,
+                &R,
+            ) -> Result<RunResult, BackendError>
+            + Sync,
+    {
+        let (labels, cell_schedules, tasks) = self.prepare::<B, R>()?;
+        // Fault pre-flight: compile the plan against every cell up front,
+        // under the reserved fault index of the cell's seed chain. A plan
+        // that is impossible for any cell fails the whole grid here.
+        let cell_plans: Option<Vec<CompiledFaultPlan>> = plan
+            .map(|p| {
+                (0..cell_schedules.len())
+                    .map(|cell| {
+                        let n = self.populations[cell / labels.len()];
+                        let cell_seed = run_seed(self.master_seed, cell);
+                        p.compile(n, run_seed(cell_seed, FAULT_SEED_INDEX))
+                            .map_err(|error| BackendError::InvalidFaultPlan {
+                                backend: B::NAME,
+                                error,
+                            })
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .transpose()?;
         let start = Instant::now();
-        let results = parallel_map(tasks.len(), self.threads, |t| {
+        let outcomes = parallel_map(tasks.len(), self.threads, |t| {
             let task = &tasks[t];
-            let spec = CellSpec {
-                n: task.n,
-                seed: task.seed,
-                horizon: task.horizon,
-                snapshot_every: self.snapshot_every,
-                schedule: &cell_schedules[task.cell],
-                init_agents: self
-                    .init
-                    .as_deref()
-                    .map(|f| f as &dyn Fn(usize, usize) -> P::State),
-                init_counts: self.init_counts.as_ref().map(|f| f(task.n as u64)),
-            };
-            B::run_cell(self.protocol.clone(), &spec, &recording)
+            let budget = policy
+                .budget_factor
+                .map(|factor| (factor * task.horizon * task.n as f64).ceil() as u64);
+            let spec = self.cell_spec(task, &cell_schedules, budget);
+            let cell_plan = cell_plans.as_ref().map(|plans| &plans[task.cell]);
+            let mut attempts_left = policy.retries;
+            loop {
+                // AssertUnwindSafe: on panic the run's simulator state is
+                // discarded wholesale (each run owns its state), so no
+                // broken invariant can leak into other runs.
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    exec(self.protocol.clone(), &spec, cell_plan, &recording)
+                }));
+                return match run {
+                    Ok(Ok(result)) => CellOutcome::Completed(result),
+                    Ok(Err(BackendError::BudgetExhausted {
+                        interactions,
+                        budget,
+                        ..
+                    })) => CellOutcome::BudgetExceeded {
+                        interactions,
+                        budget,
+                    },
+                    Ok(Err(error)) => CellOutcome::Failed(error),
+                    Err(payload) => {
+                        if attempts_left > 0 {
+                            attempts_left -= 1;
+                            continue;
+                        }
+                        CellOutcome::Panicked(panic_message(payload))
+                    }
+                };
+            }
         });
         let wall = start.elapsed();
-        let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
-        Ok(self.collect(labels, tasks, results, wall))
+        let cells_len = self.populations.len() * labels.len();
+        let mut cells: Vec<ResilientCell> = Vec::with_capacity(cells_len);
+        for (task, outcome) in tasks.iter().zip(outcomes) {
+            if task.cell == cells.len() {
+                cells.push(ResilientCell {
+                    n: task.n,
+                    schedule: labels[task.schedule_index].clone(),
+                    schedule_index: task.schedule_index,
+                    outcomes: Vec::with_capacity(self.runs),
+                });
+            }
+            cells[task.cell].outcomes.push(outcome);
+        }
+        Ok(ResilientResults {
+            master_seed: self.master_seed,
+            cells,
+            wall,
+            threads: self.threads,
+        })
     }
 
     /// Runs the whole grid on the agent-array backend, recording estimate
@@ -1131,5 +1506,155 @@ mod tests {
     #[should_panic(expected = "at least one run")]
     fn zero_runs_rejected() {
         let _ = Sweep::new(Max).populations([8]).runs(0);
+    }
+
+    impl pp_model::Corruptible for Max {
+        fn corrupt_state<R: Rng + ?Sized>(&self, _state: &u32, rng: &mut R) -> u32 {
+            use rand::RngExt;
+            rng.random_range(0u32..8)
+        }
+    }
+
+    #[test]
+    fn resilient_grid_without_faults_matches_the_plain_grid() {
+        let plain = grid()
+            .run_on::<Simulator<Max>, _>(TrackedEstimates)
+            .unwrap();
+        let resilient = grid()
+            .run_resilient_on::<Simulator<Max>, _>(TrackedEstimates, ResiliencePolicy::default())
+            .unwrap();
+        let summary = resilient.summary();
+        assert!(summary.all_completed());
+        assert_eq!(summary.completed, 12);
+        for (p, r) in plain.cells.iter().zip(&resilient.cells) {
+            assert_eq!((p.n, &p.schedule), (r.n, &r.schedule));
+            let completed: Vec<&RunResult> =
+                r.outcomes.iter().filter_map(CellOutcome::result).collect();
+            assert_eq!(p.runs.iter().collect::<Vec<_>>(), completed);
+        }
+    }
+
+    #[test]
+    fn a_poisoned_cell_is_isolated_and_siblings_stay_bit_identical() {
+        // The n = 64 cell's init closure panics on every run; the n = 32
+        // cell must complete with rows bit-identical to a grid that never
+        // contained the poisoned cell, across thread counts.
+        let poisoned = |threads| {
+            Sweep::new(Max)
+                .populations([32, 64])
+                .runs(3)
+                .master_seed(42)
+                .horizon(10.0)
+                .threads(threads)
+                .init_with_n(|n, i| {
+                    if n == 64 {
+                        panic!("poisoned cell");
+                    }
+                    i as u32 + 1
+                })
+                .run_resilient_on::<Simulator<Max>, _>(
+                    TrackedEstimates,
+                    ResiliencePolicy::default(),
+                )
+                .unwrap()
+        };
+        let healthy = Sweep::new(Max)
+            .populations([32])
+            .runs(3)
+            .master_seed(42)
+            .horizon(10.0)
+            .init_with_n(|_, i| i as u32 + 1)
+            .run_on::<Simulator<Max>, _>(TrackedEstimates)
+            .unwrap();
+        let serial = poisoned(1);
+        let parallel = poisoned(4);
+        assert_eq!(serial.cells, parallel.cells);
+        let summary = serial.summary();
+        assert_eq!((summary.completed, summary.panicked), (3, 3));
+        for outcome in &serial.cell(64, "static").unwrap().outcomes {
+            assert_eq!(outcome, &CellOutcome::Panicked("poisoned cell".into()));
+        }
+        // The healthy cell is grid cell 0 in both grids, so its seed chain
+        // is identical and its rows must match bit for bit.
+        assert_eq!(
+            serial
+                .cell(32, "static")
+                .unwrap()
+                .completed_runs()
+                .collect::<Vec<_>>(),
+            healthy.cells[0].runs.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn the_watchdog_budget_converts_runaway_cells_into_typed_outcomes() {
+        // budget = ceil(0.5 * horizon * n) is half the interactions a run
+        // needs (parallel time advances 1/n per interaction), so every run
+        // trips the watchdog instead of completing.
+        let r = grid()
+            .run_resilient_on::<Simulator<Max>, _>(
+                TrackedEstimates,
+                ResiliencePolicy {
+                    budget_factor: Some(0.5),
+                    retries: 0,
+                },
+            )
+            .unwrap();
+        let summary = r.summary();
+        assert_eq!(summary.budget_exceeded, 12);
+        assert!(!summary.all_completed());
+        assert!(r.cells.iter().all(|c| c.outcomes.iter().all(
+            |o| matches!(o, CellOutcome::BudgetExceeded { interactions, budget }
+                    if interactions > budget)
+        )));
+    }
+
+    #[test]
+    fn faulted_grids_are_bit_identical_across_thread_counts() {
+        let plan = FaultPlan::new(7)
+            .corrupt_random(2.0, 0.25)
+            .adversarial_start();
+        let run = |threads| {
+            Sweep::new(Max)
+                .populations([24, 48])
+                .runs(3)
+                .master_seed(11)
+                .horizon(12.0)
+                .threads(threads)
+                .run_faulted_on::<Simulator<Max>, _>(
+                    &plan,
+                    TrackedEstimates,
+                    ResiliencePolicy::default(),
+                )
+                .unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.cells, parallel.cells);
+        assert!(serial.summary().all_completed());
+    }
+
+    #[test]
+    fn an_impossible_fault_plan_fails_the_whole_grid_up_front() {
+        // Agent 30 exists at n = 40 but not at n = 20: the pre-flight must
+        // reject the whole grid, mirroring schedule validation.
+        let plan = FaultPlan::new(7).corrupt_agents(1.0, [30]);
+        let err = grid()
+            .run_faulted_on::<Simulator<Max>, _>(
+                &plan,
+                TrackedEstimates,
+                ResiliencePolicy::default(),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BackendError::InvalidFaultPlan {
+                backend: "agent-array",
+                error: crate::fault::FaultError::AgentOutOfRange {
+                    index: 30,
+                    population: 20
+                }
+            }
+        );
     }
 }

@@ -97,6 +97,7 @@ impl Story {
             schedule: &self.schedule,
             init_agents: None,
             init_counts: Some(vec![self.n as u64 - 1, 1]),
+            interaction_budget: None,
         }
     }
 

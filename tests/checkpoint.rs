@@ -54,6 +54,7 @@ fn infection_spec(
         schedule,
         init_agents: None,
         init_counts: Some(vec![n as u64 - 1, 1]),
+        interaction_budget: None,
     }
 }
 
@@ -115,6 +116,7 @@ fn split_run_is_bit_identical_on_the_batched_backend() {
         schedule: &schedule,
         init_agents: None,
         init_counts: Some(vec![n as u64 - 1, 1]),
+        interaction_budget: None,
     };
 
     let whole = finished(
@@ -255,6 +257,46 @@ fn malformed_files_yield_typed_errors() {
 }
 
 #[test]
+fn save_replaces_torn_files_atomically() {
+    let schedule = straddling_schedule();
+    let spec = infection_spec(&schedule);
+    let ck5 = paused(
+        CountSimulator::run_cell_until(Infection::new(), &spec, &TrackedEstimates, 5.0).unwrap(),
+    );
+    let ck9 = paused(
+        CountSimulator::resume_cell(Infection::new(), &spec, &TrackedEstimates, &ck5, 9.0).unwrap(),
+    );
+    let path = std::env::temp_dir().join(format!("dsc_ckpt_torn_{}.bin", std::process::id()));
+    let tmp = std::env::temp_dir().join(format!("dsc_ckpt_torn_{}.bin.tmp", std::process::id()));
+
+    // A stale temp file from a crashed earlier save must not stop a new
+    // save, and must not survive it.
+    std::fs::write(&tmp, b"crashed mid-write").unwrap();
+    ck5.save(&path).unwrap();
+    assert!(!tmp.exists(), "save must clean up the temp path it owns");
+    assert_eq!(RunCheckpoint::load(&path).unwrap(), ck5);
+
+    // Simulate the torn write a non-atomic saver would leave behind: the
+    // file exists but holds only a prefix of a checkpoint.
+    let good = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+    assert!(
+        matches!(RunCheckpoint::load(&path), Err(CheckpointError::Truncated)),
+        "a torn checkpoint is refused by name, never misparsed"
+    );
+
+    // Saving over the torn file repairs it in one atomic step.
+    ck9.save(&path).unwrap();
+    assert!(!tmp.exists());
+    assert_eq!(
+        RunCheckpoint::load(&path).unwrap(),
+        ck9,
+        "the replacement is the complete new checkpoint, not a blend"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn resume_pins_backend_and_spec() {
     let schedule = straddling_schedule();
     let spec = infection_spec(&schedule);
@@ -291,6 +333,7 @@ fn resume_pins_backend_and_spec() {
             counts[10] = spec.n as u64;
             counts
         }),
+        interaction_budget: None,
     };
     assert!(matches!(
         CountSimulator::resume_cell(

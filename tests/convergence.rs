@@ -22,15 +22,28 @@ fn fresh_population_converges_to_log_n_band() {
         .run();
     let band = Band::around_log_n(n, 0.5, 4.0);
     let t = convergence_time(&result, band).expect("must converge within 400 time");
+    // Lemma 4.1 upper tail: the max of the n·k GRVs in flight exceeds
+    // log2(n·k) + b with probability ≤ 2⁻ᵇ (union bound over n·k
+    // geometric samples). With b = 6, the first full round's countdown is
+    // armed at most at τ1·(log2(n·k) + 6), and the Lemma 4.2 epidemic
+    // window (8·log2 n) then agrees the population — a derived bound in
+    // place of the old flaky "≤ 100" guess.
+    let cfg = *protocol().config();
+    let log2nk = ((n as u32 * cfg.k) as f64).log2();
+    let log2n = (n as f64).log2();
+    let fresh_bound = cfg.tau1 as f64 * (log2nk + 6.0) + 8.0 * log2n;
     assert!(
-        t <= 100.0,
-        "fresh convergence should take O(log n) ≈ tens of parallel time, took {t}"
+        t <= fresh_bound,
+        "fresh convergence took {t}, above the Lemma 4.1/4.2 bound {fresh_bound}"
     );
-    // After convergence all agents essentially agree.
+    // After convergence all agents essentially agree. Lemma 4.1 both
+    // ways: a round maximum exceeds log2(n·k) + 6 w.p. ≤ 2⁻⁶, and falls
+    // below log2(n·k) − 3 w.p. ≤ exp(−2³) (all n·k samples small), so
+    // any two agents — even one round apart — sit within a 9-wide window.
     let last = result.snapshots.last().unwrap().estimates.unwrap();
     assert!(
-        last.max - last.min <= 6.0,
-        "estimates spread too wide: [{}, {}]",
+        last.max - last.min <= 9.0,
+        "estimates spread beyond the two-sided GRV tail window: [{}, {}]",
         last.min,
         last.max
     );
@@ -67,9 +80,17 @@ fn converges_from_arbitrary_configurations() {
             .run();
         let t = convergence_time(&result, band)
             .unwrap_or_else(|| panic!("seed {seed}: never converged from arbitrary init"));
+        // Theorem 2.3's countdown-dominated window, with the empirically
+        // calibrated round count the faults experiment (E14) charges: a
+        // planted max ≤ 64 re-arms its τ1·64 countdown at every
+        // synchronized wrap burst until max and last_max both flush
+        // (measured ≈ 5.3 rounds, charged 8), then the Lemma 4.2
+        // epidemic window (8·log2 n) re-converges the estimate.
+        let cfg = *protocol().config();
+        let recovery_bound = 8.0 * cfg.tau1 as f64 * 64.0 + 8.0 * (n as f64).log2();
         assert!(
-            t <= 3_500.0,
-            "seed {seed}: convergence from arbitrary config took {t}"
+            t <= recovery_bound,
+            "seed {seed}: convergence from arbitrary config took {t}, above {recovery_bound}"
         );
     }
 }
@@ -103,8 +124,14 @@ fn overestimate_is_forgotten_in_time_linear_in_estimate() {
         forget_times.push(forget);
     }
     let ratio = forget_times[1] / forget_times[0];
+    // Forgetting e0 takes an integer number of τ1·e0-long countdown
+    // rounds plus a Lemma 4.2 epidemic tail: forget(e0) = r·τ1·e0 +
+    // O(log n) with r a small burst count. Doubling e0 doubles the round
+    // length, so the ratio is 2·(r80/r40) up to the additive log n term;
+    // with r ∈ {4..8} one round of quantization keeps the ratio inside
+    // [2·4/5, 2·8/5] ≈ [1.6, 3.2], widened by the ±8·log2 n tail to:
     assert!(
-        (1.3..3.2).contains(&ratio),
+        (1.25..3.5).contains(&ratio),
         "forget time should scale roughly linearly with the estimate, ratio {ratio} from {forget_times:?}"
     );
 }
@@ -145,10 +172,15 @@ fn simplified_algorithm_also_tracks_log_n_roughly() {
         .snapshot_every(5.0)
         .run();
     // Algorithm 1 is noisier (no trailing estimate): check only that the
-    // median lands in a generous Θ(log n) band at some point.
+    // median lands inside the Lemma 4.1 GRV window at some point —
+    // [0.5·log2 n, log2(n·k) + 6], the two tails derived in
+    // `fresh_population_converges_to_log_n_band` above (the old upper
+    // margin 33 was a guess; log2(n·k) + 6 = 21 here is the 2⁻⁶ tail).
+    let lo = 0.5 * (n as f64).log2();
+    let hi = ((n as u32 * DscConfig::empirical().k) as f64).log2() + 6.0;
     let hit = result.snapshots.iter().any(|s| {
         s.estimates
-            .map(|e| e.median >= 5.0 && e.median <= 33.0)
+            .map(|e| e.median >= lo && e.median <= hi)
             .unwrap_or(false)
     });
     assert!(hit, "simplified algorithm never produced a Θ(log n) median");

@@ -28,14 +28,31 @@
 //! several rounds against the shared-vCPU noise, and recorded under
 //! `"chunk_sweep"` in the JSON so the choice of `CHUNK` stays auditable.
 //!
+//! Two further measurements ride along:
+//!
+//! * **parallel stepper** — `Simulator::step_n_parallel` at 1/2/4 worker
+//!   threads per population, recorded under the `parallel_*` keys. On a
+//!   multi-core box this shows the intra-run speedup; on a single-core
+//!   box (this repository's reference box) it documents parity: the
+//!   super-block engine at `threads = 1` against the sequential hot loop.
+//! * **scanned-vs-tracked crossover** — from the measured plain and
+//!   tracked rates plus a timed full-state estimate scan, the snapshot
+//!   interval (in parallel time units) above which `ScannedEstimates`
+//!   beats `TrackedEstimates`, recorded per population under
+//!   `scanned_crossover_snapshot_interval_pt`. Every figure snapshots at
+//!   ≥ 1 pt, so the experiments run scanned (`Sweep::run_scanned`).
+//!
 //! Flags: the shared `Scale` flags; `--smoke` shrinks the measurement
 //! budget so CI can exercise the harness (and validate the JSON schema)
 //! in seconds.
 
 use pp_bench::Scale;
-use pp_sim::{ChunkSize, Simulator};
+use pp_sim::{ChunkSize, ParallelPolicy, Simulator};
 use std::io::Write;
 use std::time::Instant;
+
+/// Thread counts measured for the intra-run parallel stepper.
+const PARALLEL_THREADS: [usize; 3] = [1, 2, 4];
 
 /// Single-thread interactions/sec of the two previous engines on this
 /// repository's reference box (1-core Intel Xeon @ 2.10 GHz, shared vCPU).
@@ -189,6 +206,47 @@ fn main() {
         tracked_sim.run_parallel_time(warm);
         let tracked = measure(|c| tracked_sim.step_n(c), budget);
 
+        // Intra-run parallel stepper at each thread count, on its own
+        // warmed simulator (the engine is thread-count-invariant in
+        // results, so only throughput differs).
+        let parallel_rates: Vec<f64> = PARALLEL_THREADS
+            .iter()
+            .map(|&t| {
+                let mut sim: Simulator<_, ()> =
+                    Simulator::with_seed(pp_bench::paper_protocol(), b.n, scale.seed);
+                sim.run_parallel_time(warm);
+                measure(
+                    |c| sim.step_n_parallel(c, ParallelPolicy::threads(t)),
+                    budget,
+                )
+            })
+            .collect();
+        let parallel_best = parallel_rates
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        // Scanned-vs-tracked crossover: tracking costs
+        // (1/tracked − 1/plain) s per interaction; a snapshot scan costs
+        // one `estimate_stats` pass. Scanning wins once the snapshot
+        // interval exceeds scan_cost / (n · per-interaction overhead)
+        // parallel-time units.
+        let scan_secs = {
+            let scans = if scale.smoke { 20 } else { 200 };
+            let start = Instant::now();
+            for _ in 0..scans {
+                std::hint::black_box(plain_sim.estimate_stats());
+            }
+            start.elapsed().as_secs_f64() / scans as f64
+        };
+        let overhead = 1.0 / tracked - 1.0 / plain;
+        let crossover_pt = if overhead > 0.0 {
+            format!("{:.6}", scan_secs / (overhead * b.n as f64))
+        } else {
+            // Box noise swallowed the tracker overhead this round.
+            "null".to_string()
+        };
+
         let speedup_plain = plain / b.pr2_plain;
         let speedup_tracked = tracked / b.pr2_tracked;
         println!(
@@ -199,6 +257,14 @@ fn main() {
             b.pr2_plain / 1e6,
             tracked / 1e6,
             b.pr2_tracked / 1e6,
+        );
+        println!(
+            "             parallel t1 {:6.2} t2 {:6.2} t4 {:6.2} M/s ({:.2}x vs plain)  \
+             scan crossover {crossover_pt} pt",
+            parallel_rates[0] / 1e6,
+            parallel_rates[1] / 1e6,
+            parallel_rates[2] / 1e6,
+            parallel_best / plain,
         );
         let seed_fields = match (b.seed_plain, b.seed_tracked) {
             (Some(sp), Some(st)) => format!(
@@ -225,7 +291,11 @@ fn main() {
                 "      \"pr2_plain_interactions_per_sec\": {:.1},\n",
                 "      \"pr2_tracked_interactions_per_sec\": {:.1},\n",
                 "      \"plain_speedup_vs_pr2\": {:.4},\n",
-                "      \"tracked_speedup_vs_pr2\": {:.4}\n",
+                "      \"tracked_speedup_vs_pr2\": {:.4},\n",
+                "      \"parallel_thread_sweep\": [{:.1}, {:.1}, {:.1}],\n",
+                "      \"parallel_interactions_per_sec\": {:.1},\n",
+                "      \"parallel_speedup_vs_plain\": {:.4},\n",
+                "      \"scanned_crossover_snapshot_interval_pt\": {}\n",
                 "    }}"
             ),
             b.n,
@@ -236,6 +306,12 @@ fn main() {
             b.pr2_tracked,
             speedup_plain,
             speedup_tracked,
+            parallel_rates[0],
+            parallel_rates[1],
+            parallel_rates[2],
+            parallel_best,
+            parallel_best / plain,
+            crossover_pt,
         ));
     }
 
@@ -261,6 +337,15 @@ fn main() {
             "in-place sequential application\",\n",
             "  \"seed_engine\": \"e6ffe7a: dyn Rng, two draws per pair\",\n",
             "  \"master_seed\": {},\n",
+            "  \"available_parallelism\": {},\n",
+            "  \"parallel_threads\": [1, 2, 4],\n",
+            "  \"parallel_note\": \"step_n_parallel thread sweep per point; on the 1-core ",
+            "reference box the acceptance criterion is single-core parity (threads = 1 within ",
+            "noise of the sequential hot loop), not speedup — re-measure on a >= 4-core box ",
+            "for the >= 1.5x column\",\n",
+            "  \"scanned_crossover_note\": \"snapshot interval (parallel-time units) above ",
+            "which ScannedEstimates beats TrackedEstimates, from measured rates and a timed ",
+            "estimate_stats scan; null when box noise swallowed the tracker overhead\",\n",
             "  \"points\": [\n{}\n  ],\n",
             "  \"chunk_sweep_note\": \"plain stepping at 32/64/128 pairs per step_block ",
             "chunk, alternated per round, medians of {} rounds; the winner justifies ",
@@ -269,6 +354,7 @@ fn main() {
             "}}\n"
         ),
         scale.seed,
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
         lines.join(",\n"),
         chunk_rounds,
         chunk_lines.join(",\n"),

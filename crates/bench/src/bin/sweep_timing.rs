@@ -10,11 +10,19 @@
 //! Alongside the convergence sweep it times one epidemic on the batched
 //! (tau-leaping) backend at n = 10⁹ — the scale the exact backends cannot
 //! reach — and records its wall clock under the `batched_*` JSON keys.
+//!
+//! A third section times the *intra-run* axis: the same agent-array
+//! epidemic cell stepped with `ParallelPolicy::threads(1)` versus
+//! `ParallelPolicy::auto()`, across-cell workers pinned to one so the
+//! stepper policy is the only variable. The `intra_run_*` keys record it
+//! next to `across_cell_speedup_auto_over_1` (an alias of the historical
+//! `speedup_auto_over_1`) so the two parallelism axes can be compared in
+//! one file.
 
 use pp_bench::experiments::convergence;
 use pp_bench::{log2n, Scale};
 use pp_protocols::Infection;
-use pp_sim::{BatchedCountSimulator, Sweep, TrackedEstimates};
+use pp_sim::{BatchedCountSimulator, ParallelPolicy, Sweep, TrackedEstimates};
 use std::io::Write;
 
 fn main() {
@@ -86,6 +94,36 @@ fn main() {
     );
     println!("batched n = {batched_n}: {batched_runs} epidemic(s) in {batched_wall:.3} s");
 
+    // Intra-run sharding: one agent-array epidemic cell, across-cell
+    // workers pinned to 1, timed with the parallel stepper at one thread
+    // and at machine parallelism. Both runs produce bit-identical rows
+    // (thread-count invariance), so only the wall clock differs.
+    let (intra_n, intra_runs) = if scale.smoke {
+        (1usize << 14, 2usize)
+    } else {
+        (1usize << 17, 8usize)
+    };
+    let time_intra = |policy: ParallelPolicy| {
+        let results = Sweep::new(Infection::new())
+            .populations([intra_n])
+            .runs(intra_runs)
+            .master_seed(scale.seed)
+            .threads(1)
+            .horizon(4.0 * log2n(intra_n))
+            .snapshot_every(log2n(intra_n))
+            .init_with(|i| i == 0)
+            .parallel(policy)
+            .run_scanned();
+        assert_eq!(results.total_runs(), intra_runs);
+        results.wall.as_secs_f64()
+    };
+    let intra_serial = time_intra(ParallelPolicy::threads(1));
+    println!("intra-run n = {intra_n}, threads = 1   : {intra_serial:.3} s");
+    let intra_auto = time_intra(ParallelPolicy::auto());
+    println!("intra-run n = {intra_n}, threads = auto: {intra_auto:.3} s");
+    let intra_speedup = intra_serial / intra_auto;
+    println!("intra-run speedup                      : {intra_speedup:.2}x");
+
     let json = format!(
         concat!(
             "{{\n",
@@ -97,6 +135,12 @@ fn main() {
             "  \"wall_seconds_threads_1\": {:.6},\n",
             "  \"wall_seconds_threads_auto\": {:.6},\n",
             "  \"speedup_auto_over_1\": {:.4},\n",
+            "  \"across_cell_speedup_auto_over_1\": {:.4},\n",
+            "  \"intra_run_n\": {},\n",
+            "  \"intra_run_runs\": {},\n",
+            "  \"intra_run_wall_seconds_threads_1\": {:.6},\n",
+            "  \"intra_run_wall_seconds_threads_auto\": {:.6},\n",
+            "  \"intra_run_speedup_auto_over_1\": {:.4},\n",
             "  \"batched_n\": {},\n",
             "  \"batched_runs\": {},\n",
             "  \"batched_wall_seconds\": {:.6}\n",
@@ -109,6 +153,12 @@ fn main() {
         serial,
         auto,
         speedup,
+        speedup,
+        intra_n,
+        intra_runs,
+        intra_serial,
+        intra_auto,
+        intra_speedup,
         batched_n,
         batched_runs,
         batched_wall,

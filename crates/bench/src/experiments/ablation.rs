@@ -51,7 +51,7 @@ where
         .schedule("crash", schedule)
         .horizon(sc.horizon)
         .snapshot_every(5.0)
-        .run();
+        .run_scanned();
     let runs = &results.cells[0].runs;
     let band = Band::around_log_n(sc.n, 0.4, 6.0);
     let conv: Vec<f64> = runs

@@ -22,7 +22,7 @@ use dsc_core::{AveragedDsc, DscConfig};
 use pp_analysis::{mean, std_dev, Table, TableSpec};
 use pp_model::{MemoryFootprint, SizeEstimator};
 use pp_protocols::De19Averaging;
-use pp_sim::{Simulator, TrackedEstimates, WithMemory};
+use pp_sim::{ScannedEstimates, Simulator, WithMemory};
 
 struct Row {
     name: String,
@@ -45,7 +45,10 @@ where
         .populations([n])
         .horizon(WARMUP + ROUND * f64::from(rounds))
         .snapshot_every(ROUND)
-        .run_on::<Simulator<_>, _>(WithMemory(TrackedEstimates))
+        // Scanned, not tracked: snapshots land >= 1 pt apart, far past
+        // the ~0.4 pt crossover recorded in BENCH_hotloop.json, and the
+        // memory readout scans all agents per snapshot anyway.
+        .run_on::<Simulator<_>, _>(WithMemory(ScannedEstimates))
         .expect("the agent-array backend records memory");
     let cell = &results.cells[0];
 

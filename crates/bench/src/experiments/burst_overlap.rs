@@ -22,7 +22,7 @@ use crate::{f2, log2n, Scale};
 use pp_analysis::{ClockDecomposition, ClockVerdict, Table, TableSpec};
 use pp_model::{SizeEstimator, TickProtocol};
 use pp_protocols::ModMClock;
-use pp_sim::{RunResult, Simulator, TickEvent, TrackedEstimates, WithTicks};
+use pp_sim::{RunResult, ScannedEstimates, Simulator, TickEvent, WithTicks};
 
 fn ticked_run<P>(
     scale: &Scale,
@@ -45,7 +45,9 @@ where
         // readout; aligning it to the warm-up time puts a snapshot at
         // exactly that instant.
         .snapshot_every(warmup)
-        .run_on::<Simulator<_>, _>(WithTicks(TrackedEstimates))
+        // Scanned estimates (crossover ~0.4 pt, BENCH_hotloop.json);
+        // only the tick recorder still hooks every interaction.
+        .run_on::<Simulator<_>, _>(WithTicks(ScannedEstimates))
         .expect("the agent-array backend records ticks");
     results.cells.swap_remove(0).runs.swap_remove(0)
 }

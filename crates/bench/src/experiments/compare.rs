@@ -61,7 +61,7 @@ where
         .schedule("crash", crash)
         .horizon(sc.horizon)
         .snapshot_every(10.0)
-        .run();
+        .run_scanned();
 
     let crashed = PooledSeries::pool(&results.cell(sc.n, "crash").expect("crash cell").runs);
     let control = PooledSeries::pool(&results.cell(sc.n, "static").expect("static cell").runs);

@@ -26,7 +26,7 @@ pub fn population_sweep(scale: &Scale, exps: &[u32]) -> SweepResults {
         .populations(exps.iter().map(|&e| 1usize << e))
         .horizon_with(|n| 500.0 + 10.0 * (n.max(2) as f64).log2())
         .snapshot_every(1.0)
-        .run()
+        .run_scanned()
 }
 
 /// Runs E5, returning the `convergence_nhat.csv` / `convergence_n.csv`
@@ -73,7 +73,7 @@ pub fn run(scale: &Scale) -> Vec<TableSpec> {
             .horizon(horizon)
             .snapshot_every(5.0)
             .init_with(move |_i| protocol.state_with_estimate(e0))
-            .run();
+            .run_scanned();
         let times: Vec<f64> = results.cells[0]
             .runs()
             .filter_map(|r| convergence_time(r, band_for(n)))

@@ -34,7 +34,7 @@ pub fn run(scale: &Scale) -> Vec<TableSpec> {
         .populations([n])
         .horizon(horizon)
         .snapshot_every(snapshot_every)
-        .run();
+        .run_scanned();
     let pooled = PooledSeries::pool(&results.cells[0].runs);
 
     let times: Vec<f64> = pooled.points.iter().map(|p| p.parallel_time).collect();

@@ -33,7 +33,7 @@ pub fn run(scale: &Scale) -> Vec<TableSpec> {
         .populations((1..=max_exp).map(|e| 10usize.pow(e)))
         .horizon(horizon)
         .snapshot_every(5.0)
-        .run();
+        .run_scanned();
 
     let mut table = Table::new(vec!["n", "log2(n)", "min", "median", "max"]);
     let mut csv = TableSpec::new("fig3.csv", &["n", "min", "median", "max"]);

@@ -37,7 +37,7 @@ pub fn run(scale: &Scale) -> Vec<TableSpec> {
         .schedule("crash", schedule)
         .horizon(horizon)
         .snapshot_every(if scale.smoke { 2.0 } else { 5.0 })
-        .run();
+        .run_scanned();
 
     let mut tables = Vec::new();
     for (&exp, cell) in exps.iter().zip(results.cells_for_schedule("crash")) {

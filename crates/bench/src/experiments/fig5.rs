@@ -41,7 +41,7 @@ pub fn run(scale: &Scale) -> Vec<TableSpec> {
         .horizon(horizon)
         .snapshot_every(if scale.smoke { 2.0 } else { 5.0 })
         .init_with(move |_i| protocol.state_with_estimate(INITIAL_ESTIMATE))
-        .run();
+        .run_scanned();
 
     let mut tables = Vec::new();
     for (&exp, cell) in exps.iter().zip(results.cells_for_schedule("static")) {

@@ -98,7 +98,7 @@ pub use recording::{
 pub use runner::parallel_map;
 pub use scenario::{ScenarioTrace, TraceSegment, BUILTIN_TRACES};
 pub use series::{EstimateSummary, MemorySummary, RecoveryPoint, RunResult, Snapshot, TickEvent};
-pub use simulator::{ChunkSize, Simulator};
+pub use simulator::{ChunkSize, ParallelPolicy, Simulator};
 pub use sweep::{
     CellOutcome, FailureSummary, ResiliencePolicy, ResilientCell, ResilientResults, Sweep,
     SweepCell, SweepResults,

@@ -1,0 +1,816 @@
+//! Intra-population parallel stepper: shards one population's interactions
+//! across worker threads.
+//!
+//! Sweep parallelism spreads *cells* across threads, but a single figure-scale
+//! run is still sequential — and at n ≥ 10⁷ that one run is the wall-clock
+//! limiter. This module parallelizes *within* a run while keeping the model
+//! semantics exact:
+//!
+//! 1. **Draw** a super-block of pairs up front from the master RNG (one
+//!    Lemire word per pair — the same single-draw stream the sequential
+//!    engine consumes).
+//! 2. **Partition** the block with the hazard bitmap into a *clean* majority
+//!    (pairs whose agents no earlier pair in the block touches in a
+//!    conflicting way) and a *residue* (pairs that share an agent with an
+//!    earlier pair). Clean pairs mark the agents they write — the initiator,
+//!    plus the responder unless the protocol is [`Protocol::ONE_WAY`];
+//!    residue pairs conservatively mark both agents so everything downstream
+//!    of a conflict stays ordered.
+//! 3. **Gather** the clean pairs' states into fixed-size *stripes* (dense
+//!    L1-resident buffers, [`STRIPE`] pairs each) — the same
+//!    gather/compute/scatter pipeline the sequential engine uses, with the
+//!    stripe as the unit of work a thread claims.
+//! 4. **Compute** stripes concurrently: workers (and the master) claim
+//!    stripes from a shared cursor and run the protocol's transitions on
+//!    their private buffers. Each stripe gets its own RNG seeded from a
+//!    per-block entropy word and the stripe index, so results are a function
+//!    of the seed alone — *never* of the thread count or scheduling.
+//! 5. **Scatter** stripe outputs back to the agent array in stripe order,
+//!    then apply the residue sequentially in draw order.
+//!
+//! Why this is an exact sampler: a clean pair's agents are untouched by every
+//! earlier pair in the block (earlier clean pairs did not write them — the
+//! marks prove it — and earlier residue pairs did not touch them at all,
+//! since residue marks both agents). Within the clean partition each agent is
+//! written by at most one pair, and any read-after-gather sees the block-start
+//! value — exactly what draw order prescribes. Residue pairs run last and see
+//! the block-start state plus all clean writes plus earlier residue writes;
+//! no clean pair drawn *after* a residue pair touches any of that residue
+//! pair's agents (it would have been classified residue by the marks). So the
+//! execution equals a sequential draw-order application of the same pairs,
+//! with transition randomness re-assigned to per-stripe streams — the drawn
+//! schedule is identical to the model's, and the coins remain independent
+//! uniform words. Sequential [`Simulator::step_n`] stays the bit-identical
+//! default; this engine is *equivalent in distribution* (and exactly equal to
+//! draw-order application for any fixed seed, pinned by the unit tests here).
+//!
+//! Coordination: one `std::thread::scope` per [`Simulator::step_n_parallel`]
+//! call spawns `threads − 1` workers that park on a condvar gate between
+//! blocks. The gate carries a generation counter; stripe claiming and
+//! completion accounting happen under the gate lock with a generation check,
+//! so a worker waking late from block k can never claim or complete stripes
+//! of block k+1. Panic safety: a stripe guard completes its stripe on unwind
+//! (the master cannot deadlock waiting on a dead worker) and a master-side
+//! guard raises shutdown on unwind (workers cannot park forever); the scope
+//! then propagates the panic.
+
+use super::{set_mark, test_mark, Simulator, GATHER_THRESHOLD_BYTES};
+use crate::observer::Observer;
+use crate::runner::run_seed;
+use parking_lot::{Condvar, Mutex};
+use pp_model::{random_ordered_pair, Protocol};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Clean pairs per stripe — the unit of work a thread claims. 256 pairs
+/// keep the stripe buffer a few KB (L1-resident for typical states) while
+/// amortizing the two gate locks per claim to well under 1 % of compute.
+const STRIPE: usize = 256;
+
+/// Pairs per super-block for a population of `n` agents.
+///
+/// Scales with n so the expected residue stays a small constant fraction:
+/// with B pairs over n agents a block has ~2B²/n conflicting draws, so
+/// B = n/64 keeps the residue near 3 %. Clamped below by one stripe's
+/// worth of useful work; `n` is first capped at the bitmap size (2¹⁹
+/// bits), both because masked aliases — not genuine collisions — set the
+/// conflict rate beyond it and so the block tops out at 8 192 pairs
+/// (32 stripes), bounding the per-call stripe allocation.
+fn super_block_pairs(n: usize) -> usize {
+    (n.min(1 << 19) / 64).max(64)
+}
+
+/// How many threads the parallel stepper uses (the opt-in knob carried by
+/// `CellSpec` and [`Simulator::step_n_parallel`]).
+///
+/// The thread count **never** affects results: partitioning and per-stripe
+/// RNG seeding are functions of the master seed alone, so `threads(1)` and
+/// `threads(8)` produce identical trajectories. `threads: 0` (the
+/// [`ParallelPolicy::auto`] / `Default` value) resolves to the machine's
+/// available parallelism at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelPolicy {
+    /// Worker-thread count; `0` means use `std::thread::available_parallelism`.
+    pub threads: usize,
+}
+
+impl ParallelPolicy {
+    /// Use the machine's available parallelism.
+    pub fn auto() -> Self {
+        ParallelPolicy { threads: 0 }
+    }
+
+    /// Use exactly `n` threads (the calling thread counts as one of them).
+    pub fn threads(n: usize) -> Self {
+        ParallelPolicy { threads: n }
+    }
+
+    /// The concrete thread count this policy resolves to on this machine.
+    pub(crate) fn resolve(self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// One claimable unit of clean work: the pairs, their gathered states
+/// (`[u₀, v₀, u₁, v₁, …]`), and the seed of the stripe's transition RNG.
+/// Buffers are reused across blocks — no steady-state allocation after the
+/// first block.
+struct Stripe<S> {
+    pairs: Vec<(usize, usize)>,
+    states: Vec<S>,
+    seed: u64,
+}
+
+/// Shared coordination state, guarded by the gate mutex. The generation
+/// counter makes every field self-describing: a thread holding the lock
+/// with a stale generation knows its block is over and must not touch the
+/// cursor or the completion count.
+struct GateState {
+    /// Monotone block counter; bumped by the master when a block's stripes
+    /// are filled and ready.
+    generation: u64,
+    /// Number of active stripes in the current generation.
+    stripes: usize,
+    /// Claim cursor: index of the next unclaimed stripe.
+    next_stripe: usize,
+    /// Stripes fully computed in the current generation.
+    completed: usize,
+    /// Raised once at the end of the stepping call (or on master unwind);
+    /// workers exit their loop.
+    shutdown: bool,
+}
+
+/// The phase gate workers park on between super-blocks.
+struct Gate {
+    state: Mutex<GateState>,
+    /// Master → workers: a new generation is ready (or shutdown).
+    start: Condvar,
+    /// Workers → master: the last stripe of the generation completed.
+    done: Condvar,
+}
+
+/// Marks one stripe complete on drop — normally right after its compute
+/// loop, but also on unwind, so a panicking transition cannot strand the
+/// master in its completion wait. Generation-checked: a stale guard (its
+/// block already retired) does nothing.
+struct CompleteOnDrop<'a> {
+    gate: &'a Gate,
+    generation: u64,
+}
+
+impl Drop for CompleteOnDrop<'_> {
+    fn drop(&mut self) {
+        let mut g = self.gate.state.lock();
+        if g.generation == self.generation {
+            g.completed += 1;
+            if g.completed == g.stripes {
+                self.gate.done.notify_all();
+            }
+        }
+    }
+}
+
+/// Raises shutdown on drop — normally at the end of the stepping call, but
+/// also when the master unwinds, so workers parked on the start condvar
+/// cannot wait forever on a dead master.
+struct ShutdownOnDrop<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for ShutdownOnDrop<'_> {
+    fn drop(&mut self) {
+        self.gate.state.lock().shutdown = true;
+        self.gate.start.notify_all();
+    }
+}
+
+/// Claims and computes stripes of generation `generation` until the cursor
+/// runs out (or the generation retires). Run by workers and by the master
+/// itself — the master is just the thread that also fills and scatters.
+fn compute_stripes<P: Protocol>(
+    protocol: &P,
+    stripes: &[Mutex<Stripe<P::State>>],
+    gate: &Gate,
+    generation: u64,
+) {
+    loop {
+        let idx = {
+            let mut g = gate.state.lock();
+            if g.generation != generation || g.next_stripe >= g.stripes {
+                return;
+            }
+            g.next_stripe += 1;
+            g.next_stripe - 1
+        };
+        let complete = CompleteOnDrop { gate, generation };
+        {
+            let mut stripe = stripes[idx].lock();
+            let stripe = &mut *stripe;
+            let mut rng = SmallRng::seed_from_u64(stripe.seed);
+            for k in 0..stripe.pairs.len() {
+                let (head, tail) = stripe.states.split_at_mut(2 * k + 1);
+                let u = &mut head[2 * k];
+                let v = &mut tail[0];
+                protocol.interact(u, v, &mut rng);
+            }
+        }
+        // Stripe lock released above; the guard's drop takes the gate lock.
+        drop(complete);
+    }
+}
+
+/// A worker's whole life: park on the gate, compute a generation's stripes,
+/// repeat until shutdown.
+fn worker_loop<P: Protocol>(protocol: &P, stripes: &[Mutex<Stripe<P::State>>], gate: &Gate) {
+    let mut seen = 0u64;
+    loop {
+        let generation = {
+            let mut g = gate.state.lock();
+            loop {
+                if g.shutdown {
+                    return;
+                }
+                if g.generation != seen {
+                    break g.generation;
+                }
+                g = gate.start.wait(g);
+            }
+        };
+        seen = generation;
+        compute_stripes(protocol, stripes, gate, generation);
+    }
+}
+
+impl<P, O> Simulator<P, O>
+where
+    P: Protocol + Sync,
+    P::State: Send,
+    O: Observer<P>,
+{
+    /// The parallel stepping engine. `pub(crate)` and generic over the
+    /// observer so the backend's `AgentDriver` can dispatch to it for any
+    /// recording plan whose `PER_INTERACTION` is false — the engine never
+    /// invokes per-interaction observer hooks (such plans promise their
+    /// observer ignores them). The public, `O = ()` entry point is
+    /// [`Simulator::step_n_parallel`].
+    pub(crate) fn step_n_parallel_raw(&mut self, count: u64, threads: usize) {
+        if count == 0 {
+            return;
+        }
+        let n = self.config.len();
+        assert!(
+            n >= 2,
+            "an interaction needs at least two agents, got n={n}"
+        );
+        let block = super_block_pairs(n);
+        let workers = threads.max(1) - 1;
+        let mask = self.marks.len() * 64 - 1;
+
+        let Simulator {
+            protocol,
+            config,
+            rng,
+            marks,
+            parallel_residue,
+            ..
+        } = self;
+        let protocol: &P = protocol;
+
+        // Draw-order partition of one block, reused across blocks. The
+        // clean pairs' states are gathered into `gathered` *inside* the
+        // draw loop (workers never touch the agent array, and — exactly as
+        // in the sequential `step_block` pipeline — interleaving the
+        // random loads with the serial RNG chain lets the out-of-order
+        // core overlap the cache misses). A cache-resident agent array
+        // skips the gather on the single-worker path, where in-place
+        // application only wins.
+        let gather = workers > 0
+            || n.saturating_mul(std::mem::size_of::<P::State>()) > GATHER_THRESHOLD_BYTES;
+        let mut clean: Vec<(usize, usize)> = Vec::new();
+        let mut gathered: Vec<P::State> = Vec::new();
+        let mut residue: Vec<(usize, usize)> = Vec::new();
+        let stripes: Vec<Mutex<Stripe<P::State>>> = (0..block.div_ceil(STRIPE))
+            .map(|_| {
+                Mutex::new(Stripe {
+                    pairs: Vec::new(),
+                    states: Vec::new(),
+                    seed: 0,
+                })
+            })
+            .collect();
+        let gate = Gate {
+            state: Mutex::new(GateState {
+                generation: 0,
+                stripes: 0,
+                next_stripe: 0,
+                completed: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        };
+
+        std::thread::scope(|scope| {
+            let shutdown = ShutdownOnDrop { gate: &gate };
+            for _ in 0..workers {
+                let (stripes, gate) = (&stripes, &gate);
+                scope.spawn(move || worker_loop(protocol, stripes, gate));
+            }
+
+            let mut generation = 0u64;
+            let mut done = 0u64;
+            while done < count {
+                let b = ((count - done) as usize).min(block);
+
+                // Draw + partition. Clean pairs mark what they write (the
+                // responder too unless the protocol is one-way — a one-way
+                // responder is read-only, and a later reader of a read-only
+                // agent still sees the block-start value, exactly as draw
+                // order prescribes). Residue pairs mark both agents: every
+                // later pair touching anything a residue pair touches must
+                // itself stay ordered behind it.
+                clean.clear();
+                gathered.clear();
+                residue.clear();
+                {
+                    let states = config.as_slice();
+                    for _ in 0..b {
+                        let (i, j) = random_ordered_pair(n, rng);
+                        if test_mark(marks, mask, i) || test_mark(marks, mask, j) {
+                            set_mark(marks, mask, i);
+                            set_mark(marks, mask, j);
+                            residue.push((i, j));
+                        } else {
+                            set_mark(marks, mask, i);
+                            if !P::ONE_WAY {
+                                set_mark(marks, mask, j);
+                            }
+                            clean.push((i, j));
+                            if gather {
+                                gathered.push(states[i].clone());
+                                gathered.push(states[j].clone());
+                            }
+                        }
+                    }
+                }
+                // One entropy word per block seeds every stripe RNG and the
+                // residue RNG. Drawn *after* the block's pairs, so a block's
+                // pair stream is positionally identical to the sequential
+                // engine's — for RNG-free protocols a conflict-free first
+                // block is bit-identical to `step_n` (pinned by tests).
+                let block_entropy: u64 = rng.random();
+
+                let active = clean.len().div_ceil(STRIPE);
+                if workers == 0 && !gather {
+                    // Cache-resident single-worker fast path: apply the
+                    // clean partition in place, in draw order, one
+                    // per-stripe RNG per chunk. Bit-identical to the
+                    // buffered paths — no clean pair writes an agent
+                    // another clean pair later reads (such a reader would
+                    // have failed the hazard test and gone to the
+                    // residue), so every in-place read still sees the
+                    // block-start value, and the per-stripe RNG streams
+                    // match by construction.
+                    for (st, chunk) in clean.chunks(STRIPE).enumerate() {
+                        let mut stripe_rng = SmallRng::seed_from_u64(run_seed(block_entropy, st));
+                        for &(i, j) in chunk {
+                            let (u, v) = config.pair_mut(i, j);
+                            protocol.interact(u, v, &mut stripe_rng);
+                        }
+                    }
+                } else if workers == 0 {
+                    // Single-worker pipeline: compute on the dense gather
+                    // buffer with the scatter folded into the same loop —
+                    // the sequential `step_block` recipe, minus every lock
+                    // and gate. Scattering a slot immediately is safe for
+                    // the same reason in-place application is: in draw
+                    // order every clean reader of an agent precedes its
+                    // clean writer, so no later slot reads these stores
+                    // (later slots read the gather buffer). This is what
+                    // keeps `threads = 1` near sequential parity on
+                    // memory-bound populations.
+                    let out = config.as_mut_slice();
+                    for (st, (pair_chunk, state_chunk)) in clean
+                        .chunks(STRIPE)
+                        .zip(gathered.chunks_mut(2 * STRIPE))
+                        .enumerate()
+                    {
+                        let mut stripe_rng = SmallRng::seed_from_u64(run_seed(block_entropy, st));
+                        for (&(i, j), slot) in
+                            pair_chunk.iter().zip(state_chunk.chunks_exact_mut(2))
+                        {
+                            let (a, rest) = slot.split_at_mut(1);
+                            protocol.interact(&mut a[0], &mut rest[0], &mut stripe_rng);
+                            out[i].clone_from(&a[0]);
+                            if !P::ONE_WAY {
+                                out[j].clone_from(&rest[0]);
+                            }
+                        }
+                    }
+                } else {
+                    // Publish the clean partition to the stripes: dense
+                    // slice-to-slice copies out of the draw loop's gather
+                    // buffer (the random loads already happened there).
+                    for (st, (pair_chunk, state_chunk)) in clean
+                        .chunks(STRIPE)
+                        .zip(gathered.chunks(2 * STRIPE))
+                        .enumerate()
+                    {
+                        let mut stripe = stripes[st].lock();
+                        let stripe = &mut *stripe;
+                        stripe.seed = run_seed(block_entropy, st);
+                        stripe.pairs.clear();
+                        stripe.pairs.extend_from_slice(pair_chunk);
+                        stripe.states.clear();
+                        stripe.states.extend_from_slice(state_chunk);
+                    }
+
+                    // Open the gate: publish the new generation and join the
+                    // compute ourselves. All stripe locks from the previous
+                    // generation are free — the master only got here after
+                    // its completion wait.
+                    generation += 1;
+                    {
+                        let mut g = gate.state.lock();
+                        g.generation = generation;
+                        g.stripes = active;
+                        g.next_stripe = 0;
+                        g.completed = 0;
+                    }
+                    gate.start.notify_all();
+                    compute_stripes(protocol, &stripes, &gate, generation);
+                    {
+                        let mut g = gate.state.lock();
+                        while g.completed < g.stripes {
+                            g = gate.done.wait(g);
+                        }
+                    }
+
+                    // Scatter stripe outputs in stripe (= draw) order;
+                    // one-way protocols never mutate the responder, so only
+                    // initiator slots are written.
+                    {
+                        let out = config.as_mut_slice();
+                        for stripe in stripes[..active].iter() {
+                            let stripe = stripe.lock();
+                            for (k, &(i, j)) in stripe.pairs.iter().enumerate() {
+                                out[i].clone_from(&stripe.states[2 * k]);
+                                if !P::ONE_WAY {
+                                    out[j].clone_from(&stripe.states[2 * k + 1]);
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Residue: sequential, in draw order, on its own stream
+                // (stripe indices are 0..active, so index `active` is free).
+                let mut residue_rng = SmallRng::seed_from_u64(run_seed(block_entropy, active));
+                for &(i, j) in residue.iter() {
+                    let (u, v) = config.pair_mut(i, j);
+                    protocol.interact(u, v, &mut residue_rng);
+                }
+                *parallel_residue += residue.len() as u64;
+
+                // Reset the hazard bitmap for the next block. A straight
+                // memset beats clearing per pair: the bitmap is at most
+                // 64 KB of sequential stores amortized over the whole
+                // block, versus two dependent random read-modify-writes
+                // per pair.
+                marks.fill(0);
+
+                done += b as u64;
+            }
+            drop(shutdown);
+        });
+
+        self.interactions += count;
+        self.parallel_time += count as f64 * self.inv_n;
+    }
+
+    /// Parallel-stepper counterpart of [`Simulator::run_parallel_time`]
+    /// (same epoch arithmetic, dispatching to the parallel engine).
+    pub(crate) fn run_parallel_time_parallel_raw(&mut self, duration: f64, threads: usize) {
+        let target = self.parallel_time + duration;
+        let n = self.config.len();
+        if n < 2 {
+            self.parallel_time = target;
+            return;
+        }
+        while self.parallel_time < target {
+            let deficit = target - self.parallel_time;
+            let needed = (deficit * n as f64).ceil().max(1.0) as u64;
+            self.step_n_parallel_raw(needed, threads);
+        }
+    }
+}
+
+impl<P> Simulator<P, ()>
+where
+    P: Protocol + Sync,
+    P::State: Send,
+{
+    /// Simulates `count` interactions on the intra-population parallel
+    /// stepper (explicit opt-in; [`Simulator::step_n`] remains the
+    /// bit-identical sequential default).
+    ///
+    /// **Determinism contract.** The trajectory is a pure function of the
+    /// seed and the call sequence — the thread count and OS scheduling
+    /// never change results. The engine samples the exact model (the drawn
+    /// pair schedule is the sequential engine's own stream; see the module
+    /// docs for the reorder argument), but assigns transition randomness to
+    /// per-stripe streams, so a run is *equivalent in distribution* to —
+    /// not bit-identical with — `step_n`. Exception: a conflict-free
+    /// super-block of an RNG-free protocol is bit-identical (pinned by
+    /// tests). Conflicting draws are applied sequentially in draw order;
+    /// [`Simulator::parallel_residue`] counts them (~3 % of pairs).
+    ///
+    /// Restricted to unobserved simulators (`O = ()`): the engine skips
+    /// per-interaction observer hooks. Backend runs opt in with a
+    /// `ParallelPolicy` on `CellSpec`, which is accepted exactly when the
+    /// recording plan declares it needs no per-interaction hooks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 0` and the population has fewer than two agents.
+    pub fn step_n_parallel(&mut self, count: u64, policy: ParallelPolicy) {
+        let threads = policy.resolve();
+        self.step_n_parallel_raw(count, threads);
+    }
+
+    /// Runs for `duration` units of parallel time on the parallel stepper
+    /// (see [`Simulator::step_n_parallel`] for the contract).
+    pub fn run_parallel_time_parallel(&mut self, duration: f64, policy: ParallelPolicy) {
+        let threads = policy.resolve();
+        self.run_parallel_time_parallel_raw(duration, threads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Two-way RNG-free max (both agents adopt the pairwise max).
+    struct Max2;
+    impl Protocol for Max2 {
+        type State = u32;
+        fn initial_state(&self) -> u32 {
+            0
+        }
+        fn interact<R: Rng + ?Sized>(&self, u: &mut u32, v: &mut u32, _: &mut R) {
+            let m = (*u).max(*v);
+            *u = m;
+            *v = m;
+        }
+    }
+
+    /// One-way RNG-free max epidemic (initiator adopts the max).
+    struct Max1;
+    impl Protocol for Max1 {
+        type State = u32;
+        const ONE_WAY: bool = true;
+        fn initial_state(&self) -> u32 {
+            0
+        }
+        fn interact<R: Rng + ?Sized>(&self, u: &mut u32, v: &mut u32, _: &mut R) {
+            *u = (*u).max(*v);
+        }
+    }
+
+    /// Applies one ordered interaction in place (the reference executor's
+    /// `pair_mut`).
+    fn apply<P: Protocol>(
+        protocol: &P,
+        states: &mut [P::State],
+        i: usize,
+        j: usize,
+        rng: &mut SmallRng,
+    ) {
+        let (u, v) = if i < j {
+            let (l, r) = states.split_at_mut(j);
+            (&mut l[i], &mut r[0])
+        } else {
+            let (l, r) = states.split_at_mut(i);
+            (&mut r[0], &mut l[j])
+        };
+        protocol.interact(u, v, rng);
+    }
+
+    /// Draw-order reference executor: consumes the master RNG exactly as
+    /// one `step_n_parallel` call does (per block: the block's pair draws,
+    /// then one entropy word) but applies every pair sequentially in draw
+    /// order. For RNG-free protocols this is the exact trajectory the
+    /// parallel engine must reproduce — across all regimes: all-colliding
+    /// degenerate populations, bitmap-aliased huge populations, and any
+    /// thread count.
+    fn reference_step<P: Protocol>(
+        protocol: &P,
+        states: &mut [P::State],
+        rng: &mut SmallRng,
+        count: u64,
+    ) {
+        let n = states.len();
+        let block = super_block_pairs(n) as u64;
+        let mut transition_rng = SmallRng::seed_from_u64(0);
+        let mut done = 0u64;
+        while done < count {
+            let b = (count - done).min(block);
+            let pairs: Vec<(usize, usize)> = (0..b).map(|_| random_ordered_pair(n, rng)).collect();
+            let _entropy: u64 = rng.random();
+            for (i, j) in pairs {
+                apply(protocol, states, i, j, &mut transition_rng);
+            }
+            done += b;
+        }
+    }
+
+    fn plant(states: &mut [u32], stride: usize) {
+        for k in 0..10 {
+            states[(k * stride) % states.len()] = k as u32 + 1;
+        }
+    }
+
+    /// The core correctness pin: for RNG-free protocols the parallel engine
+    /// must equal draw-order sequential application of its own pair stream
+    /// — for every thread count, including degenerate all-colliding
+    /// populations (n = 2, 3) and a population past the 64 KB bitmap cap
+    /// where masked aliases force spurious residue.
+    #[test]
+    fn parallel_matches_draw_order_reference_for_rng_free_protocols() {
+        let big = (1usize << 19) + 65;
+        for &(n, count, seed) in &[
+            (2usize, 500u64, 11u64),
+            (3, 500, 12),
+            (1_000, 5_000, 13),
+            (big, 20_000, 14),
+        ] {
+            let mut expected: Vec<u32> = vec![0; n];
+            plant(&mut expected, 97);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            reference_step(&Max2, &mut expected, &mut rng, count);
+
+            for threads in [1usize, 2, 4] {
+                let mut sim = Simulator::with_seed(Max2, n, seed);
+                plant_sim(&mut sim, 97);
+                sim.step_n_parallel(count, ParallelPolicy::threads(threads));
+                assert_eq!(
+                    sim.states(),
+                    expected.as_slice(),
+                    "divergence at n={n}, threads={threads}"
+                );
+                assert_eq!(sim.interactions(), count);
+                let expected_time = count as f64 / n as f64;
+                assert!((sim.parallel_time() - expected_time).abs() < 1e-9);
+                if n <= 3 || n == big {
+                    // Degenerate populations collide almost every draw;
+                    // past the bitmap cap, masked aliases add spurious
+                    // conflicts. Both must show up as residue.
+                    assert!(sim.parallel_residue() > 0, "expected residue at n={n}");
+                }
+            }
+        }
+    }
+
+    fn plant_sim(sim: &mut Simulator<Max2, ()>, stride: usize) {
+        let n = sim.population();
+        for k in 0..10 {
+            *sim.state_mut((k * stride) % n) = k as u32 + 1;
+        }
+    }
+
+    /// One-way marking (initiators only) must agree with the same
+    /// draw-order reference — the responder of a clean one-way pair is
+    /// read-only, so later readers legitimately share it, and the WAR
+    /// hazard (a later clean pair *writing* an earlier pair's read-only
+    /// responder) is resolved by the gather snapshot.
+    #[test]
+    fn one_way_marking_matches_draw_order_reference() {
+        let n = 1_000;
+        let count = 10_000;
+        let mut expected: Vec<u32> = vec![0; n];
+        plant(&mut expected, 131);
+        let mut rng = SmallRng::seed_from_u64(77);
+        reference_step(&Max1, &mut expected, &mut rng, count);
+
+        for threads in [1usize, 3] {
+            let mut sim = Simulator::with_seed(Max1, n, 77);
+            for k in 0..10 {
+                *sim.state_mut((k * 131) % n) = k as u32 + 1;
+            }
+            sim.step_n_parallel(count, ParallelPolicy::threads(threads));
+            assert_eq!(sim.states(), expected.as_slice(), "threads={threads}");
+        }
+    }
+
+    /// Conflict-free super-blocks are *bit-identical* to the sequential
+    /// engine for RNG-free protocols: the pair words coincide positionally
+    /// (the entropy word is drawn after the block) and draw-order
+    /// application is exactly `step_n`. A block of 64 pairs over 100 000
+    /// agents is conflict-free for ~92 % of seeds; scan for one.
+    #[test]
+    fn conflict_free_super_block_matches_sequential_exactly() {
+        let n = 100_000;
+        let count = 64;
+        let mut found = false;
+        for seed in 0..40u64 {
+            let mut par = Simulator::with_seed(Max2, n, seed);
+            plant_sim(&mut par, 997);
+            par.step_n_parallel(count, ParallelPolicy::threads(2));
+            if par.parallel_residue() > 0 {
+                continue;
+            }
+            found = true;
+            let mut seq = Simulator::with_seed(Max2, n, seed);
+            plant_sim(&mut seq, 997);
+            seq.step_n(count);
+            assert_eq!(par.states(), seq.states(), "seed={seed}");
+            assert_eq!(par.interactions(), seq.interactions());
+            break;
+        }
+        assert!(found, "no conflict-free seed in 40 tries (p < 10^-40)");
+    }
+
+    /// Coin-flipping protocol: accumulates XORs of random words, so any
+    /// change in RNG assignment or application order moves the states.
+    /// Thread count must not.
+    struct Mixer;
+    impl Protocol for Mixer {
+        type State = u64;
+        fn initial_state(&self) -> u64 {
+            0
+        }
+        fn interact<R: Rng + ?Sized>(&self, u: &mut u64, v: &mut u64, rng: &mut R) {
+            let coin: u64 = rng.random();
+            *u = u.rotate_left(7) ^ coin;
+            *v = v.wrapping_add(coin | 1);
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let run = |threads: usize| {
+            let mut sim = Simulator::with_seed(Mixer, 500, 42);
+            sim.step_n_parallel(3_000, ParallelPolicy::threads(threads));
+            sim.step_n_parallel(1, ParallelPolicy::threads(threads));
+            sim.step_n_parallel(137, ParallelPolicy::threads(threads));
+            sim.states().to_vec()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(4));
+        assert_eq!(one, run(8));
+    }
+
+    #[test]
+    fn auto_policy_resolves_and_runs() {
+        let mut sim = Simulator::with_seed(Max2, 100, 5);
+        plant_sim(&mut sim, 7);
+        sim.run_parallel_time_parallel(30.0, ParallelPolicy::auto());
+        // A two-way max epidemic converges well inside 30 parallel time.
+        let target = *sim.states().iter().max().unwrap();
+        assert!(sim.states().iter().all(|&s| s == target));
+        assert!((sim.parallel_time() - 30.0).abs() < 1e-9);
+        assert!(ParallelPolicy::auto().resolve() >= 1);
+    }
+
+    #[test]
+    fn zero_count_is_a_no_op() {
+        let mut sim = Simulator::with_seed(Max2, 50, 6);
+        sim.step_n_parallel(0, ParallelPolicy::threads(4));
+        assert_eq!(sim.interactions(), 0);
+        assert_eq!(sim.parallel_residue(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn parallel_step_on_lone_agent_panics() {
+        let mut sim = Simulator::with_seed(Max2, 1, 7);
+        sim.step_n_parallel(1, ParallelPolicy::threads(2));
+    }
+
+    /// A lone agent's clock still runs under the parallel driver, matching
+    /// `run_parallel_time`.
+    #[test]
+    fn parallel_time_driver_ages_lone_agent() {
+        let mut sim = Simulator::with_seed(Max2, 1, 8);
+        sim.run_parallel_time_parallel(5.0, ParallelPolicy::threads(4));
+        assert!((sim.parallel_time() - 5.0).abs() < 1e-9);
+        assert_eq!(sim.interactions(), 0);
+    }
+
+    #[test]
+    fn super_block_scales_and_clamps() {
+        assert_eq!(super_block_pairs(2), 64);
+        assert_eq!(super_block_pairs(4_096), 64);
+        assert_eq!(super_block_pairs(65_536), 1_024);
+        assert_eq!(super_block_pairs(1 << 21), (1 << 19) / 64);
+        assert_eq!(super_block_pairs(usize::MAX), (1 << 19) / 64);
+    }
+}

@@ -24,8 +24,8 @@ const HORIZON: f64 = 2_500.0;
 
 fn run<P>(name: &str, protocol: P) -> (String, RunResult)
 where
-    P: SizeEstimator,
-    P::State: Clone,
+    P: SizeEstimator + Sync,
+    P::State: Clone + Send,
 {
     let schedule = AdversarySchedule::new().at(CRASH_AT, PopulationEvent::ResizeTo(SURVIVORS));
     let result = Experiment::new(protocol, N)

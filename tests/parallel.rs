@@ -1,0 +1,260 @@
+//! Integration tests for the intra-run parallel stepper.
+//!
+//! Contract under test (see `Simulator::step_n_parallel`):
+//!
+//! * **Thread-count invariance** — a parallel run's results are a pure
+//!   function of the seed; the thread count only changes who computes
+//!   which stripe, never what is computed.
+//! * **Exact equivalence on conflict-free super-blocks** — when a
+//!   super-block's hazard partition leaves no colliding pair
+//!   (`parallel_residue() == 0`) and the protocol draws no randomness in
+//!   `interact`, the parallel stepper is bit-identical to `step_n`.
+//! * **Equivalence in distribution** — full parallel runs draw from the
+//!   same uniform-scheduler distribution as sequential ones: convergence
+//!   bands agree and a two-sample chi-square test on epidemic spread
+//!   cannot tell the two engines apart.
+//! * **Typed opt-in** — `parallel` on a backend without an agent array,
+//!   or under a per-interaction recording plan, fails up front with
+//!   `BackendError::ParallelUnsupported`.
+
+use dynamic_size_counting::dsc::{DscConfig, DynamicSizeCounting};
+use dynamic_size_counting::protocols::Infection;
+use dynamic_size_counting::sim::{
+    BackendError, CountSimulator, Experiment, ParallelPolicy, RunResult, ScannedEstimates,
+    Simulator, Sweep, SweepResults, TrackedEstimates,
+};
+use pp_model::Configuration;
+
+/// One planted infected agent among `n - 1` susceptible ones.
+fn seeded_epidemic(n: usize) -> Configuration<bool> {
+    let mut config = Configuration::uniform(n, false);
+    *config.get_mut(0) = true;
+    config
+}
+
+/// Infected count at a snapshot: every infected agent reports an estimate,
+/// so `n - without_estimate` counts them (0 when nobody reports).
+fn infected(result: &RunResult, t: f64) -> u64 {
+    let snap = result.snapshot_at(t);
+    match &snap.estimates {
+        Some(est) => snap.n as u64 - est.without_estimate,
+        None => 0,
+    }
+}
+
+#[test]
+fn parallel_cell_rows_are_bit_identical_across_thread_counts() {
+    let run = |threads| {
+        Experiment::new(Infection::new(), 3_000)
+            .seed(11)
+            .horizon(12.0)
+            .init_with(|i| i == 0)
+            .parallel(ParallelPolicy::threads(threads))
+            .run_on::<Simulator<Infection>, _>(ScannedEstimates)
+            .expect("parallel run")
+    };
+    let one = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(run(threads), one, "threads = {threads} changed the rows");
+    }
+    // And the run did something: the epidemic spread past its seed agent.
+    assert!(infected(&one, 12.0) > 1);
+}
+
+#[test]
+fn sweep_level_parallel_policy_is_thread_invariant() {
+    let sweep = |cell_threads, policy_threads| {
+        Sweep::new(Infection::new())
+            .populations([512, 2_048])
+            .runs(3)
+            .master_seed(9)
+            .horizon(8.0)
+            .init_with(|i| i == 0)
+            .threads(cell_threads)
+            .parallel(ParallelPolicy::threads(policy_threads))
+            .run_on::<Simulator<Infection>, _>(ScannedEstimates)
+            .expect("parallel sweep")
+    };
+    let assert_same_cells = |a: &SweepResults, b: &SweepResults| {
+        assert_eq!(a.cells, b.cells);
+    };
+    let base = sweep(1, 1);
+    // Across-cell workers and intra-run workers are independently
+    // result-invariant: only wall-clock may differ.
+    assert_same_cells(&sweep(4, 1), &base);
+    assert_same_cells(&sweep(1, 4), &base);
+    assert_same_cells(&sweep(4, 4), &base);
+}
+
+#[test]
+fn parallel_conflict_free_super_blocks_match_sequential_exactly() {
+    // 64 pairs touch ≤ 128 of n = 100_000 agents, so by the birthday
+    // bound a super-block is conflict-free with probability ≈ exp(−128² /
+    // 2n) ≈ 0.92 — and `Infection::interact` draws no randomness, so on
+    // those seeds the parallel stepper must reproduce `step_n` bit for
+    // bit.
+    let n = 100_000;
+    let count = 64;
+    let mut checked = 0;
+    for seed in 0..40 {
+        let mut par = Simulator::from_config(Infection::new(), seeded_epidemic(n), seed);
+        par.step_n_parallel(count, ParallelPolicy::threads(4));
+        if par.parallel_residue() != 0 {
+            continue;
+        }
+        let mut seq = Simulator::from_config(Infection::new(), seeded_epidemic(n), seed);
+        seq.step_n(count);
+        assert_eq!(par.states(), seq.states(), "seed {seed} diverged");
+        assert_eq!(par.interactions(), seq.interactions());
+        assert_eq!(par.parallel_time(), seq.parallel_time());
+        checked += 1;
+    }
+    assert!(
+        checked >= 10,
+        "only {checked}/40 seeds drew conflict-free super-blocks; \
+         the hazard partition is colliding far more than it should"
+    );
+}
+
+#[test]
+fn parallel_runs_converge_to_the_same_estimate_band() {
+    // The quickstart contract, on both engines: after 300 parallel time
+    // units the DSC median estimate sits in the Lemma 4.1 constant-factor
+    // band around log2(1000) ≈ 9.97.
+    let band = 5.0..=40.0;
+    let run = |parallel: Option<ParallelPolicy>| {
+        let mut exp = Experiment::new(DynamicSizeCounting::new(DscConfig::empirical()), 1_000)
+            .seed(42)
+            .horizon(300.0)
+            .snapshot_every(10.0);
+        if let Some(policy) = parallel {
+            exp = exp.parallel(policy);
+        }
+        exp.run_on::<Simulator<DynamicSizeCounting>, _>(ScannedEstimates)
+            .expect("run")
+    };
+    let sequential = run(None);
+    let parallel = run(Some(ParallelPolicy::auto()));
+    for (name, result) in [("sequential", &sequential), ("parallel", &parallel)] {
+        let median = result
+            .snapshots
+            .last()
+            .unwrap()
+            .estimates
+            .expect("estimates at horizon")
+            .median;
+        assert!(
+            band.contains(&median),
+            "{name} median {median} outside the convergence band"
+        );
+    }
+}
+
+#[test]
+fn parallel_and_sequential_epidemic_spread_agree_in_distribution() {
+    // Two-sample chi-square: 200 sequential and 200 parallel runs of the
+    // one-way epidemic on n = 256, stopped mid-spread at t = 5 where the
+    // infected-count distribution is wide. Pooled-quantile bins keep every
+    // expected count ≥ 5; with 8 bins the statistic is chi-square(7) under
+    // H0, and we accept below 24.32, the 0.1% critical value — a correct
+    // engine fails with probability ~1e-3, and the seeds are fixed.
+    let runs = 200u64;
+    let sample = |parallel: Option<ParallelPolicy>| -> Vec<u64> {
+        (0..runs)
+            .map(|seed| {
+                let mut exp = Experiment::new(Infection::new(), 256)
+                    .seed(0xE11D + seed)
+                    .horizon(5.0)
+                    .snapshot_every(5.0)
+                    .init_with(|i| i == 0);
+                if let Some(policy) = parallel {
+                    exp = exp.parallel(policy);
+                }
+                let result = exp
+                    .run_on::<Simulator<Infection>, _>(ScannedEstimates)
+                    .expect("run");
+                infected(&result, 5.0)
+            })
+            .collect()
+    };
+    let sequential = sample(None);
+    let parallel = sample(Some(ParallelPolicy::threads(3)));
+
+    // Bin edges from the pooled sample's octiles, deduplicated: every bin
+    // holds ≥ 400/8 = 50 pooled observations, so expected counts per
+    // group are ≥ 25 ≫ 5 and the chi-square approximation is sound.
+    let mut pooled: Vec<u64> = sequential.iter().chain(&parallel).copied().collect();
+    pooled.sort_unstable();
+    let mut edges: Vec<u64> = (1..8).map(|q| pooled[q * pooled.len() / 8]).collect();
+    edges.dedup();
+    let bin_of = |x: u64| edges.iter().take_while(|&&e| x >= e).count();
+    let bins = edges.len() + 1;
+    let mut observed = [vec![0f64; bins], vec![0f64; bins]];
+    for (g, sample) in [&sequential, &parallel].into_iter().enumerate() {
+        for &x in sample {
+            observed[g][bin_of(x)] += 1.0;
+        }
+    }
+    let mut chi2 = 0.0;
+    for (b, (&o0, &o1)) in observed[0].iter().zip(&observed[1]).enumerate() {
+        // Equal group sizes: the pooled expectation splits evenly.
+        let expected = (o0 + o1) / 2.0;
+        assert!(expected >= 5.0, "bin {b} too thin for chi-square");
+        for o in [o0, o1] {
+            let d = o - expected;
+            chi2 += d * d / expected;
+        }
+    }
+    // 0.1% critical values for 3..=7 degrees of freedom (dof = bins − 1;
+    // dedup can merge octile edges when the distribution has heavy ties).
+    assert!((4..=8).contains(&bins), "degenerate binning: {bins} bins");
+    let critical = [16.27, 18.47, 20.52, 22.46, 24.32][bins - 4];
+    assert!(
+        chi2 < critical,
+        "two-sample chi-square {chi2:.2} above the 0.1% critical value \
+         {critical} for {} dof; sequential and parallel engines disagree \
+         in distribution (bins: {observed:?})",
+        bins - 1
+    );
+}
+
+#[test]
+fn parallel_opt_in_is_rejected_with_typed_errors_where_unsupported() {
+    // A per-interaction recording plan cannot skip observer hooks.
+    let err = Experiment::new(Infection::new(), 100)
+        .parallel(ParallelPolicy::auto())
+        .run_on::<Simulator<Infection>, _>(TrackedEstimates)
+        .unwrap_err();
+    match err {
+        BackendError::ParallelUnsupported { backend, reason } => {
+            assert_eq!(backend, "agent-array");
+            assert!(reason.contains("per-interaction"), "reason: {reason}");
+        }
+        other => panic!("unexpected error: {other:?}"),
+    }
+    // The count backend has no agent array to shard.
+    let err = Experiment::new(Infection::new(), 100)
+        .parallel(ParallelPolicy::auto())
+        .run_on::<CountSimulator<Infection>, _>(ScannedEstimates)
+        .unwrap_err();
+    match err {
+        BackendError::ParallelUnsupported { backend, reason } => {
+            assert_eq!(backend, "count");
+            assert!(reason.contains("no agent array"), "reason: {reason}");
+        }
+        other => panic!("unexpected error: {other:?}"),
+    }
+    // A sweep diagnoses the same misconfiguration before any cell runs.
+    let err = Sweep::new(Infection::new())
+        .populations([64])
+        .parallel(ParallelPolicy::auto())
+        .run_on::<CountSimulator<Infection>, _>(ScannedEstimates)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        BackendError::ParallelUnsupported {
+            backend: "count",
+            ..
+        }
+    ));
+}

@@ -50,6 +50,45 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable (std-backed), used by the parallel stepper's
+/// super-block phase gate to park workers between compute phases.
+///
+/// One deliberate deviation from parking_lot's shape: [`Condvar::wait`]
+/// consumes and returns the guard (std's signature) instead of taking
+/// `&mut MutexGuard`. Re-acquiring through a `&mut` guard cannot be
+/// written without `unsafe`, which this shim forbids; callers re-bind
+/// (`guard = cv.wait(guard);`), which reads the same.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the lock while waiting. Like all
+    /// condvars this is subject to spurious wakeups — re-check the
+    /// predicate in a loop.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 /// A reader-writer lock (std-backed, parking_lot-shaped API).
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
@@ -100,6 +139,22 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(guard);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wakes_a_parked_waiter() {
+        let gate = (Mutex::new(false), Condvar::new());
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut ready = gate.0.lock();
+                while !*ready {
+                    ready = gate.1.wait(ready);
+                }
+            });
+            *gate.0.lock() = true;
+            gate.1.notify_all();
+        });
+        assert!(*gate.0.lock());
     }
 
     #[test]

@@ -47,7 +47,7 @@
 //! in seconds.
 
 use pp_bench::Scale;
-use pp_sim::{ChunkSize, ParallelPolicy, Simulator};
+use pp_sim::{ChunkSize, ParallelPolicy, Simulator, SoaSimulator};
 use std::io::Write;
 use std::time::Instant;
 
@@ -226,19 +226,50 @@ fn main() {
             .copied()
             .fold(f64::NEG_INFINITY, f64::max);
 
+        // Struct-of-arrays engine A/B: same protocol, seed, and warm-up,
+        // measured in the adjacent window (the shared box swings ±20% on
+        // second timescales; ratios near 1.0 are parity).
+        let mut soa_plain_sim =
+            SoaSimulator::with_seed(pp_bench::paper_protocol(), b.n, scale.seed);
+        soa_plain_sim.run_parallel_time(warm);
+        let soa_plain = measure(|c| soa_plain_sim.step_n(c), budget);
+
+        let mut soa_tracked_sim =
+            SoaSimulator::tracked(pp_bench::paper_protocol(), b.n, scale.seed);
+        soa_tracked_sim.run_parallel_time(warm);
+        let soa_tracked = measure(|c| soa_tracked_sim.step_n(c), budget);
+
         // Scanned-vs-tracked crossover: tracking costs
         // (1/tracked − 1/plain) s per interaction; a snapshot scan costs
         // one `estimate_stats` pass. Scanning wins once the snapshot
         // interval exceeds scan_cost / (n · per-interaction overhead)
         // parallel-time units.
+        let scans = if scale.smoke { 20 } else { 200 };
         let scan_secs = {
-            let scans = if scale.smoke { 20 } else { 200 };
             let start = Instant::now();
             for _ in 0..scans {
                 std::hint::black_box(plain_sim.estimate_stats());
             }
             start.elapsed().as_secs_f64() / scans as f64
         };
+
+        // The SoA estimate scan reads the two dense u32 lanes (8 bytes
+        // per agent, unit stride) instead of 24-byte structs; under the
+        // empirical configuration the lane summary equals the estimate
+        // summary exactly (`tests/soa.rs`).
+        let soa_scan_secs = {
+            let start = Instant::now();
+            for _ in 0..scans {
+                std::hint::black_box(soa_plain_sim.effective_max_stats());
+            }
+            start.elapsed().as_secs_f64() / scans as f64
+        };
+        // Scan-heavy workload (one full estimate snapshot per quarter unit
+        // of parallel time, the densest §5 snapshot cadence), derived from
+        // the measured stepping rates and scan times.
+        let quarter = b.n as f64 / 4.0;
+        let scanheavy_speedup =
+            (quarter / plain + scan_secs) / (quarter / soa_plain + soa_scan_secs);
         let overhead = 1.0 / tracked - 1.0 / plain;
         let crossover_pt = if overhead > 0.0 {
             format!("{:.6}", scan_secs / (overhead * b.n as f64))
@@ -265,6 +296,16 @@ fn main() {
             parallel_rates[1] / 1e6,
             parallel_rates[2] / 1e6,
             parallel_best / plain,
+        );
+        println!(
+            "             soa plain {:6.2} M/s ({:.2}x)  tracked {:6.2} M/s ({:.2}x)  \
+             scan {:.2}x  scan-heavy {:.2}x",
+            soa_plain / 1e6,
+            soa_plain / plain,
+            soa_tracked / 1e6,
+            soa_tracked / tracked,
+            scan_secs / soa_scan_secs,
+            scanheavy_speedup,
         );
         let seed_fields = match (b.seed_plain, b.seed_tracked) {
             (Some(sp), Some(st)) => format!(
@@ -295,6 +336,12 @@ fn main() {
                 "      \"parallel_thread_sweep\": [{:.1}, {:.1}, {:.1}],\n",
                 "      \"parallel_interactions_per_sec\": {:.1},\n",
                 "      \"parallel_speedup_vs_plain\": {:.4},\n",
+                "      \"soa_plain_interactions_per_sec\": {:.1},\n",
+                "      \"soa_tracked_interactions_per_sec\": {:.1},\n",
+                "      \"soa_plain_ratio_vs_aos\": {:.4},\n",
+                "      \"soa_tracked_ratio_vs_aos\": {:.4},\n",
+                "      \"soa_scan_speedup_vs_aos\": {:.4},\n",
+                "      \"soa_scanheavy_speedup_vs_aos\": {:.4},\n",
                 "      \"scanned_crossover_snapshot_interval_pt\": {}\n",
                 "    }}"
             ),
@@ -311,6 +358,12 @@ fn main() {
             parallel_rates[2],
             parallel_best,
             parallel_best / plain,
+            soa_plain,
+            soa_tracked,
+            soa_plain / plain,
+            soa_tracked / tracked,
+            scan_secs / soa_scan_secs,
+            scanheavy_speedup,
             crossover_pt,
         ));
     }
@@ -346,6 +399,19 @@ fn main() {
             "  \"scanned_crossover_note\": \"snapshot interval (parallel-time units) above ",
             "which ScannedEstimates beats TrackedEstimates, from measured rates and a timed ",
             "estimate_stats scan; null when box noise swallowed the tracker overhead\",\n",
+            "  \"soa_note\": \"A/B of the struct-of-arrays engine (SoaSimulator, columnar ",
+            "AgentStore) against the agent-array engine, same seed and warm-up, adjacent ",
+            "windows on the 1-core reference box (the box swings +-20% on second timescales; ",
+            "read ratios as bands, not points). Stepping is random-access, so each SoA ",
+            "gather/scatter touches three lanes where the struct engine touches one cache ",
+            "line: the plain-stepping ratio sits near 0.9x while the population is ",
+            "cache-resident and drops toward ~0.5x at n = 10^6 — the documented cost side of ",
+            "the layout trade on a 1-core box. The win side is the whole-population estimate ",
+            "scan (soa_scan_speedup_vs_aos: effective_max over two dense u32 lanes, 8 bytes ",
+            "per agent vs 24-byte structs, stack-bucketed counts) and snapshot-heavy cells ",
+            "at scan-dominated cadences (soa_scanheavy_speedup_vs_aos: derived, one full ",
+            "snapshot scan per n/4 interactions — stepping dominates it at large n). ",
+            "Trajectories are bit-identical across engines (tests/soa.rs)\",\n",
             "  \"points\": [\n{}\n  ],\n",
             "  \"chunk_sweep_note\": \"plain stepping at 32/64/128 pairs per step_block ",
             "chunk, alternated per round, medians of {} rounds; the winner justifies ",

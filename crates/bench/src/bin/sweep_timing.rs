@@ -22,8 +22,9 @@
 use pp_bench::experiments::convergence;
 use pp_bench::{log2n, Scale};
 use pp_protocols::Infection;
-use pp_sim::{BatchedCountSimulator, ParallelPolicy, Sweep, TrackedEstimates};
+use pp_sim::{BatchedCountSimulator, ParallelPolicy, SoaSimulator, Sweep, TrackedEstimates};
 use std::io::Write;
+use std::time::Instant;
 
 fn main() {
     // This harness defaults to the paper's 96 runs; an explicit --runs (or
@@ -124,6 +125,49 @@ fn main() {
     let intra_speedup = intra_serial / intra_auto;
     println!("intra-run speedup                      : {intra_speedup:.2}x");
 
+    // Struct-of-arrays cell: the same DSC convergence-cell shape (step one
+    // parallel-time unit, take one full estimate snapshot, repeat) on the
+    // columnar engine versus the agent-array engine. The SoA engine is not
+    // a Sweep backend (snapshot drivers need the contiguous agent slice),
+    // so the cell loop is hand-rolled identically for both.
+    let (soa_n, soa_runs, soa_horizon) = if scale.smoke {
+        (1usize << 12, 2usize, 16u32)
+    } else {
+        (1usize << 17, 4usize, 64u32)
+    };
+    let soa_cell_wall = {
+        let start = Instant::now();
+        for r in 0..soa_runs {
+            let mut sim =
+                SoaSimulator::with_seed(pp_bench::paper_protocol(), soa_n, scale.seed + r as u64);
+            for _ in 0..soa_horizon {
+                sim.run_parallel_time(1.0);
+                std::hint::black_box(sim.effective_max_stats());
+            }
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let aos_cell_wall = {
+        let start = Instant::now();
+        for r in 0..soa_runs {
+            let mut sim = pp_sim::Simulator::with_seed(
+                pp_bench::paper_protocol(),
+                soa_n,
+                scale.seed + r as u64,
+            );
+            for _ in 0..soa_horizon {
+                sim.run_parallel_time(1.0);
+                std::hint::black_box(sim.estimate_stats());
+            }
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let soa_cell_speedup = aos_cell_wall / soa_cell_wall;
+    println!(
+        "soa cell n = {soa_n}: soa {soa_cell_wall:.3} s  aos {aos_cell_wall:.3} s  \
+         ({soa_cell_speedup:.2}x)"
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -143,7 +187,17 @@ fn main() {
             "  \"intra_run_speedup_auto_over_1\": {:.4},\n",
             "  \"batched_n\": {},\n",
             "  \"batched_runs\": {},\n",
-            "  \"batched_wall_seconds\": {:.6}\n",
+            "  \"batched_wall_seconds\": {:.6},\n",
+            "  \"soa_cell_note\": \"one DSC convergence cell (run one parallel-time unit, ",
+            "snapshot the estimate distribution, repeat to the horizon) on the ",
+            "struct-of-arrays engine (dense-lane scan) vs the agent-array engine ",
+            "(struct scan), identical hand-rolled loops; trajectories are bit-identical ",
+            "across engines (tests/soa.rs)\",\n",
+            "  \"soa_cell_n\": {},\n",
+            "  \"soa_cell_runs\": {},\n",
+            "  \"soa_cell_wall_seconds\": {:.6},\n",
+            "  \"aos_cell_wall_seconds\": {:.6},\n",
+            "  \"soa_cell_speedup_vs_aos\": {:.4}\n",
             "}}\n"
         ),
         scale.runs,
@@ -162,6 +216,11 @@ fn main() {
         batched_n,
         batched_runs,
         batched_wall,
+        soa_n,
+        soa_runs,
+        soa_cell_wall,
+        aos_cell_wall,
+        soa_cell_speedup,
     );
     // Smoke runs must not clobber the committed paper-scale record.
     let path = if scale.smoke {

@@ -1,0 +1,317 @@
+//! Struct-of-arrays column layouts for the counting states.
+//!
+//! [`DscColumns`] splits [`DscState`] by access frequency:
+//!
+//! * `max` / `last_max` — each its own dense `u32` lane. These are the
+//!   *scan* fields: phase classification, `effective_max`, and
+//!   `reported_estimate` read exactly these two values per agent, so a
+//!   whole-population scan over the lanes touches 8 bytes per agent
+//!   (versus 24 for the packed struct) and auto-vectorizes.
+//! * `time` / `interactions` / `ticks` — grouped into one 16-byte
+//!   [`DscClock`] record per agent. These travel together: every
+//!   interaction decrements `time` and bumps `interactions`, and `ticks`
+//!   only changes alongside a `time` wrap. Splitting them further would
+//!   triple the random-access cache traffic of the gather stage for no
+//!   scan benefit — no whole-population pass reads them.
+//!
+//! [`AveragedColumns`] reuses [`DscColumns`] for the clock-driving
+//! Algorithm 2 variables and keeps the slot payloads in a separate cold
+//! region, so the hot/cold split survives composition.
+//!
+//! Both implement `pp_model`'s [`StateColumns`] contract: value-level
+//! equivalence with a `Vec<State>` under `push`/`load`/`store`/
+//! `swap_remove`, which is what makes the SoA engine in `pp-sim`
+//! trajectory-identical to the agent-array engine.
+
+use crate::averaged::{AveragedState, SlotVec};
+use crate::state::DscState;
+use pp_model::{Columnar, EstimateLanes, StateColumns};
+
+/// The grouped cold fields of one [`DscState`]: the phase-clock countdown
+/// and the per-agent counters. 16 bytes, align 8.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DscClock {
+    /// Phase-clock countdown ([`DscState::time`]).
+    pub time: i64,
+    /// Interactions since the last reset ([`DscState::interactions`]).
+    pub interactions: u32,
+    /// Reset counter ([`DscState::ticks`]).
+    pub ticks: u32,
+}
+
+/// Struct-of-arrays storage for [`DscState`] populations.
+///
+/// Lanes move in lockstep; index `i` in every lane addresses agent `i`.
+#[derive(Debug, Clone, Default)]
+pub struct DscColumns {
+    /// Current-maximum lane (scan field).
+    max: Vec<u32>,
+    /// Trailing-maximum lane (scan field).
+    last_max: Vec<u32>,
+    /// Grouped countdown + counters (random-access-only fields).
+    clock: Vec<DscClock>,
+}
+
+impl DscColumns {
+    /// The dense `max` lane.
+    #[inline]
+    pub fn max_lane(&self) -> &[u32] {
+        &self.max
+    }
+
+    /// The dense `last_max` lane.
+    #[inline]
+    pub fn last_max_lane(&self) -> &[u32] {
+        &self.last_max
+    }
+}
+
+impl StateColumns for DscColumns {
+    type State = DscState;
+
+    fn with_capacity(n: usize) -> Self {
+        DscColumns {
+            max: Vec::with_capacity(n),
+            last_max: Vec::with_capacity(n),
+            clock: Vec::with_capacity(n),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.max.len()
+    }
+
+    fn push(&mut self, state: DscState) {
+        self.max.push(state.max);
+        self.last_max.push(state.last_max);
+        self.clock.push(DscClock {
+            time: state.time,
+            interactions: state.interactions,
+            ticks: state.ticks,
+        });
+    }
+
+    #[inline]
+    fn load(&self, i: usize) -> DscState {
+        let clock = self.clock[i];
+        DscState {
+            time: clock.time,
+            max: self.max[i],
+            last_max: self.last_max[i],
+            interactions: clock.interactions,
+            ticks: clock.ticks,
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, i: usize, state: DscState) {
+        self.max[i] = state.max;
+        self.last_max[i] = state.last_max;
+        self.clock[i] = DscClock {
+            time: state.time,
+            interactions: state.interactions,
+            ticks: state.ticks,
+        };
+    }
+
+    fn swap_remove(&mut self, i: usize) -> DscState {
+        let max = self.max.swap_remove(i);
+        let last_max = self.last_max.swap_remove(i);
+        let clock = self.clock.swap_remove(i);
+        DscState {
+            time: clock.time,
+            max,
+            last_max,
+            interactions: clock.interactions,
+            ticks: clock.ticks,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.max.clear();
+        self.last_max.clear();
+        self.clock.clear();
+    }
+
+    fn estimate_lanes(&self) -> Option<EstimateLanes<'_>> {
+        Some(EstimateLanes {
+            max: &self.max,
+            last_max: &self.last_max,
+        })
+    }
+}
+
+impl Columnar for DscState {
+    type Columns = DscColumns;
+}
+
+/// Struct-of-arrays storage for [`AveragedState`] populations: the
+/// clock-driving [`DscState`] part in [`DscColumns`] lanes, the slot
+/// payloads in a separate cold lane.
+#[derive(Debug, Clone, Default)]
+pub struct AveragedColumns {
+    dsc: DscColumns,
+    payload: Vec<AveragedPayload>,
+}
+
+/// The cold slot payloads of one [`AveragedState`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AveragedPayload {
+    /// Per-slot current maxima ([`AveragedState::slots`]).
+    pub slots: SlotVec,
+    /// Per-slot trailing maxima ([`AveragedState::last_slots`]).
+    pub last_slots: SlotVec,
+}
+
+impl StateColumns for AveragedColumns {
+    type State = AveragedState;
+
+    fn with_capacity(n: usize) -> Self {
+        AveragedColumns {
+            dsc: DscColumns::with_capacity(n),
+            payload: Vec::with_capacity(n),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.dsc.len()
+    }
+
+    fn push(&mut self, state: AveragedState) {
+        self.dsc.push(state.dsc);
+        self.payload.push(AveragedPayload {
+            slots: state.slots,
+            last_slots: state.last_slots,
+        });
+    }
+
+    #[inline]
+    fn load(&self, i: usize) -> AveragedState {
+        let payload = self.payload[i];
+        AveragedState {
+            dsc: self.dsc.load(i),
+            slots: payload.slots,
+            last_slots: payload.last_slots,
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, i: usize, state: AveragedState) {
+        self.dsc.store(i, state.dsc);
+        self.payload[i] = AveragedPayload {
+            slots: state.slots,
+            last_slots: state.last_slots,
+        };
+    }
+
+    fn swap_remove(&mut self, i: usize) -> AveragedState {
+        let dsc = self.dsc.swap_remove(i);
+        let payload = self.payload.swap_remove(i);
+        AveragedState {
+            dsc,
+            slots: payload.slots,
+            last_slots: payload.last_slots,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.dsc.clear();
+        self.payload.clear();
+    }
+
+    fn estimate_lanes(&self) -> Option<EstimateLanes<'_>> {
+        // The averaged protocol's reported estimate averages the slot
+        // payloads, not `max`/`last_max` alone — no dense-lane fast path.
+        None
+    }
+}
+
+impl Columnar for AveragedState {
+    type Columns = AveragedColumns;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_model::InlineVec;
+
+    fn sample(i: u32) -> DscState {
+        DscState {
+            time: i64::from(i) * 7 - 3,
+            max: i * 2,
+            last_max: i * 2 + 1,
+            interactions: i * 11,
+            ticks: i,
+        }
+    }
+
+    #[test]
+    fn dsc_columns_round_trip_states() {
+        let mut c = DscColumns::with_capacity(8);
+        for i in 0..8 {
+            c.push(sample(i));
+        }
+        for i in 0..8 {
+            assert_eq!(c.load(i as usize), sample(i));
+        }
+        let replacement = sample(100);
+        c.store(3, replacement);
+        assert_eq!(c.load(3), replacement);
+        assert_eq!(c.load(2), sample(2), "neighbours untouched");
+        assert_eq!(c.load(4), sample(4), "neighbours untouched");
+    }
+
+    #[test]
+    fn dsc_columns_swap_remove_matches_vec_semantics() {
+        let mut c = DscColumns::with_capacity(4);
+        let mut reference: Vec<DscState> = (0..4).map(sample).collect();
+        for &s in &reference {
+            c.push(s);
+        }
+        assert_eq!(c.swap_remove(1), reference.swap_remove(1));
+        assert_eq!(c.len(), reference.len());
+        for (i, &s) in reference.iter().enumerate() {
+            assert_eq!(c.load(i), s);
+        }
+    }
+
+    #[test]
+    fn dsc_estimate_lanes_expose_the_scan_fields() {
+        let mut c = DscColumns::with_capacity(3);
+        for i in 0..3 {
+            c.push(sample(i));
+        }
+        let lanes = c.estimate_lanes().expect("DSC columns have dense lanes");
+        assert_eq!(lanes.max, &[0, 2, 4]);
+        assert_eq!(lanes.last_max, &[1, 3, 5]);
+        for i in 0..3 {
+            assert_eq!(
+                lanes.max[i].max(lanes.last_max[i]),
+                c.load(i).effective_max(),
+                "lane scan must agree with the struct's effective_max"
+            );
+        }
+    }
+
+    #[test]
+    fn averaged_columns_round_trip_and_split_payload() {
+        let mut c = AveragedColumns::with_capacity(2);
+        let mk = |i: u32| AveragedState {
+            dsc: sample(i),
+            slots: InlineVec::from_slice(&[i, i + 1, i + 2]),
+            last_slots: InlineVec::from_slice(&[i * 10]),
+        };
+        c.push(mk(1));
+        c.push(mk(2));
+        assert_eq!(c.load(0), mk(1));
+        assert_eq!(c.load(1), mk(2));
+        c.store(0, mk(9));
+        assert_eq!(c.load(0), mk(9));
+        assert_eq!(c.swap_remove(0), mk(9));
+        assert_eq!(c.load(0), mk(2));
+        assert!(
+            c.estimate_lanes().is_none(),
+            "averaged estimates come from slot payloads, not the dense lanes"
+        );
+    }
+}

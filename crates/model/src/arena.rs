@@ -1,0 +1,411 @@
+//! A block/line payload arena for agent payloads above their inline caps.
+//!
+//! [`InlineVec`](crate::InlineVec) payloads are capped at compile time
+//! (`MAX_SLOTS`, `DE22_MAX_VALUES`); a configuration whose payload exceeds
+//! the cap used to be forbidden outright — the inline vectors panic. The
+//! [`PayloadArena`] is the overflow path: payload tails above the inline
+//! cap live in pre-reserved slabs, addressed by a small `Copy` handle
+//! ([`LineRun`]) that stays inside the agent state, so agent arrays remain
+//! contiguous `Copy` data and the gather/scatter engine never learns the
+//! difference.
+//!
+//! ## Geometry
+//!
+//! The slab geometry is the sandpit allocator's (32 KB blocks split into
+//! 128-byte lines); a *run* is a span of whole lines inside one block —
+//! runs never straddle block boundaries, so a block rollover wastes at
+//! most the current block's tail. Allocation is a bump pointer over lines
+//! with an exact-fit free list in front of it.
+//!
+//! ## Allocation contract
+//!
+//! The arena only touches the heap when it acquires a new block. Callers
+//! that pre-reserve capacity ([`PayloadArena::reserve_runs`]) therefore get
+//! **allocation-free steady-state operation by construction**: `alloc`,
+//! `free`, `slice`, and `slice_mut` never allocate as long as reserved
+//! capacity lasts, which is how arena-backed protocols preserve
+//! `tests/alloc.rs`'s zero-steady-state-allocation guarantee. Growth is
+//! expected only at init and adversary (population-change) events, and is
+//! observable through [`PayloadArena::growth_events`].
+
+/// Bytes per arena block (the sandpit block size).
+pub const ARENA_BLOCK_BYTES: usize = 32 * 1024;
+
+/// Bytes per arena line (the sandpit line size).
+pub const ARENA_LINE_BYTES: usize = 128;
+
+/// Lines per block: 256.
+pub const ARENA_LINES_PER_BLOCK: usize = ARENA_BLOCK_BYTES / ARENA_LINE_BYTES;
+
+/// A span of whole lines inside one arena block — the `Copy` handle an
+/// agent state stores to address its spilled payload tail.
+///
+/// The all-zero value ([`LineRun::EMPTY`], `lines == 0`) is the "no spill"
+/// sentinel, so `Default`-initialized states start unspilled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LineRun {
+    /// Index of the owning block.
+    block: u32,
+    /// First line of the run within the block.
+    line: u32,
+    /// Number of lines in the run (`0` = the empty sentinel).
+    lines: u32,
+}
+
+impl LineRun {
+    /// The "no spill" sentinel.
+    pub const EMPTY: LineRun = LineRun {
+        block: 0,
+        line: 0,
+        lines: 0,
+    };
+
+    /// Whether this is the empty sentinel (no lines allocated).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lines == 0
+    }
+
+    /// Number of lines in the run.
+    #[inline]
+    pub fn lines(&self) -> u32 {
+        self.lines
+    }
+}
+
+/// A bump-allocating block/line arena of `T` slots.
+///
+/// See the [module docs](self) for geometry and the allocation contract.
+///
+/// # Examples
+///
+/// ```
+/// use pp_model::arena::PayloadArena;
+///
+/// let mut arena: PayloadArena<u32> = PayloadArena::new();
+/// arena.reserve_runs(1, 100);            // init-time heap growth
+/// let before = arena.growth_events();
+/// let run = arena.alloc(100);            // steady state: no heap
+/// arena.slice_mut(run, 100).fill(7);
+/// assert!(arena.slice(run, 100).iter().all(|&x| x == 7));
+/// assert_eq!(arena.growth_events(), before);
+/// arena.free(run);
+/// ```
+#[derive(Debug)]
+pub struct PayloadArena<T> {
+    /// The slabs; each holds exactly [`ARENA_BLOCK_BYTES`] worth of `T`.
+    blocks: Vec<Box<[T]>>,
+    /// Block the bump pointer sits in (may equal `blocks.len()` when full).
+    bump_block: usize,
+    /// Next free line within `bump_block`.
+    bump_line: usize,
+    /// Freed runs, reused on exact line-count match.
+    free: Vec<LineRun>,
+    /// Number of blocks ever acquired from the heap.
+    growth_events: u64,
+}
+
+impl<T: Copy + Default> PayloadArena<T> {
+    /// Slots of `T` per line.
+    pub const SLOTS_PER_LINE: usize = ARENA_LINE_BYTES / std::mem::size_of::<T>();
+
+    /// Slots of `T` per block.
+    pub const SLOTS_PER_BLOCK: usize = ARENA_BLOCK_BYTES / std::mem::size_of::<T>();
+
+    /// Creates an empty arena (no blocks; the first `alloc` or
+    /// `reserve_runs` acquires one).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_of::<T>()` is in `1..=ARENA_LINE_BYTES` and
+    /// divides [`ARENA_LINE_BYTES`] (slots must tile lines exactly).
+    pub fn new() -> Self {
+        let size = std::mem::size_of::<T>();
+        assert!(
+            size > 0 && size <= ARENA_LINE_BYTES && ARENA_LINE_BYTES.is_multiple_of(size),
+            "arena element size {size} must tile the {ARENA_LINE_BYTES}-byte line"
+        );
+        PayloadArena {
+            blocks: Vec::new(),
+            bump_block: 0,
+            bump_line: 0,
+            free: Vec::new(),
+            growth_events: 0,
+        }
+    }
+
+    /// Lines needed for a run of `elems` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elems == 0` or the run would not fit one block (runs
+    /// never straddle block boundaries).
+    pub fn lines_for(elems: usize) -> usize {
+        assert!(elems > 0, "a run must hold at least one element");
+        let lines = elems.div_ceil(Self::SLOTS_PER_LINE);
+        assert!(
+            lines <= ARENA_LINES_PER_BLOCK,
+            "a run of {elems} elements ({lines} lines) exceeds one \
+             {ARENA_BLOCK_BYTES}-byte block"
+        );
+        lines
+    }
+
+    /// Acquires one zeroed block from the heap.
+    fn grow_block(&mut self) {
+        self.blocks
+            .push(vec![T::default(); Self::SLOTS_PER_BLOCK].into_boxed_slice());
+        self.growth_events += 1;
+    }
+
+    /// Ensures `runs` further allocations of `elems` slots each will
+    /// succeed without heap growth (on top of whatever free-list and bump
+    /// capacity already exists). Call at init and adversary events; the
+    /// heap growth happens *here*, not in the steady-state `alloc` path.
+    pub fn reserve_runs(&mut self, runs: usize, elems: usize) {
+        let lines = Self::lines_for(elems);
+        while self.capacity_runs(lines) < runs {
+            self.grow_block();
+        }
+    }
+
+    /// How many runs of `lines` lines fit the current free list + bump
+    /// capacity without heap growth.
+    fn capacity_runs(&self, lines: usize) -> usize {
+        let from_free = self
+            .free
+            .iter()
+            .filter(|r| r.lines as usize == lines)
+            .count();
+        let runs_per_block = ARENA_LINES_PER_BLOCK / lines;
+        let from_bump_tail = if self.bump_block < self.blocks.len() {
+            (ARENA_LINES_PER_BLOCK - self.bump_line) / lines
+        } else {
+            0
+        };
+        let whole_blocks = self.blocks.len().saturating_sub(self.bump_block + 1);
+        from_free + from_bump_tail + whole_blocks * runs_per_block
+    }
+
+    /// Allocates a run of at least `elems` slots (rounded up to whole
+    /// lines). Reuses an exact-fit freed run when one exists, else bumps;
+    /// only acquires a new block when reserved capacity is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run would not fit one block (see
+    /// [`PayloadArena::lines_for`]).
+    pub fn alloc(&mut self, elems: usize) -> LineRun {
+        let lines = Self::lines_for(elems);
+        if let Some(pos) = self.free.iter().position(|r| r.lines as usize == lines) {
+            return self.free.swap_remove(pos);
+        }
+        // A run never straddles blocks: roll over, wasting the tail.
+        if self.bump_block < self.blocks.len() && ARENA_LINES_PER_BLOCK - self.bump_line < lines {
+            self.bump_block += 1;
+            self.bump_line = 0;
+        }
+        while self.bump_block >= self.blocks.len() {
+            self.grow_block();
+        }
+        let run = LineRun {
+            block: self.bump_block as u32,
+            line: self.bump_line as u32,
+            lines: lines as u32,
+        };
+        self.bump_line += lines;
+        run
+    }
+
+    /// Returns a run to the free list for exact-fit reuse. Freeing the
+    /// empty sentinel is a no-op.
+    pub fn free(&mut self, run: LineRun) {
+        if !run.is_empty() {
+            self.free.push(run);
+        }
+    }
+
+    /// The first `len` slots of `run`, immutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is the empty sentinel, addresses outside the arena,
+    /// or `len` exceeds the run's slot capacity.
+    pub fn slice(&self, run: LineRun, len: usize) -> &[T] {
+        let (start, end) = self.span(run, len);
+        &self.blocks[run.block as usize][start..end]
+    }
+
+    /// The first `len` slots of `run`, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PayloadArena::slice`].
+    pub fn slice_mut(&mut self, run: LineRun, len: usize) -> &mut [T] {
+        let (start, end) = self.span(run, len);
+        &mut self.blocks[run.block as usize][start..end]
+    }
+
+    fn span(&self, run: LineRun, len: usize) -> (usize, usize) {
+        assert!(!run.is_empty(), "cannot address the empty sentinel run");
+        let cap = run.lines as usize * Self::SLOTS_PER_LINE;
+        assert!(
+            len <= cap,
+            "slice of {len} elements exceeds the run's {cap}-slot capacity"
+        );
+        let start = run.line as usize * Self::SLOTS_PER_LINE;
+        (start, start + len)
+    }
+
+    /// Number of blocks currently held.
+    pub fn blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of blocks ever acquired from the heap — the observable
+    /// record of when the arena grew. Steady-state stepping must leave
+    /// this constant.
+    pub fn growth_events(&self) -> u64 {
+        self.growth_events
+    }
+
+    /// Number of runs currently parked on the free list.
+    pub fn free_runs(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl<T: Copy + Default> Default for PayloadArena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 32 u32 slots per 128-byte line; 8192 per 32 KB block.
+    type A = PayloadArena<u32>;
+
+    #[test]
+    fn geometry_constants_are_sandpit_shaped() {
+        assert_eq!(ARENA_BLOCK_BYTES, 32 * 1024);
+        assert_eq!(ARENA_LINE_BYTES, 128);
+        assert_eq!(ARENA_LINES_PER_BLOCK, 256);
+        assert_eq!(A::SLOTS_PER_LINE, 32);
+        assert_eq!(A::SLOTS_PER_BLOCK, 8192);
+    }
+
+    /// Exact-capacity boundary: a run of exactly one block's worth of
+    /// lines fills the block to the last line; the next allocation rolls
+    /// into a fresh block at line zero.
+    #[test]
+    fn arena_exact_capacity_boundary() {
+        let mut a = A::new();
+        let full = a.alloc(A::SLOTS_PER_BLOCK); // exactly 256 lines
+        assert_eq!(full.lines() as usize, ARENA_LINES_PER_BLOCK);
+        assert_eq!(a.blocks(), 1);
+        let next = a.alloc(1);
+        assert_eq!(a.blocks(), 2, "a full block forces a rollover");
+        assert_eq!((next.block, next.line), (1, 0));
+        // Line-granularity boundary: 32 slots is one line, 33 is two.
+        assert_eq!(A::lines_for(A::SLOTS_PER_LINE), 1);
+        assert_eq!(A::lines_for(A::SLOTS_PER_LINE + 1), 2);
+    }
+
+    /// Block rollover: a run that does not fit the current block's tail
+    /// starts at line zero of the next block (the tail is wasted — runs
+    /// never straddle blocks).
+    #[test]
+    fn arena_block_rollover() {
+        let mut a = A::new();
+        let first = a.alloc(200 * A::SLOTS_PER_LINE); // 200 of 256 lines
+        assert_eq!((first.block, first.line), (0, 0));
+        let second = a.alloc(100 * A::SLOTS_PER_LINE); // 100 > remaining 56
+        assert_eq!((second.block, second.line), (1, 0));
+        assert_eq!(a.blocks(), 2);
+        // The two runs address disjoint memory.
+        a.slice_mut(first, 5).fill(1);
+        a.slice_mut(second, 5).fill(2);
+        assert_eq!(a.slice(first, 5), &[1; 5]);
+        assert_eq!(a.slice(second, 5), &[2; 5]);
+    }
+
+    #[test]
+    fn freed_runs_are_reused_without_growth() {
+        let mut a = A::new();
+        let run = a.alloc(100);
+        let events = a.growth_events();
+        a.free(run);
+        assert_eq!(a.free_runs(), 1);
+        let again = a.alloc(100);
+        assert_eq!(again, run, "exact-fit reuse returns the freed run");
+        assert_eq!(a.growth_events(), events, "reuse never grows");
+        // A different size does not match the free list.
+        a.free(again);
+        let other = a.alloc(100 + A::SLOTS_PER_LINE);
+        assert_ne!(other, run);
+    }
+
+    #[test]
+    fn reserve_runs_prefunds_allocations() {
+        let mut a = A::new();
+        a.reserve_runs(100, 96);
+        let events = a.growth_events();
+        let runs: Vec<LineRun> = (0..100).map(|_| a.alloc(96)).collect();
+        assert_eq!(
+            a.growth_events(),
+            events,
+            "reserved allocations must not grow the arena"
+        );
+        // All runs are distinct spans.
+        for (i, r) in runs.iter().enumerate() {
+            for s in &runs[..i] {
+                assert_ne!(r, s);
+            }
+        }
+    }
+
+    #[test]
+    fn slices_round_trip_and_start_zeroed() {
+        let mut a = A::new();
+        let run = a.alloc(50);
+        assert_eq!(a.slice(run, 50), &[0; 50], "fresh lines are zeroed");
+        for (i, slot) in a.slice_mut(run, 50).iter_mut().enumerate() {
+            *slot = i as u32;
+        }
+        assert_eq!(a.slice(run, 3), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_sentinel_is_default_and_freeable() {
+        assert!(LineRun::EMPTY.is_empty());
+        assert_eq!(LineRun::default(), LineRun::EMPTY);
+        let mut a = A::new();
+        a.free(LineRun::EMPTY);
+        assert_eq!(a.free_runs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds one")]
+    fn oversized_run_is_rejected() {
+        let mut a = A::new();
+        let _ = a.alloc(A::SLOTS_PER_BLOCK + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sentinel")]
+    fn addressing_the_sentinel_panics() {
+        let a = A::new();
+        let _ = a.slice(LineRun::EMPTY, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the run's")]
+    fn overlong_slice_panics() {
+        let mut a = A::new();
+        let run = a.alloc(1); // one line = 32 slots
+        let _ = a.slice(run, A::SLOTS_PER_LINE + 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Struct-of-arrays column layouts for agent states.
+//!
+//! The agent-array simulator stores an array of structs; at n ≥ 10⁵ every
+//! whole-population scan (phase classification, `effective_max`,
+//! `reported_estimate`) drags full structs through cache to read one or
+//! two fields. [`StateColumns`] is the struct-of-arrays alternative: a
+//! state type declares (via [`Columnar`]) a column set that stores each
+//! hot field in its own contiguous lane, so field scans read exactly the
+//! bytes they use and auto-vectorize, while random per-agent access
+//! reassembles the struct with [`StateColumns::load`] /
+//! [`StateColumns::store`] copies.
+//!
+//! The contract is value-level: `load(i)` after `store(i, s)` returns `s`,
+//! and the column set behaves exactly like a `Vec<State>` under
+//! `push`/`swap_remove`. Simulators built on columns (the SoA engine in
+//! `pp-sim`) therefore execute trajectories bit-identical to the
+//! array-of-structs engine — only the memory layout moves.
+//!
+//! [`EstimateLanes`] is the optional fast-path view: column sets whose
+//! state carries the counting protocol's `max`/`last_max` pair expose the
+//! two lanes directly, so estimate scans run over two dense `u32` arrays
+//! (8 bytes per agent) instead of whole states.
+
+use std::fmt::Debug;
+
+/// A state type with a declared struct-of-arrays column layout.
+///
+/// `Copy` is required because columnar storage reassembles states by value
+/// on every access — exactly the property the gather/scatter engine
+/// already demands of payload states.
+pub trait Columnar: Copy {
+    /// The column set storing populations of this state.
+    type Columns: StateColumns<State = Self>;
+}
+
+/// A struct-of-arrays store of one state type.
+///
+/// Implementations keep one contiguous lane per hot field (or per small
+/// field group) plus a cold region for payloads; all lanes move in
+/// lockstep so every agent index addresses one logical state.
+pub trait StateColumns: Default + Debug {
+    /// The state type reassembled by [`StateColumns::load`].
+    type State: Copy + Debug + PartialEq;
+
+    /// A column set pre-sized for `n` agents (lanes allocated, length 0).
+    fn with_capacity(n: usize) -> Self;
+
+    /// Number of agents stored.
+    fn len(&self) -> usize;
+
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one agent's state (splitting it across the lanes).
+    fn push(&mut self, state: Self::State);
+
+    /// Reassembles agent `i`'s state from the lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    fn load(&self, i: usize) -> Self::State;
+
+    /// Writes agent `i`'s state across the lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    fn store(&mut self, i: usize, state: Self::State);
+
+    /// Removes agent `i`, returning its state; the last agent takes index
+    /// `i` (mirrors `Vec::swap_remove` on every lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    fn swap_remove(&mut self, i: usize) -> Self::State;
+
+    /// Removes all agents.
+    fn clear(&mut self);
+
+    /// The dense `max`/`last_max` estimate lanes, when this layout has
+    /// them. Column sets for states without the counting pair return
+    /// `None` (the default), and scans fall back to `load`.
+    fn estimate_lanes(&self) -> Option<EstimateLanes<'_>> {
+        None
+    }
+}
+
+/// Borrowed view of the two estimate lanes of a counting-state column set.
+///
+/// `max[i].max(last_max[i])` is agent `i`'s effective maximum — the value
+/// the paper's protocol reports (descaled by the overestimate factor when
+/// one is configured; under the empirical configuration the descaling is
+/// the identity).
+#[derive(Debug, Clone, Copy)]
+pub struct EstimateLanes<'a> {
+    /// The `max` lane.
+    pub max: &'a [u32],
+    /// The `last_max` lane.
+    pub last_max: &'a [u32],
+}
+
+/// Trivial single-lane column set for scalar states — the degenerate SoA
+/// layout (one column holding the whole state). Lets scalar-state
+/// protocols (epidemics, test fixtures) run on the SoA engine unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct ScalarColumns<S> {
+    states: Vec<S>,
+}
+
+impl<S: Copy + Debug + PartialEq + Default> StateColumns for ScalarColumns<S> {
+    type State = S;
+
+    fn with_capacity(n: usize) -> Self {
+        ScalarColumns {
+            states: Vec::with_capacity(n),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    fn push(&mut self, state: S) {
+        self.states.push(state);
+    }
+
+    #[inline]
+    fn load(&self, i: usize) -> S {
+        self.states[i]
+    }
+
+    #[inline]
+    fn store(&mut self, i: usize, state: S) {
+        self.states[i] = state;
+    }
+
+    fn swap_remove(&mut self, i: usize) -> S {
+        self.states.swap_remove(i)
+    }
+
+    fn clear(&mut self) {
+        self.states.clear();
+    }
+}
+
+macro_rules! scalar_columnar {
+    ($($t:ty),*) => {$(
+        impl Columnar for $t {
+            type Columns = ScalarColumns<$t>;
+        }
+    )*};
+}
+
+scalar_columnar!(bool, u8, u16, u32, u64, usize, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_columns_behave_like_a_vec() {
+        let mut c: ScalarColumns<u32> = StateColumns::with_capacity(4);
+        assert!(c.is_empty());
+        c.push(7);
+        c.push(9);
+        c.push(11);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.load(1), 9);
+        c.store(1, 10);
+        assert_eq!(c.load(1), 10);
+        assert_eq!(c.swap_remove(0), 7, "swap_remove returns the victim");
+        assert_eq!(c.load(0), 11, "the last agent takes the hole");
+        assert_eq!(c.len(), 2);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn scalar_columns_report_no_estimate_lanes() {
+        let c: ScalarColumns<u32> = StateColumns::with_capacity(0);
+        assert!(c.estimate_lanes().is_none());
+    }
+
+    #[test]
+    fn primitives_are_columnar() {
+        fn assert_columnar<S: Columnar>() {}
+        assert_columnar::<bool>();
+        assert_columnar::<u32>();
+        assert_columnar::<u64>();
+    }
+}

@@ -12,6 +12,12 @@
 //! * [`Simulator`] — the agent-array backend: a dense vector of states, the
 //!   uniformly random pair scheduler, and observer hooks. This is the engine
 //!   behind every figure of the paper.
+//! * [`SoaSimulator`] / [`store`] — the struct-of-arrays engine: the same
+//!   model over columnar [`AgentStore`] storage (dense per-field lanes,
+//!   arena-backed payload overflow), trajectory-identical to [`Simulator`]
+//!   by construction. Opt-in for benches and scan-heavy readouts; the
+//!   `Backend` drivers stay on the agent array, whose contiguous state
+//!   slice their snapshot scans require.
 //! * [`CountSimulator`] — the count backend: exact simulation of
 //!   finite-state protocols with one counter per state (no agent array);
 //!   cross-checks the agent simulator and sweeps substrates at populations
@@ -74,6 +80,7 @@ pub mod runner;
 pub mod scenario;
 pub mod series;
 pub mod simulator;
+pub mod store;
 pub mod sweep;
 
 pub use adversary::{AdversarySchedule, PopulationEvent, ScheduleError, ScheduledEvent};
@@ -98,7 +105,8 @@ pub use recording::{
 pub use runner::parallel_map;
 pub use scenario::{ScenarioTrace, TraceSegment, BUILTIN_TRACES};
 pub use series::{EstimateSummary, MemorySummary, RecoveryPoint, RunResult, Snapshot, TickEvent};
-pub use simulator::{ChunkSize, ParallelPolicy, Simulator};
+pub use simulator::{ChunkSize, ParallelPolicy, Simulator, SoaSimulator};
+pub use store::AgentStore;
 pub use sweep::{
     CellOutcome, FailureSummary, ResiliencePolicy, ResilientCell, ResilientResults, Sweep,
     SweepCell, SweepResults,

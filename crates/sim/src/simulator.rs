@@ -17,8 +17,10 @@ use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
 mod parallel;
+mod soa;
 
 pub use parallel::ParallelPolicy;
+pub use soa::SoaSimulator;
 
 /// Pairs per stepping chunk: drawn, gathered, computed, and scattered as
 /// one batch. 64 pairs × 2 agents keeps the gather buffer a few KB (L1)
@@ -271,6 +273,7 @@ impl<P: Protocol, O: Observer<P>> Simulator<P, O> {
     pub fn replace_state(&mut self, i: usize, state: P::State) {
         let old = std::mem::replace(self.config.get_mut(i), state);
         self.observer.agent_removed(&self.protocol, &old);
+        self.protocol.retire_state(&old);
         self.observer
             .agent_added(&self.protocol, self.config.get(i));
     }
@@ -539,6 +542,8 @@ impl<P: Protocol, O: Observer<P>> Simulator<P, O> {
             let i = self.rng.random_range(0..self.config.len());
             let s = self.config.swap_remove(i);
             self.observer.agent_removed(&self.protocol, &s);
+            // Retire after the observer: metrics may still read the state.
+            self.protocol.retire_state(&s);
         }
         self.update_inv_n();
     }
@@ -614,6 +619,7 @@ impl<P: SizeEstimator, O: Observer<P>> Simulator<P, O> {
         for i in doomed {
             let s = self.config.swap_remove(i);
             self.observer.agent_removed(&self.protocol, &s);
+            self.protocol.retire_state(&s);
         }
         self.update_inv_n();
     }

@@ -1,0 +1,606 @@
+//! The struct-of-arrays simulator.
+//!
+//! [`SoaSimulator`] runs the same model as the agent-array
+//! [`Simulator`](super::Simulator) — uniformly random ordered pairs, one
+//! interaction per step — over an [`AgentStore`] (columnar storage)
+//! instead of a `Configuration` (array of structs). It is an explicit
+//! opt-in engine: benches and tests construct it directly; the
+//! `Backend`/`Recording` drivers stay on the agent array, whose
+//! contiguous `&[P::State]` slice their snapshot scans require.
+//!
+//! # Trajectory equivalence
+//!
+//! `step_n` here is bit-identical to the agent-array engine's for the
+//! same protocol, population, and seed. The agent-array engine has two
+//! paths that already consume the identical RNG word stream — the
+//! in-place sequential path (`fill_random_ordered_pairs` up front) and
+//! the gathered pipeline (one draw per pair interleaved with the state
+//! copies) — so this engine simply *always* runs the gathered pipeline:
+//! per chunk, draw + column-gather into the dense scratch buffer, hazard
+//! scan, compute on the clean prefix, column-scatter back, and a
+//! sequential in-place tail for colliding pairs. Word for word the same
+//! stream, pair for pair the same transitions (`tests/soa.rs` pins the
+//! equivalence at the golden-trace seed and beyond).
+//!
+//! # Why columns
+//!
+//! Stepping touches agents at random — columnar storage splits each
+//! random access across the lanes, so the *step* loop is not where SoA
+//! wins (on a 1-core box it pays a small constant tax; measured in
+//! `BENCH_hotloop.json` under the `soa_*` keys). The wins are the
+//! whole-population scans: estimate histograms and `effective_max`
+//! passes read the two dense `u32` lanes (8 bytes per agent, unit
+//! stride, auto-vectorizable) instead of dragging full structs through
+//! cache — see [`SoaSimulator::effective_max_stats`].
+
+use crate::histogram::EstimateHistogram;
+use crate::observer::{EstimateTracker, Observer};
+use crate::store::AgentStore;
+use pp_model::{Columnar, Protocol, SizeEstimator};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use super::{clear_mark, set_mark, test_mark, CHUNK};
+
+/// An in-progress execution over struct-of-arrays agent storage.
+///
+/// The API mirrors [`Simulator`](super::Simulator) where the storage
+/// layout permits: per-agent access is by value (`state(i)` /
+/// `set_state(i, s)`) because a columnar store has no whole-struct
+/// reference to hand out.
+///
+/// # Examples
+///
+/// ```
+/// use pp_model::Protocol;
+/// use pp_sim::SoaSimulator;
+/// use rand::Rng;
+///
+/// struct OrEpidemic;
+/// impl Protocol for OrEpidemic {
+///     type State = bool;
+///     fn initial_state(&self) -> bool { false }
+///     fn interact<R: Rng + ?Sized>(&self, u: &mut bool, v: &mut bool, _: &mut R) {
+///         *u = *u || *v;
+///     }
+/// }
+///
+/// let mut sim = SoaSimulator::with_seed(OrEpidemic, 100, 7);
+/// sim.set_state(0, true);                 // plant the rumor
+/// sim.run_parallel_time(30.0);
+/// assert!(sim.states_vec().iter().all(|&s| s));
+/// ```
+#[derive(Debug)]
+pub struct SoaSimulator<P, O = ()>
+where
+    P: Protocol,
+    P::State: Columnar,
+    O: Observer<P>,
+{
+    protocol: P,
+    store: AgentStore<P::State>,
+    observer: O,
+    rng: SmallRng,
+    interactions: u64,
+    parallel_time: f64,
+    inv_n: f64,
+    /// Dense gather buffer (`2·CHUNK` slots), reused across chunks.
+    scratch: Vec<P::State>,
+    /// Hazard bitmap, same geometry as the agent-array engine's.
+    marks: Vec<u64>,
+}
+
+impl<P> SoaSimulator<P, ()>
+where
+    P: Protocol,
+    P::State: Columnar,
+{
+    /// Creates a simulator of `n` agents in the protocol's initial state.
+    pub fn with_seed(protocol: P, n: usize, seed: u64) -> Self {
+        Self::with_observer(protocol, n, seed, ())
+    }
+
+    /// Creates a simulator from explicit initial states.
+    pub fn from_states(protocol: P, states: &[P::State], seed: u64) -> Self {
+        Self::from_states_with_observer(protocol, states, seed, ())
+    }
+}
+
+impl<P> SoaSimulator<P, EstimateTracker>
+where
+    P: SizeEstimator,
+    P::State: Columnar,
+{
+    /// Creates a simulator with incremental estimate tracking enabled.
+    pub fn tracked(protocol: P, n: usize, seed: u64) -> Self {
+        Self::with_observer(protocol, n, seed, EstimateTracker::new())
+    }
+}
+
+impl<P, O> SoaSimulator<P, O>
+where
+    P: Protocol,
+    P::State: Columnar,
+    O: Observer<P>,
+{
+    /// Creates a simulator of `n` fresh agents with the given observer.
+    pub fn with_observer(protocol: P, n: usize, seed: u64, observer: O) -> Self {
+        let store = AgentStore::fresh(&protocol, n);
+        Self::from_store_with_observer(protocol, store, seed, observer)
+    }
+
+    /// Creates a simulator from explicit initial states with an observer.
+    ///
+    /// The observer sees one `agent_added` call per existing agent, exactly
+    /// as [`Simulator::from_config_with_observer`](super::Simulator::from_config_with_observer)
+    /// does.
+    pub fn from_states_with_observer(
+        protocol: P,
+        states: &[P::State],
+        seed: u64,
+        observer: O,
+    ) -> Self {
+        let store = AgentStore::from_states(states);
+        Self::from_store_with_observer(protocol, store, seed, observer)
+    }
+
+    fn from_store_with_observer(
+        protocol: P,
+        store: AgentStore<P::State>,
+        seed: u64,
+        mut observer: O,
+    ) -> Self {
+        for i in 0..store.len() {
+            observer.agent_added(&protocol, &store.load(i));
+        }
+        let inv_n = if store.is_empty() {
+            0.0
+        } else {
+            1.0 / store.len() as f64
+        };
+        let scratch = vec![protocol.initial_state(); 2 * CHUNK];
+        let mut sim = SoaSimulator {
+            protocol,
+            store,
+            observer,
+            rng: SmallRng::seed_from_u64(seed),
+            interactions: 0,
+            parallel_time: 0.0,
+            inv_n,
+            scratch,
+            marks: Vec::new(),
+        };
+        sim.grow_marks();
+        sim
+    }
+
+    /// Ensures the hazard bitmap covers the population (same grow-only
+    /// geometry and 2¹⁹-bit cap as the agent-array engine).
+    fn grow_marks(&mut self) {
+        let bits = self.store.len().next_power_of_two().clamp(64, 1 << 19);
+        if self.marks.len() < bits / 64 {
+            self.marks.resize(bits / 64, 0);
+        }
+    }
+
+    /// The protocol under simulation.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Current population size `n`.
+    pub fn population(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Interactions simulated so far.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Parallel time elapsed (interactions / n, integrated across resizes).
+    pub fn parallel_time(&self) -> f64 {
+        self.parallel_time
+    }
+
+    /// The columnar agent store.
+    pub fn store(&self) -> &AgentStore<P::State> {
+        &self.store
+    }
+
+    /// Agent `i`'s state, reassembled from the columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn state(&self, i: usize) -> P::State {
+        self.store.load(i)
+    }
+
+    /// Overwrites agent `i`'s state (e.g. to plant an initial value).
+    ///
+    /// Bypasses the observer, like
+    /// [`Simulator::state_mut`](super::Simulator::state_mut); callers that
+    /// rely on incremental metrics should plant values before constructing
+    /// via [`SoaSimulator::from_states_with_observer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn set_state(&mut self, i: usize, state: P::State) {
+        self.store.store(i, state);
+    }
+
+    /// Replaces agent `i`'s state, keeping the observer in sync (removal of
+    /// the old state, addition of the new) and retiring the old state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn replace_state(&mut self, i: usize, state: P::State) {
+        let old = self.store.load(i);
+        self.store.store(i, state);
+        self.observer.agent_removed(&self.protocol, &old);
+        self.protocol.retire_state(&old);
+        self.observer
+            .agent_added(&self.protocol, &self.store.load(i));
+    }
+
+    /// The observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// The population as an array of structs (O(n) reassembly; for
+    /// comparisons and readouts, not the hot path).
+    pub fn states_vec(&self) -> Vec<P::State> {
+        self.store.to_vec()
+    }
+
+    /// Simulates one interaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population has fewer than two agents.
+    #[inline]
+    pub fn step(&mut self) {
+        self.step_n(1);
+    }
+
+    /// Simulates `count` interactions.
+    ///
+    /// Always runs the gather/compute/scatter pipeline (the agent-array
+    /// engine's large-n path): per chunk of `CHUNK` (64) pairs, each pair is
+    /// drawn and its two agents column-gathered into the dense scratch
+    /// buffer; the hazard bitmap finds the collision-free prefix; the
+    /// prefix computes on scratch in drawn order; post-states column-
+    /// scatter back (initiators only for one-way protocols); colliding
+    /// tails replay sequentially in place. The RNG word stream is
+    /// position-for-position the agent-array engine's, so trajectories
+    /// are bit-identical (`tests/soa.rs`).
+    ///
+    /// Steady-state stepping performs zero heap allocations: scratch and
+    /// bitmap are preallocated and reused (`tests/alloc.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 0` and the population has fewer than two agents.
+    pub fn step_n(&mut self, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let n = self.store.len();
+        assert!(
+            n >= 2,
+            "an interaction needs at least two agents, got n={n}"
+        );
+        let mut pairs = [(0usize, 0usize); CHUNK];
+        let mask = self.marks.len() * 64 - 1;
+        let base = self.interactions;
+        let mut done = 0u64;
+        while done < count {
+            let chunk = ((count - done) as usize).min(CHUNK);
+
+            // Draw + gather (column loads reassemble each drawn agent).
+            for (slot, pair) in self
+                .scratch
+                .chunks_exact_mut(2)
+                .zip(pairs[..chunk].iter_mut())
+            {
+                let (i, j) = pp_model::random_ordered_pair(n, &mut self.rng);
+                *pair = (i, j);
+                slot[0] = self.store.load(i);
+                slot[1] = self.store.load(j);
+            }
+
+            // Hazard scan: the collision-free prefix, identical rules to
+            // the agent-array engine (one-way ⇒ initiator writes only).
+            let mut clean = chunk;
+            for (k, &(i, j)) in pairs[..chunk].iter().enumerate() {
+                if test_mark(&self.marks, mask, i) || test_mark(&self.marks, mask, j) {
+                    clean = k;
+                    break;
+                }
+                set_mark(&mut self.marks, mask, i);
+                if !P::ONE_WAY {
+                    set_mark(&mut self.marks, mask, j);
+                }
+            }
+
+            // Compute on the dense scratch buffer, in drawn order.
+            for (slot, &(i, j)) in self.scratch.chunks_exact_mut(2).zip(pairs[..clean].iter()) {
+                let (a, b) = slot.split_at_mut(1);
+                let u = &mut a[0];
+                let v = &mut b[0];
+                self.observer
+                    .pre_interact(&self.protocol, u, v, i, j, base + done);
+                self.protocol.interact(u, v, &mut self.rng);
+                self.observer
+                    .post_interact(&self.protocol, u, v, i, j, base + done);
+                done += 1;
+            }
+
+            // Scatter the prefix back into the columns; clear exactly the
+            // hazard bits this chunk set.
+            for (slot, &(i, j)) in self.scratch.chunks_exact(2).zip(pairs[..clean].iter()) {
+                self.store.store(i, slot[0]);
+                clear_mark(&mut self.marks, mask, i);
+                if !P::ONE_WAY {
+                    self.store.store(j, slot[1]);
+                    clear_mark(&mut self.marks, mask, j);
+                }
+            }
+
+            // Colliding tail: sequential order, in place (load/store by
+            // value — columns have no pair_mut).
+            for &(i, j) in &pairs[clean..chunk] {
+                let mut u = self.store.load(i);
+                let mut v = self.store.load(j);
+                self.observer
+                    .pre_interact(&self.protocol, &u, &v, i, j, base + done);
+                self.protocol.interact(&mut u, &mut v, &mut self.rng);
+                self.observer
+                    .post_interact(&self.protocol, &u, &v, i, j, base + done);
+                self.store.store(i, u);
+                if !P::ONE_WAY {
+                    self.store.store(j, v);
+                }
+                done += 1;
+            }
+        }
+        self.interactions = base + count;
+        self.parallel_time += count as f64 * self.inv_n;
+    }
+
+    /// Runs for `duration` units of parallel time (same epoch arithmetic
+    /// as the agent-array engine).
+    pub fn run_parallel_time(&mut self, duration: f64) {
+        let target = self.parallel_time + duration;
+        let n = self.store.len();
+        if n < 2 {
+            self.parallel_time = target;
+            return;
+        }
+        while self.parallel_time < target {
+            let deficit = target - self.parallel_time;
+            let needed = (deficit * n as f64).ceil().max(1.0) as u64;
+            self.step_n(needed);
+        }
+    }
+
+    /// Adds `count` agents in the protocol's initial state.
+    pub fn add_agents(&mut self, count: usize) {
+        for _ in 0..count {
+            let s = self.protocol.initial_state();
+            self.observer.agent_added(&self.protocol, &s);
+            self.store.push(s);
+        }
+        self.update_inv_n();
+    }
+
+    /// Removes `count` agents chosen uniformly at random (identical RNG
+    /// draw order to the agent-array engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the population size.
+    pub fn remove_uniform(&mut self, count: usize) {
+        assert!(
+            count <= self.store.len(),
+            "cannot remove {count} of {} agents",
+            self.store.len()
+        );
+        for _ in 0..count {
+            let i = self.rng.random_range(0..self.store.len());
+            let s = self.store.swap_remove(i);
+            self.observer.agent_removed(&self.protocol, &s);
+            self.protocol.retire_state(&s);
+        }
+        self.update_inv_n();
+    }
+
+    /// Resizes the population to `target`: grows with fresh agents or
+    /// shrinks by uniform removal.
+    pub fn resize_to(&mut self, target: usize) {
+        let n = self.store.len();
+        if target > n {
+            self.add_agents(target - n);
+        } else {
+            self.remove_uniform(n - target);
+        }
+    }
+
+    fn update_inv_n(&mut self) {
+        self.inv_n = if self.store.is_empty() {
+            0.0
+        } else {
+            1.0 / self.store.len() as f64
+        };
+        self.grow_marks();
+    }
+}
+
+impl<P, O> SoaSimulator<P, O>
+where
+    P: SizeEstimator,
+    P::State: Columnar,
+    O: Observer<P>,
+{
+    /// Five-number summary of the agents' current estimates (full scan via
+    /// column loads), or `None` when no agent reports an estimate. Always
+    /// correct; see [`SoaSimulator::effective_max_stats`] for the dense-
+    /// lane scan.
+    pub fn estimate_stats(&self) -> Option<crate::series::EstimateSummary> {
+        let mut hist = EstimateHistogram::new();
+        for i in 0..self.store.len() {
+            hist.add(self.protocol.estimate_bucket(&self.store.load(i)));
+        }
+        hist.summary()
+    }
+
+    /// Five-number summary of the population's `max{max, lastMax}` values,
+    /// scanned over the dense estimate lanes — 8 bytes per agent, unit
+    /// stride, auto-vectorizable. `None` if this state's column layout has
+    /// no estimate lanes.
+    ///
+    /// This equals [`SoaSimulator::estimate_stats`] exactly when the
+    /// protocol's reported estimate *is* the effective maximum — true for
+    /// the paper's empirical configuration, whose overestimation factor is
+    /// 1 and whose agents always report (`tests/soa.rs` pins the
+    /// identity). Configurations with a real overestimation factor descale
+    /// the report, so there the two summaries differ by that scaling and
+    /// this scan is a raw-lane readout, not an estimate summary.
+    pub fn effective_max_stats(&self) -> Option<crate::series::EstimateSummary> {
+        let lanes = self.store.estimate_lanes()?;
+        let mut hist = EstimateHistogram::new();
+        // Count into a fixed stack array first: effective maxima are
+        // GRV-sized (≤ ~64 w.h.p.), so the per-agent loop is two lane
+        // loads, a max, and one in-bounds increment — no growing-vec
+        // branch, no per-agent double bookkeeping. Values past the array
+        // (legal but rare) take the histogram's growing path directly.
+        let mut counts = [0u64; 256];
+        for (&m, &lm) in lanes.max.iter().zip(lanes.last_max.iter()) {
+            let b = m.max(lm);
+            match counts.get_mut(b as usize) {
+                Some(c) => *c += 1,
+                None => hist.add(Some(b)),
+            }
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                hist.add_many(Some(b as u32), c);
+            }
+        }
+        hist.summary()
+    }
+
+    /// Removes the `count` agents with the largest estimates (identical
+    /// selection and RNG behavior to the agent-array engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the population size.
+    pub fn remove_largest_estimates(&mut self, count: usize) {
+        assert!(
+            count <= self.store.len(),
+            "cannot remove {count} of {} agents",
+            self.store.len()
+        );
+        let mut order: Vec<usize> = (0..self.store.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ea = self.protocol.estimate_log2(&self.store.load(a));
+            let eb = self.protocol.estimate_log2(&self.store.load(b));
+            eb.partial_cmp(&ea).expect("non-NaN estimates")
+        });
+        let mut doomed: Vec<usize> = order.into_iter().take(count).collect();
+        doomed.sort_unstable_by(|a, b| b.cmp(a));
+        for i in doomed {
+            let s = self.store.swap_remove(i);
+            self.observer.agent_removed(&self.protocol, &s);
+            self.protocol.retire_state(&s);
+        }
+        self.update_inv_n();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// One-way max epidemic over a scalar (ScalarColumns) state.
+    struct Max;
+    impl Protocol for Max {
+        type State = u32;
+        const ONE_WAY: bool = true;
+        fn initial_state(&self) -> u32 {
+            0
+        }
+        fn interact<R: Rng + ?Sized>(&self, u: &mut u32, v: &mut u32, _: &mut R) {
+            *u = (*u).max(*v);
+        }
+    }
+    impl SizeEstimator for Max {
+        fn estimate_log2(&self, s: &u32) -> Option<f64> {
+            (*s > 0).then_some(*s as f64)
+        }
+    }
+
+    #[test]
+    fn epidemic_reaches_everyone() {
+        let mut sim = SoaSimulator::with_seed(Max, 200, 1);
+        sim.set_state(0, 9);
+        sim.run_parallel_time(60.0);
+        assert!(sim.states_vec().iter().all(|&s| s == 9));
+        assert!(sim.interactions() >= 200 * 60);
+    }
+
+    #[test]
+    fn matches_agent_array_engine_exactly() {
+        let mut soa = SoaSimulator::with_seed(Max, 300, 9);
+        let mut aos = super::super::Simulator::with_seed(Max, 300, 9);
+        soa.set_state(0, 5);
+        *aos.state_mut(0) = 5;
+        soa.step_n(1_000);
+        aos.step_n(1_000);
+        assert_eq!(soa.states_vec(), aos.states());
+        assert_eq!(soa.interactions(), aos.interactions());
+    }
+
+    #[test]
+    fn resize_and_adversary_match_agent_array_engine() {
+        let mut soa = SoaSimulator::with_seed(Max, 120, 17);
+        let mut aos = super::super::Simulator::with_seed(Max, 120, 17);
+        for i in 0..5 {
+            soa.set_state(i * 3, (i + 1) as u32);
+            *aos.state_mut(i * 3) = (i + 1) as u32;
+        }
+        soa.step_n(500);
+        aos.step_n(500);
+        soa.resize_to(200);
+        aos.resize_to(200);
+        soa.step_n(500);
+        aos.step_n(500);
+        soa.remove_uniform(60);
+        aos.remove_uniform(60);
+        soa.remove_largest_estimates(10);
+        aos.remove_largest_estimates(10);
+        soa.step_n(500);
+        aos.step_n(500);
+        assert_eq!(soa.states_vec(), aos.states());
+        assert_eq!(soa.population(), aos.population());
+    }
+
+    #[test]
+    fn lone_agent_population_still_ages() {
+        let mut sim = SoaSimulator::with_seed(Max, 1, 7);
+        sim.run_parallel_time(5.0);
+        assert!((sim.parallel_time() - 5.0).abs() < 1e-9);
+        assert_eq!(sim.interactions(), 0);
+    }
+}

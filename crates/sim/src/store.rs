@@ -1,0 +1,186 @@
+//! [`AgentStore`] — struct-of-arrays agent storage for the SoA engine.
+//!
+//! The agent-array [`Simulator`](crate::Simulator) keeps a
+//! `Configuration<P::State>` — an array of structs. [`AgentStore`] is the
+//! columnar counterpart: it holds a population in the state's
+//! [`Columnar`] column set (`pp_model::columnar`), so whole-population
+//! field scans (`effective_max`, estimate histograms) run over dense
+//! per-field lanes, while per-agent access reassembles states by value.
+//!
+//! The store's contract mirrors `Vec<State>` exactly —
+//! `push`/`load`/`store`/`swap_remove` are value-equivalent — which is
+//! what lets [`SoaSimulator`](crate::SoaSimulator) execute trajectories
+//! bit-identical to the agent-array engine.
+
+use pp_model::{Columnar, EstimateLanes, Protocol, StateColumns};
+
+/// A population of agent states in struct-of-arrays column storage.
+///
+/// # Examples
+///
+/// ```
+/// use dsc_core::DscState;
+/// use pp_sim::AgentStore;
+///
+/// let mut store: AgentStore<DscState> = AgentStore::new();
+/// store.push(DscState { time: 5, max: 3, last_max: 7, interactions: 0, ticks: 0 });
+/// assert_eq!(store.load(0).effective_max(), 7);
+/// let lanes = store.estimate_lanes().unwrap();
+/// assert_eq!((lanes.max[0], lanes.last_max[0]), (3, 7));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AgentStore<S: Columnar> {
+    columns: S::Columns,
+}
+
+impl<S: Columnar> AgentStore<S> {
+    /// An empty store.
+    pub fn new() -> Self {
+        AgentStore {
+            columns: S::Columns::default(),
+        }
+    }
+
+    /// A store of `n` agents in the protocol's initial state (the columnar
+    /// analogue of `Configuration::fresh`).
+    pub fn fresh<P>(protocol: &P, n: usize) -> Self
+    where
+        P: Protocol<State = S>,
+    {
+        let mut columns = S::Columns::with_capacity(n);
+        for _ in 0..n {
+            columns.push(protocol.initial_state());
+        }
+        AgentStore { columns }
+    }
+
+    /// A store built from per-index states (mirrors `Configuration::from_fn`).
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> S) -> Self {
+        let mut columns = S::Columns::with_capacity(n);
+        for i in 0..n {
+            columns.push(f(i));
+        }
+        AgentStore { columns }
+    }
+
+    /// A store holding the given states in order.
+    pub fn from_states(states: &[S]) -> Self {
+        let mut columns = S::Columns::with_capacity(states.len());
+        for &s in states {
+            columns.push(s);
+        }
+        AgentStore { columns }
+    }
+
+    /// Number of agents.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the store is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Appends one agent.
+    pub fn push(&mut self, state: S) {
+        self.columns.push(state);
+    }
+
+    /// Reassembles agent `i`'s state from the columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn load(&self, i: usize) -> S {
+        self.columns.load(i)
+    }
+
+    /// Writes agent `i`'s state across the columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn store(&mut self, i: usize, state: S) {
+        self.columns.store(i, state);
+    }
+
+    /// Removes agent `i` (the last agent takes its index), returning the
+    /// removed state — value-equivalent to `Vec::swap_remove`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn swap_remove(&mut self, i: usize) -> S {
+        self.columns.swap_remove(i)
+    }
+
+    /// The dense estimate lanes, when this state's column layout has them
+    /// (see [`StateColumns::estimate_lanes`]).
+    #[inline]
+    pub fn estimate_lanes(&self) -> Option<EstimateLanes<'_>> {
+        self.columns.estimate_lanes()
+    }
+
+    /// The underlying column set.
+    pub fn columns(&self) -> &S::Columns {
+        &self.columns
+    }
+
+    /// Materializes the population as an array of structs (for comparisons
+    /// against the agent-array engine; O(n) reassembly).
+    pub fn to_vec(&self) -> Vec<S> {
+        (0..self.len()).map(|i| self.load(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsc_core::DscState;
+
+    fn s(i: u32) -> DscState {
+        DscState {
+            time: i64::from(i),
+            max: i,
+            last_max: 2 * i,
+            interactions: 3 * i,
+            ticks: i,
+        }
+    }
+
+    #[test]
+    fn store_is_value_equivalent_to_a_vec() {
+        let mut store = AgentStore::from_fn(6, |i| s(i as u32));
+        let mut reference: Vec<DscState> = (0..6).map(|i| s(i as u32)).collect();
+        assert_eq!(store.to_vec(), reference);
+
+        store.store(4, s(99));
+        reference[4] = s(99);
+        assert_eq!(store.swap_remove(1), reference.swap_remove(1));
+        store.push(s(7));
+        reference.push(s(7));
+        assert_eq!(store.to_vec(), reference);
+    }
+
+    #[test]
+    fn fresh_mirrors_configuration_fresh() {
+        use pp_model::Protocol;
+        let p = dsc_core::DynamicSizeCounting::new(dsc_core::DscConfig::empirical());
+        let store = AgentStore::fresh(&p, 10);
+        assert_eq!(store.len(), 10);
+        assert!(store.to_vec().iter().all(|st| *st == p.initial_state()));
+    }
+
+    #[test]
+    fn dsc_store_exposes_estimate_lanes() {
+        let store = AgentStore::from_states(&[s(1), s(2)]);
+        let lanes = store.estimate_lanes().expect("DSC has dense lanes");
+        assert_eq!(lanes.max, &[1, 2]);
+        assert_eq!(lanes.last_max, &[2, 4]);
+    }
+}

@@ -16,7 +16,8 @@
 use dynamic_size_counting::dsc::{
     AveragedDsc, Composed, DscConfig, DynamicSizeCounting, TimedRumor,
 };
-use dynamic_size_counting::sim::Simulator;
+use dynamic_size_counting::protocols::{De22Backing, De22Counting};
+use dynamic_size_counting::sim::{Simulator, SoaSimulator};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -125,6 +126,86 @@ fn steady_state_gathered_stepping_never_allocates() {
     sim.run_parallel_time(5.0);
     assert_allocation_free(
         "gathered averaged step_block must not allocate per chunk",
+        || sim.step_n(STEPS),
+    );
+}
+
+/// Arena-backed payload overflow keeps the zero-allocation guarantee: a
+/// prefunded `De22Backing` (one fixed-quantum line run per expected agent)
+/// serves every spill from the arena's free list, so stepping with live
+/// overflow — on either engine — never touches the heap.
+#[test]
+fn steady_state_arena_backed_stepping_never_allocates() {
+    let n = 256;
+    let cap = 96;
+    let inline = 4; // tiny inline prefix: essentially every agent spills
+
+    let p = De22Counting::new().with_arena(De22Backing::new(cap, inline, n));
+    let mut sim = Simulator::with_seed(p, n, 15);
+    sim.run_parallel_time(60.0); // warm up: timer lists reach length > inline
+    let spilled = sim.states().iter().filter(|s| s.spill_len > 0).count();
+    assert!(
+        spilled > n / 2,
+        "warm-up must push most agents into the arena"
+    );
+    assert_allocation_free(
+        "arena-backed DE22 stepping must not allocate per interaction",
+        || sim.step_n(STEPS),
+    );
+
+    // Same guarantee on the struct-of-arrays engine (its scratch buffer
+    // and hazard bitmap are preallocated like the agent-array engine's).
+    let p = De22Counting::new().with_arena(De22Backing::new(cap, inline, n));
+    let mut sim = SoaSimulator::with_seed(p, n, 15);
+    sim.run_parallel_time(60.0);
+    assert_allocation_free(
+        "arena-backed DE22 stepping on the SoA engine must not allocate",
+        || sim.step_n(STEPS),
+    );
+
+    // And the SoA engine's plain-DSC hot path (columnar gather/scatter).
+    let mut sim =
+        SoaSimulator::with_seed(DynamicSizeCounting::new(DscConfig::empirical()), 500, 11);
+    sim.run_parallel_time(30.0);
+    assert_allocation_free("SoA DSC stepping must not allocate per chunk", || {
+        sim.step_n(STEPS)
+    });
+}
+
+/// Arena blocks grow only at adversary events, never in steady state: the
+/// growth-event counter is flat across steady stepping, and after a
+/// population growth prefunded via [`De22Backing::reserve_additional`]
+/// stepping is immediately flat (and allocation-free) again.
+#[test]
+fn arena_adversary_event_growth() {
+    let n = 128;
+    let backing = De22Backing::new(96, 2, n);
+    let p = De22Counting::new().with_arena(backing.clone());
+    let mut sim = Simulator::with_seed(p, n, 16);
+    sim.run_parallel_time(40.0);
+
+    let settled = backing.growth_events();
+    sim.step_n(STEPS);
+    assert_eq!(
+        backing.growth_events(),
+        settled,
+        "steady-state stepping must not grow the arena"
+    );
+
+    // The adversary doubles the population; the growth event (and only
+    // it) may add blocks — via the explicit prefund call.
+    backing.reserve_additional(n);
+    sim.resize_to(2 * n);
+    sim.run_parallel_time(40.0);
+    let after_growth = backing.growth_events();
+    sim.step_n(STEPS);
+    assert_eq!(
+        backing.growth_events(),
+        after_growth,
+        "post-growth steady state must not grow the arena"
+    );
+    assert_allocation_free(
+        "arena-backed stepping after adversary growth must be clean",
         || sim.step_n(STEPS),
     );
 }

@@ -63,7 +63,7 @@ fn de22_adapts_but_uses_more_memory() {
         .horizon(300.0)
         .snapshot_every(10.0)
         .run_with_memory();
-    let de = Experiment::new(de_p, n)
+    let de = Experiment::new(de_p.clone(), n)
         .seed(32)
         .horizon(300.0)
         .snapshot_every(10.0)

@@ -6,20 +6,29 @@
 //! layout invariants the stepping engine's performance rests on:
 //!
 //! * `DscState` ≤ 32 bytes — two states per 64-byte cache line;
-//! * every payload-carrying state stores its payload *inline*
-//!   (fixed-capacity arrays, no heap pointer), so an agent access is one
-//!   cache-line fetch, never a dependent pointer chase;
-//! * the inline capacities match the documented payload bounds.
+//! * every payload-carrying state stores its payload *inline* up to its
+//!   cap (fixed-capacity arrays, no heap pointer), so an agent access is
+//!   one cache-line fetch, never a dependent pointer chase — overflow
+//!   above the cap goes through the `PayloadArena` as a small `Copy`
+//!   handle (`LineRun`), not a pointer;
+//! * the inline capacities match the documented payload bounds;
+//! * the struct-of-arrays column layouts (`DscColumns`,
+//!   `AveragedColumns`) keep the hot/cold split the SoA engine's scan
+//!   performance rests on: 4-byte `u32` lanes for the scan fields,
+//!   a 16-byte grouped clock record for the random-access fields.
 //!
 //! Growing any of these is allowed — but it is a deliberate performance
 //! decision that must update this file (and the README layout notes), not
 //! an accident of adding a field.
 
 use dynamic_size_counting::dsc::{
-    AveragedState, ComposedState, DscState, RumorState, SlotVec, MAX_SLOTS,
+    AveragedPayload, AveragedState, ComposedState, DscClock, DscState, RumorState, SlotVec,
+    MAX_SLOTS,
 };
+use dynamic_size_counting::model::arena::{LineRun, ARENA_LINE_BYTES};
+use dynamic_size_counting::model::{Columnar, StateColumns};
 use dynamic_size_counting::protocols::{De19State, De22State, DE19_MAX_SLOTS, DE22_MAX_VALUES};
-use std::mem::{align_of, size_of};
+use std::mem::{align_of, size_of, size_of_val};
 
 #[test]
 fn dsc_state_fits_half_a_cache_line() {
@@ -45,7 +54,11 @@ fn de19_state_is_inline_and_bounded() {
 
 #[test]
 fn de22_state_is_inline_and_bounded() {
-    assert!(size_of::<De22State>() <= DE22_MAX_VALUES * 4 + 4);
+    // Inline timers (len + DE22_MAX_VALUES × u32) plus the arena overflow
+    // handle: a 12-byte LineRun and a 4-byte spill length. The handle is
+    // plain data — overflow adds 16 bytes, not a heap pointer.
+    assert_eq!(size_of::<LineRun>(), 12);
+    assert!(size_of::<De22State>() <= DE22_MAX_VALUES * 4 + 4 + size_of::<LineRun>() + 4);
 }
 
 #[test]
@@ -58,11 +71,70 @@ fn composed_rumor_state_stays_compact() {
 fn payload_states_are_copy() {
     // Inline storage makes the payload states plain-old-data: the gather/
     // scatter engine copies them with memcpy, never a heap clone. `Copy`
-    // bounds are the compile-time proof.
+    // bounds are the compile-time proof — including the arena-backed
+    // `De22State`, whose spill handle is a Copy LineRun, not a pointer.
     fn assert_copy<T: Copy>() {}
     assert_copy::<DscState>();
     assert_copy::<AveragedState>();
     assert_copy::<De19State>();
     assert_copy::<De22State>();
     assert_copy::<ComposedState<RumorState>>();
+    assert_copy::<LineRun>();
+}
+
+/// The SoA column layout invariants: scan lanes are dense 4-byte `u32`
+/// columns (16 agents per 64-byte cache line, unit stride — the layout
+/// the auto-vectorized `effective_max` scans rest on), and the grouped
+/// cold fields stay one 16-byte record.
+#[test]
+fn dsc_columns_keep_the_hot_cold_split() {
+    // The two scan fields are bare u32 lanes. A whole-population
+    // effective_max pass reads 8 bytes per agent instead of 24.
+    let mut cols = <DscState as Columnar>::Columns::default();
+    cols.push(DscState {
+        time: 1,
+        max: 2,
+        last_max: 3,
+        interactions: 4,
+        ticks: 5,
+    });
+    let lanes = cols
+        .estimate_lanes()
+        .expect("DSC columns expose scan lanes");
+    assert_eq!(size_of_val(&lanes.max[0]), 4, "max lane: 4-byte elements");
+    assert_eq!(
+        size_of_val(&lanes.last_max[0]),
+        4,
+        "last_max lane: 4-byte elements"
+    );
+
+    // The cold record groups time + interactions + ticks: 16 bytes, four
+    // records per cache line. Splitting further would triple the random-
+    // access traffic of the gather stage for fields no scan reads.
+    assert_eq!(size_of::<DscClock>(), 16);
+    assert_eq!(align_of::<DscClock>(), 8);
+
+    // Lanes + clock partition the struct exactly: no field stored twice,
+    // none dropped (4 + 4 + 16 = 24 = size_of::<DscState>()).
+    assert_eq!(4 + 4 + size_of::<DscClock>(), size_of::<DscState>());
+}
+
+#[test]
+fn averaged_columns_keep_payload_cold() {
+    // The averaged layout reuses the DSC hot lanes and keeps the slot
+    // payloads in one separate cold region.
+    assert!(size_of::<AveragedPayload>() <= 2 * size_of::<SlotVec>());
+    let cols = <AveragedState as Columnar>::Columns::default();
+    assert!(
+        cols.estimate_lanes().is_none(),
+        "averaged estimates come from slot payloads — no dense-lane shortcut"
+    );
+}
+
+#[test]
+fn arena_line_holds_whole_u32_payload_chunks() {
+    // 128-byte lines tile exactly into u32 slots (32 per line), so spill
+    // runs are always whole-line and slice arithmetic stays shift/mask.
+    assert_eq!(ARENA_LINE_BYTES % 4, 0);
+    assert_eq!(ARENA_LINE_BYTES / 4, 32);
 }

@@ -1,0 +1,197 @@
+//! Struct-of-arrays engine equivalence: the `SoaSimulator` must execute
+//! trajectories **bit-identical** to the agent-array `Simulator`.
+//!
+//! The SoA engine always runs the gathered pipeline, whose RNG word stream
+//! matches the agent-array engine's on both of its paths (the sequential
+//! path batches draws up front, the gathered path interleaves them — same
+//! words, same order). These tests pin that equivalence at the golden-trace
+//! seed, at gathered scale, for two-way protocols, under the adversary,
+//! and through arena-backed payload overflow, plus the dense-lane scan
+//! identity the bench scan numbers rest on. A diff here means the two
+//! engines no longer replay each other's recorded experiments — the same
+//! contract violation `tests/golden_trace.rs` guards within one engine.
+
+use dynamic_size_counting::dsc::{AveragedDsc, DscConfig, DscState, DynamicSizeCounting};
+use dynamic_size_counting::protocols::{De22Backing, De22Counting};
+use dynamic_size_counting::sim::observer::Observer;
+use dynamic_size_counting::sim::{Simulator, SoaSimulator};
+use pp_model::Protocol;
+use rand::Rng;
+
+/// The golden-trace seed (`tests/golden_trace.rs`).
+const SEED: u64 = 0xD5C0_2024;
+
+/// Records every interaction's pair indices and initiator post-state, so
+/// equality means pair-for-pair, field-for-field identical trajectories —
+/// not merely identical endpoints.
+#[derive(Default)]
+struct PairTrace {
+    entries: Vec<(usize, usize, DscState)>,
+}
+
+impl Observer<DynamicSizeCounting> for PairTrace {
+    fn pre_interact(
+        &mut self,
+        _: &DynamicSizeCounting,
+        _: &DscState,
+        _: &DscState,
+        _: usize,
+        _: usize,
+        _: u64,
+    ) {
+    }
+    fn post_interact(
+        &mut self,
+        _: &DynamicSizeCounting,
+        u: &DscState,
+        _v: &DscState,
+        ui: usize,
+        vi: usize,
+        _: u64,
+    ) {
+        self.entries.push((ui, vi, *u));
+    }
+    fn agent_added(&mut self, _: &DynamicSizeCounting, _: &DscState) {}
+    fn agent_removed(&mut self, _: &DynamicSizeCounting, _: &DscState) {}
+}
+
+/// At the golden-trace seed and population, the SoA engine draws the same
+/// pairs and produces the same post-states as the agent-array engine —
+/// interaction by interaction, well past the pinned 64-step prefix.
+#[test]
+fn soa_replays_the_golden_trace_seed() {
+    let p = || DynamicSizeCounting::new(DscConfig::empirical());
+    let mut aos = Simulator::with_observer(p(), 64, SEED, PairTrace::default());
+    let mut soa = SoaSimulator::with_observer(p(), 64, SEED, PairTrace::default());
+    aos.step_n(4_096);
+    soa.step_n(4_096);
+    assert_eq!(soa.states_vec(), aos.states());
+    let aos_trace = aos.into_parts().1.entries;
+    let soa_trace = std::mem::take(&mut soa.observer_mut().entries);
+    assert_eq!(soa_trace.len(), aos_trace.len());
+    // First mismatch (if any) with its index, for a readable failure.
+    for (k, (s, a)) in soa_trace.iter().zip(aos_trace.iter()).enumerate() {
+        assert_eq!(s, a, "trajectories diverge at interaction {k}");
+    }
+}
+
+/// At n = 100 000 the agent-array engine switches to its gathered
+/// pipeline (the array exceeds the gather threshold); the SoA engine must
+/// match that path too.
+#[test]
+fn soa_matches_the_gathered_large_n_path() {
+    let p = || DynamicSizeCounting::new(DscConfig::empirical());
+    let mut aos = Simulator::with_seed(p(), 100_000, 21);
+    let mut soa = SoaSimulator::with_seed(p(), 100_000, 21);
+    aos.step_n(50_000);
+    soa.step_n(50_000);
+    assert_eq!(soa.states_vec(), aos.states());
+    assert_eq!(soa.interactions(), aos.interactions());
+}
+
+/// Payload-carrying columnar state (slot arrays in the cold region): the
+/// averaged protocol crosses the gather threshold at n = 10 000 already.
+#[test]
+fn soa_matches_with_payload_columns() {
+    let p = || AveragedDsc::new(DscConfig::empirical(), 16);
+    let mut aos = Simulator::with_seed(p(), 10_000, 23);
+    let mut soa = SoaSimulator::with_seed(p(), 10_000, 23);
+    aos.step_n(20_000);
+    soa.step_n(20_000);
+    assert_eq!(soa.states_vec(), aos.states());
+}
+
+/// Two-way protocol: the responder writes back too, so the hazard rules
+/// mark and scatter both sides. Discrete averaging is write-heavy on both.
+#[test]
+fn soa_matches_for_two_way_protocols() {
+    struct Averaging;
+    impl Protocol for Averaging {
+        type State = u32;
+        fn initial_state(&self) -> u32 {
+            0
+        }
+        fn interact<R: Rng + ?Sized>(&self, u: &mut u32, v: &mut u32, _: &mut R) {
+            let sum = *u + *v;
+            *u = sum / 2;
+            *v = sum - sum / 2;
+        }
+    }
+    // This test must cover the two-way path (ONE_WAY defaults to false).
+    const { assert!(!Averaging::ONE_WAY) };
+
+    let mut aos = Simulator::with_seed(Averaging, 300, 29);
+    let mut soa = SoaSimulator::with_seed(Averaging, 300, 29);
+    for i in 0..10 {
+        *aos.state_mut(i) = 1_000;
+        soa.set_state(i, 1_000);
+    }
+    aos.step_n(5_000);
+    soa.step_n(5_000);
+    assert_eq!(soa.states_vec(), aos.states());
+}
+
+/// Adversary equivalence on the real protocol: stepping interleaved with
+/// growth, uniform crashes, and targeted (largest-estimate) removals.
+#[test]
+fn soa_matches_under_the_adversary() {
+    let p = || DynamicSizeCounting::new(DscConfig::empirical());
+    let mut aos = Simulator::with_seed(p(), 512, 31);
+    let mut soa = SoaSimulator::with_seed(p(), 512, 31);
+    aos.step_n(10_000);
+    soa.step_n(10_000);
+    aos.resize_to(1_024);
+    soa.resize_to(1_024);
+    aos.step_n(10_000);
+    soa.step_n(10_000);
+    aos.remove_uniform(700);
+    soa.remove_uniform(700);
+    aos.remove_largest_estimates(24);
+    soa.remove_largest_estimates(24);
+    aos.step_n(10_000);
+    soa.step_n(10_000);
+    assert_eq!(soa.population(), aos.population());
+    assert_eq!(soa.states_vec(), aos.states());
+    assert!((soa.parallel_time() - aos.parallel_time()).abs() < 1e-9);
+}
+
+/// Arena-backed payload overflow on the SoA engine: DE22 with a
+/// `De22Backing` spills timer tails into the arena, and the trajectory
+/// still matches the agent-array engine running the same configuration on
+/// its own backing (allocation order is part of the trajectory, so even
+/// the spill handles agree).
+#[test]
+fn soa_matches_with_arena_backed_payloads() {
+    let n = 192;
+    let p = |backing| De22Counting::new().with_arena(backing);
+    let aos_p = p(De22Backing::new(96, 4, n));
+    let soa_p = p(De22Backing::new(96, 4, n));
+    let mut aos = Simulator::with_seed(aos_p, n, 37);
+    let mut soa = SoaSimulator::with_seed(soa_p, n, 37);
+    aos.step_n(40_000);
+    soa.step_n(40_000);
+    assert_eq!(soa.states_vec(), aos.states());
+    // The runs actually spilled (otherwise this tested nothing).
+    let spilled = aos.states().iter().filter(|s| s.spill_len > 0).count();
+    assert!(spilled > 0, "no agent spilled into the arena");
+    // Full timer lists (inline prefix + arena tail) agree value-for-value.
+    let soa_states = soa.states_vec();
+    for (sa, sb) in aos.states().iter().zip(soa_states.iter()) {
+        assert_eq!(aos.protocol().timers_vec(sa), soa.protocol().timers_vec(sb));
+    }
+}
+
+/// The dense-lane scan shortcut: under the empirical configuration the
+/// reported estimate *is* the effective maximum (overestimation factor 1,
+/// every agent reports), so the 8-bytes-per-agent lane scan must produce
+/// the exact summary of the full estimate scan. The bench scan speedups
+/// (`soa_scan_speedup_vs_aos`) measure this pair.
+#[test]
+fn effective_max_stats_equals_estimate_stats_for_the_empirical_config() {
+    let mut sim =
+        SoaSimulator::with_seed(DynamicSizeCounting::new(DscConfig::empirical()), 2_000, 41);
+    sim.run_parallel_time(40.0);
+    let via_lanes = sim.effective_max_stats().expect("DSC columns have lanes");
+    let via_loads = sim.estimate_stats().expect("agents report estimates");
+    assert_eq!(via_lanes, via_loads);
+}
